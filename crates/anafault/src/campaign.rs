@@ -1,0 +1,320 @@
+//! The automatic fault-simulation campaign.
+//!
+//! Mirrors AnaFAULT's "repetitive cycle of three main phases":
+//! preprocessing (fault injection into the in-memory netlist), the call
+//! of the kernel simulator, and post-processing (comparison against the
+//! nominal response and statistics). Faults run concurrently on worker
+//! threads — the reproduction of the paper's workstation-cluster
+//! parallel execution [21].
+
+use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
+use crate::fault::Fault;
+use crate::inject::{inject, HardFaultModel};
+use spice::tran::{tran, TranSpec};
+use spice::{Circuit, SpiceError, Wave};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened to one fault during the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOutcome {
+    /// The faulty response left the tolerance band at time `at`.
+    Detected {
+        /// Detection time (s).
+        at: f64,
+    },
+    /// The faulty response stayed within tolerance for the whole test.
+    NotDetected,
+    /// Fault injection failed (inconsistent fault list).
+    InjectionFailed(String),
+    /// The kernel simulator failed on the faulty circuit.
+    SimulationFailed(String),
+}
+
+/// Per-fault protocol record.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// The fault simulated.
+    pub fault: Fault,
+    /// Its outcome.
+    pub outcome: FaultOutcome,
+    /// Wall-clock seconds spent simulating this fault.
+    pub sim_seconds: f64,
+    /// Kernel work measure (accepted Newton solves).
+    pub newton_iterations: u64,
+}
+
+/// The campaign configuration.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The fault-free circuit including the stimulus/testbench.
+    pub circuit: Circuit,
+    /// Transient analysis to run for nominal and every fault.
+    pub tran: TranSpec,
+    /// The observed output node (the paper observes V(11)).
+    pub observe: String,
+    /// Detection tolerances.
+    pub detection: DetectionSpec,
+    /// Hard fault model.
+    pub model: HardFaultModel,
+    /// Worker threads; 0 = one per available core.
+    pub threads: usize,
+}
+
+/// The campaign result: nominal response plus per-fault records.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Nominal waveform at the observed node.
+    pub nominal: Wave,
+    /// One record per fault, in input order.
+    pub records: Vec<FaultRecord>,
+    /// Seconds for the nominal simulation.
+    pub nominal_seconds: f64,
+    /// Wall-clock seconds for the whole campaign.
+    pub total_seconds: f64,
+}
+
+impl Campaign {
+    /// Runs the campaign on `faults`.
+    ///
+    /// # Errors
+    /// Fails only when the *nominal* simulation fails or the observed
+    /// node does not exist; per-fault problems are recorded in the
+    /// result instead.
+    pub fn run(&self, faults: &[Fault]) -> Result<CampaignResult, SpiceError> {
+        let t_start = Instant::now();
+        let t0 = Instant::now();
+        let nominal_res = tran(&self.circuit, &self.tran)?;
+        let nominal_seconds = t0.elapsed().as_secs_f64();
+        let nominal = nominal_res.wave(&self.observe).ok_or_else(|| {
+            SpiceError::Elaboration(format!("observed node `{}` not found", self.observe))
+        })?;
+
+        let n_threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<FaultRecord>>> = Mutex::new(vec![None; faults.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.min(faults.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= faults.len() {
+                        break;
+                    }
+                    let record = self.simulate_one(&faults[i], &nominal);
+                    slots.lock().expect("no poisoned lock")[i] = Some(record);
+                });
+            }
+        });
+        let records: Vec<FaultRecord> = slots
+            .into_inner()
+            .expect("no poisoned lock")
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect();
+
+        Ok(CampaignResult {
+            nominal,
+            records,
+            nominal_seconds,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+        })
+    }
+
+    fn simulate_one(&self, fault: &Fault, nominal: &Wave) -> FaultRecord {
+        let t0 = Instant::now();
+        let faulty = match inject(&self.circuit, fault, self.model) {
+            Ok(c) => c,
+            Err(e) => {
+                return FaultRecord {
+                    fault: fault.clone(),
+                    outcome: FaultOutcome::InjectionFailed(e.to_string()),
+                    sim_seconds: t0.elapsed().as_secs_f64(),
+                    newton_iterations: 0,
+                }
+            }
+        };
+        match tran(&faulty, &self.tran) {
+            Ok(res) => {
+                let outcome = match res.wave(&self.observe) {
+                    Some(w) => match self.detection.first_detection(&w, nominal) {
+                        Some(at) => FaultOutcome::Detected { at },
+                        None => FaultOutcome::NotDetected,
+                    },
+                    None => FaultOutcome::SimulationFailed(format!(
+                        "observed node `{}` missing in faulty circuit",
+                        self.observe
+                    )),
+                };
+                FaultRecord {
+                    fault: fault.clone(),
+                    outcome,
+                    sim_seconds: t0.elapsed().as_secs_f64(),
+                    newton_iterations: res.newton_iterations,
+                }
+            }
+            Err(e) => FaultRecord {
+                fault: fault.clone(),
+                outcome: FaultOutcome::SimulationFailed(e.to_string()),
+                sim_seconds: t0.elapsed().as_secs_f64(),
+                newton_iterations: 0,
+            },
+        }
+    }
+}
+
+impl CampaignResult {
+    /// Detection times per fault (`None` for undetected or failed).
+    pub fn detections(&self) -> Vec<Option<f64>> {
+        self.records
+            .iter()
+            .map(|r| match r.outcome {
+                FaultOutcome::Detected { at } => Some(at),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Fault coverage versus time, sampled at `sample_times`.
+    pub fn coverage_curve(&self, sample_times: &[f64]) -> Vec<(f64, f64)> {
+        coverage_curve(&self.detections(), sample_times)
+    }
+
+    /// Final fault coverage in percent.
+    pub fn final_coverage(&self) -> f64 {
+        final_coverage(&self.detections())
+    }
+
+    /// Summed per-fault simulation seconds (the paper's protocol-file
+    /// runtime comparison between fault models uses this).
+    pub fn fault_sim_seconds(&self) -> f64 {
+        self.records.iter().map(|r| r.sim_seconds).sum()
+    }
+
+    /// Total kernel work across all fault simulations.
+    pub fn total_newton_iterations(&self) -> u64 {
+        self.records.iter().map(|r| r.newton_iterations).sum()
+    }
+
+    /// Records of faults that failed to simulate or inject.
+    pub fn failures(&self) -> Vec<&FaultRecord> {
+        self.records
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.outcome,
+                    FaultOutcome::InjectionFailed(_) | FaultOutcome::SimulationFailed(_)
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultEffect;
+    use spice::parser::parse_netlist;
+
+    /// A simple RC low-pass with a pulse input: faults change the
+    /// output visibly.
+    fn testbench() -> Circuit {
+        parse_netlist(
+            "rc lowpass\n\
+             V1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n\
+             R1 in out 10k\n\
+             C1 out 0 1n ic=0\n\
+             R2 out 0 100k\n\
+             .end\n",
+        )
+        .unwrap()
+    }
+
+    fn campaign() -> Campaign {
+        Campaign {
+            circuit: testbench(),
+            tran: TranSpec::new(0.5e-6, 50e-6).with_uic(),
+            observe: "out".into(),
+            detection: DetectionSpec { v_tol: 1.0, t_tol: 1e-6 },
+            model: HardFaultModel::paper_resistor(),
+            threads: 2,
+        }
+    }
+
+    fn fault_set() -> Vec<Fault> {
+        vec![
+            // Hard short in->out: output follows input instantly — detected.
+            Fault::new(1, "BRI in->out", FaultEffect::Short { a: "in".into(), b: "out".into() }),
+            // Output shorted to ground — detected.
+            Fault::new(2, "BRI out->0", FaultEffect::Short { a: "out".into(), b: "0".into() }),
+            // R2 drifts 5 %: invisible at 1 V tolerance — not detected.
+            Fault::new(3, "SOFT R2 x1.05", FaultEffect::ParamDeviation { element: "R2".into(), factor: 1.05 }),
+            // R1 open: output never charges — detected.
+            Fault::new(4, "OPN R1.0", FaultEffect::OpenTerminal { element: "R1".into(), terminal: 0 }),
+            // Bogus fault: injection failure recorded, campaign continues.
+            Fault::new(5, "BAD", FaultEffect::Short { a: "nope".into(), b: "out".into() }),
+        ]
+    }
+
+    #[test]
+    fn campaign_detects_expected_subset() {
+        let result = campaign().run(&fault_set()).unwrap();
+        assert_eq!(result.records.len(), 5);
+        assert!(matches!(result.records[0].outcome, FaultOutcome::Detected { .. }));
+        assert!(matches!(result.records[1].outcome, FaultOutcome::Detected { .. }));
+        assert_eq!(result.records[2].outcome, FaultOutcome::NotDetected);
+        assert!(matches!(result.records[3].outcome, FaultOutcome::Detected { .. }));
+        assert!(matches!(result.records[4].outcome, FaultOutcome::InjectionFailed(_)));
+        // 3 of 5 detected.
+        assert_eq!(result.final_coverage(), 60.0);
+        assert_eq!(result.failures().len(), 1);
+    }
+
+    #[test]
+    fn coverage_curve_reaches_final_value() {
+        let result = campaign().run(&fault_set()).unwrap();
+        let samples: Vec<f64> = (0..=50).map(|i| i as f64 * 1e-6).collect();
+        let curve = result.coverage_curve(&samples);
+        assert_eq!(curve.last().unwrap().1, result.final_coverage());
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mut serial = campaign();
+        serial.threads = 1;
+        let mut parallel = campaign();
+        parallel.threads = 4;
+        let faults = fault_set();
+        let a = serial.run(&faults).unwrap();
+        let b = parallel.run(&faults).unwrap();
+        let oa: Vec<_> = a.records.iter().map(|r| r.outcome.clone()).collect();
+        let ob: Vec<_> = b.records.iter().map(|r| r.outcome.clone()).collect();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn missing_observe_node_is_fatal() {
+        let mut c = campaign();
+        c.observe = "ghost".into();
+        assert!(c.run(&fault_set()).is_err());
+    }
+
+    #[test]
+    fn source_model_campaign_runs() {
+        let mut c = campaign();
+        c.model = HardFaultModel::Source;
+        let result = c.run(&fault_set()).unwrap();
+        assert!(matches!(result.records[0].outcome, FaultOutcome::Detected { .. }));
+        assert_eq!(result.records[2].outcome, FaultOutcome::NotDetected);
+    }
+}

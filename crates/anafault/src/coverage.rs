@@ -1,0 +1,105 @@
+//! Detection criterion and fault-coverage curves.
+
+use spice::Wave;
+
+/// The tolerance-band detection criterion (paper Fig. 5: 2 V amplitude,
+/// 0.2 µs time tolerance on the VCO output).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionSpec {
+    /// Amplitude tolerance (V): deviations beyond this are observable.
+    pub v_tol: f64,
+    /// Time tolerance (s): nominal may shift this much before a
+    /// deviation counts.
+    pub t_tol: f64,
+}
+
+impl DetectionSpec {
+    /// The paper's Fig. 5 settings: 2 V and 0.2 µs.
+    pub fn paper_fig5() -> Self {
+        DetectionSpec {
+            v_tol: 2.0,
+            t_tol: 0.2e-6,
+        }
+    }
+
+    /// First time the faulty response becomes distinguishable from the
+    /// nominal one, or `None` when the fault stays undetected.
+    pub fn first_detection(&self, faulty: &Wave, nominal: &Wave) -> Option<f64> {
+        faulty.first_detection(nominal, self.v_tol, self.t_tol)
+    }
+}
+
+impl Default for DetectionSpec {
+    fn default() -> Self {
+        DetectionSpec::paper_fig5()
+    }
+}
+
+/// Computes the fault-coverage-versus-time curve from per-fault
+/// detection times.
+///
+/// `detections` holds `Some(t_detect)` per fault (in any order),
+/// `None` for undetected faults. Returns `(time, coverage_percent)`
+/// sampled at each `sample_times` entry: coverage(t) = share of all
+/// faults detected at or before `t`.
+pub fn coverage_curve(detections: &[Option<f64>], sample_times: &[f64]) -> Vec<(f64, f64)> {
+    let total = detections.len();
+    if total == 0 {
+        return sample_times.iter().map(|&t| (t, 0.0)).collect();
+    }
+    let mut times: Vec<f64> = detections.iter().flatten().copied().collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("detection times are finite"));
+    sample_times
+        .iter()
+        .map(|&t| {
+            let detected = times.partition_point(|&d| d <= t);
+            (t, 100.0 * detected as f64 / total as f64)
+        })
+        .collect()
+}
+
+/// Final coverage percentage: detected / total.
+pub fn final_coverage(detections: &[Option<f64>]) -> f64 {
+    if detections.is_empty() {
+        return 0.0;
+    }
+    100.0 * detections.iter().filter(|d| d.is_some()).count() as f64 / detections.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotone_and_saturates() {
+        let detections = vec![Some(1.0), Some(2.0), None, Some(2.0)];
+        let samples: Vec<f64> = (0..=5).map(|i| i as f64).collect();
+        let curve = coverage_curve(&detections, &samples);
+        assert_eq!(curve[0], (0.0, 0.0));
+        assert_eq!(curve[1], (1.0, 25.0));
+        assert_eq!(curve[2], (2.0, 75.0));
+        assert_eq!(curve[5], (5.0, 75.0)); // the None never detects
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "coverage must not decrease");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(coverage_curve(&[], &[0.0, 1.0]), vec![(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(final_coverage(&[]), 0.0);
+    }
+
+    #[test]
+    fn final_coverage_counts() {
+        assert_eq!(final_coverage(&[Some(1.0), None]), 50.0);
+        assert_eq!(final_coverage(&[Some(1.0), Some(0.1)]), 100.0);
+    }
+
+    #[test]
+    fn paper_spec_values() {
+        let d = DetectionSpec::paper_fig5();
+        assert_eq!(d.v_tol, 2.0);
+        assert_eq!(d.t_tol, 0.2e-6);
+    }
+}

@@ -1,0 +1,192 @@
+//! The fault vocabulary (paper Fig. 2 plus parametric faults).
+
+/// A MOS terminal, used by element-level faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosTerminal {
+    /// Drain (terminal 0 of an `M` element).
+    Drain,
+    /// Gate (terminal 1).
+    Gate,
+    /// Source (terminal 2).
+    Source,
+    /// Bulk (terminal 3).
+    Bulk,
+}
+
+impl MosTerminal {
+    /// The element terminal index.
+    pub fn index(&self) -> usize {
+        match self {
+            MosTerminal::Drain => 0,
+            MosTerminal::Gate => 1,
+            MosTerminal::Source => 2,
+            MosTerminal::Bulk => 3,
+        }
+    }
+
+    /// Single-letter name (`d`, `g`, `s`, `b`).
+    pub fn letter(&self) -> char {
+        match self {
+            MosTerminal::Drain => 'd',
+            MosTerminal::Gate => 'g',
+            MosTerminal::Source => 's',
+            MosTerminal::Bulk => 'b',
+        }
+    }
+
+    /// Parses a single-letter terminal name.
+    pub fn from_letter(c: char) -> Option<MosTerminal> {
+        match c.to_ascii_lowercase() {
+            'd' => Some(MosTerminal::Drain),
+            'g' => Some(MosTerminal::Gate),
+            's' => Some(MosTerminal::Source),
+            'b' => Some(MosTerminal::Bulk),
+            _ => None,
+        }
+    }
+}
+
+/// The electrical effect of a fault, in terms of the simulated netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultEffect {
+    /// Short between two circuit nodes. Covers both *local* shorts
+    /// (terminals of one element) and *global* shorts (arbitrary node
+    /// pairs) — the distinction is bookkeeping, the injection is the
+    /// same.
+    Short {
+        /// First node name.
+        a: String,
+        /// Second node name.
+        b: String,
+    },
+    /// Short across two terminals of one element (resolved to the
+    /// element's nodes at injection time; survives node renames).
+    ElementShort {
+        /// Element instance name.
+        element: String,
+        /// First terminal index.
+        t1: usize,
+        /// Second terminal index.
+        t2: usize,
+    },
+    /// Local open: one terminal of one element is disconnected
+    /// (a transistor stuck-open when applied to a MOS d/g/s).
+    OpenTerminal {
+        /// Element instance name.
+        element: String,
+        /// Terminal index to open.
+        terminal: usize,
+    },
+    /// A node of order *n* splits into two nodes of order *k* and
+    /// *n−k*: the listed `(element, terminal)` attachments move to the
+    /// new node (paper Fig. 2, "split node").
+    SplitNode {
+        /// The node to split.
+        node: String,
+        /// Attachments moved to the newly created node.
+        move_terminals: Vec<(String, usize)>,
+    },
+    /// Parametric (soft) fault: an element parameter is multiplied by
+    /// `factor` (resistance, capacitance, or MOS W).
+    ParamDeviation {
+        /// Element instance name.
+        element: String,
+        /// Multiplier on the element's primary parameter.
+        factor: f64,
+    },
+}
+
+impl FaultEffect {
+    /// Short classification helper: true for `Short`/`ElementShort`.
+    pub fn is_short(&self) -> bool {
+        matches!(self, FaultEffect::Short { .. } | FaultEffect::ElementShort { .. })
+    }
+
+    /// True for the open-class effects (`OpenTerminal`, `SplitNode`).
+    pub fn is_open(&self) -> bool {
+        matches!(
+            self,
+            FaultEffect::OpenTerminal { .. } | FaultEffect::SplitNode { .. }
+        )
+    }
+}
+
+/// A fault: an identifier, a human-readable label (the paper's
+/// `#6 BRI n_ds_short 5->6` style), an occurrence probability when known
+/// (from LIFT), and the electrical effect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fault {
+    /// Numeric identifier (candidate number; sparse after reduction).
+    pub id: usize,
+    /// Display label.
+    pub label: String,
+    /// Probability of occurrence `p_j` from the defect statistics;
+    /// `None` for schematic-assumed faults.
+    pub probability: Option<f64>,
+    /// The electrical effect to inject.
+    pub effect: FaultEffect,
+}
+
+impl Fault {
+    /// Creates a fault with the given id, label and effect.
+    pub fn new(id: usize, label: impl Into<String>, effect: FaultEffect) -> Self {
+        Fault {
+            id,
+            label: label.into(),
+            probability: None,
+            effect,
+        }
+    }
+
+    /// Same fault with an attached probability.
+    pub fn with_probability(mut self, p: f64) -> Self {
+        self.probability = Some(p);
+        self
+    }
+}
+
+impl core::fmt::Display for Fault {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "#{} {}", self.id, self.label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminal_round_trip() {
+        for t in [
+            MosTerminal::Drain,
+            MosTerminal::Gate,
+            MosTerminal::Source,
+            MosTerminal::Bulk,
+        ] {
+            assert_eq!(MosTerminal::from_letter(t.letter()), Some(t));
+        }
+        assert_eq!(MosTerminal::from_letter('x'), None);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let s = FaultEffect::Short { a: "1".into(), b: "2".into() };
+        assert!(s.is_short() && !s.is_open());
+        let o = FaultEffect::OpenTerminal { element: "M1".into(), terminal: 0 };
+        assert!(o.is_open() && !o.is_short());
+        let sn = FaultEffect::SplitNode { node: "5".into(), move_terminals: vec![] };
+        assert!(sn.is_open());
+        let p = FaultEffect::ParamDeviation { element: "R1".into(), factor: 2.0 };
+        assert!(!p.is_open() && !p.is_short());
+    }
+
+    #[test]
+    fn display_matches_paper_style() {
+        let f = Fault::new(
+            6,
+            "BRI n_ds_short 5->6",
+            FaultEffect::Short { a: "5".into(), b: "6".into() },
+        );
+        assert_eq!(f.to_string(), "#6 BRI n_ds_short 5->6");
+    }
+}

@@ -1,0 +1,200 @@
+//! The textual fault-list interface between LIFT and AnaFAULT.
+//!
+//! The paper: "The fault list obtained from LIFT is merged into the
+//! configuration file during the setup procedure." This module defines
+//! that file format. One fault per line:
+//!
+//! ```text
+//! # id  class  label……                p
+//! 6     BRI    n_ds_short 5->6        3.2e-8   short 5 6
+//! 339   BRI    metal1_short 1->5      1.1e-8   short 1 5
+//! 12    SOP    M7.d                   4.0e-9   open M7 0
+//! 17    OPN    metal1_open n4         2.0e-9   split n4 M3.1 M4.1
+//! ```
+//!
+//! Columns: candidate id, class (`BRI`/`OPN`/`SOP`/`SOFT`), a free-form
+//! label (quoted when it contains spaces — here terminated by the
+//! probability column), the probability (`-` when unknown), then the
+//! machine-readable effect.
+
+use crate::fault::{Fault, FaultEffect};
+
+/// Serialises faults to the fault-list format.
+pub fn write_fault_list(faults: &[Fault]) -> String {
+    let mut out = String::from("# AnaFAULT fault list: id class label | p | effect\n");
+    for f in faults {
+        let class = match &f.effect {
+            FaultEffect::Short { .. } | FaultEffect::ElementShort { .. } => "BRI",
+            FaultEffect::OpenTerminal { .. } => "SOP",
+            FaultEffect::SplitNode { .. } => "OPN",
+            FaultEffect::ParamDeviation { .. } => "SOFT",
+        };
+        let p = match f.probability {
+            Some(p) => format!("{p:.3e}"),
+            None => "-".to_string(),
+        };
+        let effect = match &f.effect {
+            FaultEffect::Short { a, b } => format!("short {a} {b}"),
+            FaultEffect::ElementShort { element, t1, t2 } => {
+                format!("eshort {element} {t1} {t2}")
+            }
+            FaultEffect::OpenTerminal { element, terminal } => {
+                format!("open {element} {terminal}")
+            }
+            FaultEffect::SplitNode {
+                node,
+                move_terminals,
+            } => {
+                let moves: Vec<String> = move_terminals
+                    .iter()
+                    .map(|(e, t)| format!("{e}.{t}"))
+                    .collect();
+                format!("split {node} {}", moves.join(" "))
+            }
+            FaultEffect::ParamDeviation { element, factor } => {
+                format!("deviate {element} {factor}")
+            }
+        };
+        out.push_str(&format!("{}\t{}\t{}\t{}\t{}\n", f.id, class, f.label, p, effect));
+    }
+    out
+}
+
+/// Parses the fault-list format.
+///
+/// # Errors
+/// Returns a message naming the offending line.
+pub fn read_fault_list(text: &str) -> Result<Vec<Fault>, String> {
+    let mut out = Vec::new();
+    for (ln, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 5 {
+            return Err(format!(
+                "line {}: expected 5 tab-separated columns, got {}",
+                ln + 1,
+                cols.len()
+            ));
+        }
+        let id: usize = cols[0]
+            .parse()
+            .map_err(|_| format!("line {}: bad id `{}`", ln + 1, cols[0]))?;
+        let label = cols[2].to_string();
+        let probability = if cols[3] == "-" {
+            None
+        } else {
+            Some(
+                cols[3]
+                    .parse::<f64>()
+                    .map_err(|_| format!("line {}: bad probability `{}`", ln + 1, cols[3]))?,
+            )
+        };
+        let toks: Vec<&str> = cols[4].split_whitespace().collect();
+        let effect = parse_effect(&toks).map_err(|m| format!("line {}: {m}", ln + 1))?;
+        let mut fault = Fault::new(id, label, effect);
+        fault.probability = probability;
+        out.push(fault);
+    }
+    Ok(out)
+}
+
+fn parse_effect(toks: &[&str]) -> Result<FaultEffect, String> {
+    match toks {
+        ["short", a, b] => Ok(FaultEffect::Short {
+            a: a.to_string(),
+            b: b.to_string(),
+        }),
+        ["eshort", e, t1, t2] => Ok(FaultEffect::ElementShort {
+            element: e.to_string(),
+            t1: t1.parse().map_err(|_| "bad terminal".to_string())?,
+            t2: t2.parse().map_err(|_| "bad terminal".to_string())?,
+        }),
+        ["open", e, t] => Ok(FaultEffect::OpenTerminal {
+            element: e.to_string(),
+            terminal: t.parse().map_err(|_| "bad terminal".to_string())?,
+        }),
+        ["split", node, moves @ ..] => {
+            let mut move_terminals = Vec::new();
+            for m in moves {
+                let (e, t) = m
+                    .rsplit_once('.')
+                    .ok_or_else(|| format!("bad split attachment `{m}`"))?;
+                move_terminals.push((
+                    e.to_string(),
+                    t.parse().map_err(|_| "bad terminal".to_string())?,
+                ));
+            }
+            Ok(FaultEffect::SplitNode {
+                node: node.to_string(),
+                move_terminals,
+            })
+        }
+        ["deviate", e, f] => Ok(FaultEffect::ParamDeviation {
+            element: e.to_string(),
+            factor: f.parse().map_err(|_| "bad factor".to_string())?,
+        }),
+        _ => Err(format!("unknown effect `{}`", toks.join(" "))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_faults() -> Vec<Fault> {
+        vec![
+            Fault::new(6, "BRI n_ds_short 5->6", FaultEffect::Short { a: "5".into(), b: "6".into() })
+                .with_probability(3.2e-8),
+            Fault::new(339, "BRI metal1_short 1->5", FaultEffect::Short { a: "1".into(), b: "5".into() })
+                .with_probability(1.1e-8),
+            Fault::new(12, "SOP M7.d", FaultEffect::OpenTerminal { element: "M7".into(), terminal: 0 }),
+            Fault::new(
+                17,
+                "OPN metal1_open n4",
+                FaultEffect::SplitNode {
+                    node: "n4".into(),
+                    move_terminals: vec![("M3".into(), 1), ("M4".into(), 1)],
+                },
+            )
+            .with_probability(2.0e-9),
+            Fault::new(99, "SOFT C1 x0.5", FaultEffect::ParamDeviation { element: "C1".into(), factor: 0.5 }),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let faults = sample_faults();
+        let text = write_fault_list(&faults);
+        let back = read_fault_list(&text).unwrap();
+        assert_eq!(faults.len(), back.len());
+        for (a, b) in faults.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.effect, b.effect);
+            match (a.probability, b.probability) {
+                (Some(x), Some(y)) => assert!((x - y).abs() / x < 1e-3),
+                (None, None) => {}
+                other => panic!("probability mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n6\tBRI\tlabel\t-\tshort a b\n";
+        let faults = read_fault_list(text).unwrap();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].probability, None);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        assert!(read_fault_list("not enough columns").unwrap_err().contains("line 1"));
+        assert!(read_fault_list("x\tBRI\tl\t-\tshort a b").unwrap_err().contains("bad id"));
+        assert!(read_fault_list("1\tBRI\tl\t-\tfrobnicate a b").unwrap_err().contains("unknown effect"));
+        assert!(read_fault_list("1\tOPN\tl\t-\tsplit n badattachment").unwrap_err().contains("bad split"));
+    }
+}

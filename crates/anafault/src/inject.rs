@@ -1,0 +1,361 @@
+//! Fault injection: rewriting the in-memory netlist.
+//!
+//! Stock circuit simulators "lack the capability to alter the topology
+//! of a circuit in its textual or stored matrix representation" (paper
+//! §II); this module is exactly that capability. Every injection works
+//! on a deep copy, so the nominal circuit is never disturbed.
+
+use crate::fault::{Fault, FaultEffect};
+use spice::{Circuit, ElementKind, Waveform};
+
+/// How hard faults map onto circuit elements (paper §VI compares both).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HardFaultModel {
+    /// Shorts become a small resistor, opens a large one. The paper's
+    /// values: 0.01 Ω and 100 MΩ.
+    Resistor {
+        /// Short resistance (Ω).
+        r_short: f64,
+        /// Open resistance (Ω).
+        r_open: f64,
+    },
+    /// Shorts become an ideal 0 V source, opens an ideal 0 A source.
+    Source,
+}
+
+impl HardFaultModel {
+    /// The paper's resistor model: 0.01 Ω shorts, 100 MΩ opens.
+    pub fn paper_resistor() -> Self {
+        HardFaultModel::Resistor {
+            r_short: 0.01,
+            r_open: 100e6,
+        }
+    }
+}
+
+impl Default for HardFaultModel {
+    fn default() -> Self {
+        HardFaultModel::paper_resistor()
+    }
+}
+
+/// Errors surfaced by injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectError {
+    /// The fault references a node the circuit does not have.
+    UnknownNode(String),
+    /// The fault references an element the circuit does not have.
+    UnknownElement(String),
+    /// A terminal index is out of range for the element.
+    BadTerminal {
+        /// Element name.
+        element: String,
+        /// Offending terminal index.
+        terminal: usize,
+    },
+    /// The parametric fault target has no scalable parameter.
+    NotScalable(String),
+}
+
+impl core::fmt::Display for InjectError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InjectError::UnknownNode(n) => write!(f, "fault references unknown node `{n}`"),
+            InjectError::UnknownElement(e) => {
+                write!(f, "fault references unknown element `{e}`")
+            }
+            InjectError::BadTerminal { element, terminal } => {
+                write!(f, "element `{element}` has no terminal {terminal}")
+            }
+            InjectError::NotScalable(e) => {
+                write!(f, "element `{e}` has no parameter to deviate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// Produces a faulty copy of `base` with `fault` injected under `model`.
+///
+/// # Errors
+/// Returns [`InjectError`] when the fault references nodes/elements the
+/// circuit does not contain.
+pub fn inject(
+    base: &Circuit,
+    fault: &Fault,
+    model: HardFaultModel,
+) -> Result<Circuit, InjectError> {
+    let mut ckt = base.clone();
+    ckt.title = format!("{} [faulty: #{} {}]", base.title, fault.id, fault.label);
+    let tag = format!("F{}", fault.id);
+    match &fault.effect {
+        FaultEffect::Short { a, b } => {
+            let na = ckt
+                .find_node(a)
+                .ok_or_else(|| InjectError::UnknownNode(a.clone()))?;
+            let nb = ckt
+                .find_node(b)
+                .ok_or_else(|| InjectError::UnknownNode(b.clone()))?;
+            add_short(&mut ckt, &tag, na, nb, model);
+        }
+        FaultEffect::ElementShort { element, t1, t2 } => {
+            let ei = ckt
+                .find_element(element)
+                .ok_or_else(|| InjectError::UnknownElement(element.clone()))?;
+            let nodes = &ckt.elements()[ei].nodes;
+            let na = *nodes.get(*t1).ok_or(InjectError::BadTerminal {
+                element: element.clone(),
+                terminal: *t1,
+            })?;
+            let nb = *nodes.get(*t2).ok_or(InjectError::BadTerminal {
+                element: element.clone(),
+                terminal: *t2,
+            })?;
+            add_short(&mut ckt, &tag, na, nb, model);
+        }
+        FaultEffect::OpenTerminal { element, terminal } => {
+            let ei = ckt
+                .find_element(element)
+                .ok_or_else(|| InjectError::UnknownElement(element.clone()))?;
+            if *terminal >= ckt.elements()[ei].nodes.len() {
+                return Err(InjectError::BadTerminal {
+                    element: element.clone(),
+                    terminal: *terminal,
+                });
+            }
+            let old = ckt.elements()[ei].nodes[*terminal];
+            let fresh = ckt.fresh_node(&format!("{tag}_open"));
+            ckt.elements_mut()[ei].nodes[*terminal] = fresh;
+            add_open(&mut ckt, &tag, old, fresh, model);
+        }
+        FaultEffect::SplitNode {
+            node,
+            move_terminals,
+        } => {
+            let old = ckt
+                .find_node(node)
+                .ok_or_else(|| InjectError::UnknownNode(node.clone()))?;
+            let fresh = ckt.fresh_node(&format!("{tag}_split"));
+            for (element, terminal) in move_terminals {
+                let ei = ckt
+                    .find_element(element)
+                    .ok_or_else(|| InjectError::UnknownElement(element.clone()))?;
+                let nodes = &mut ckt.elements_mut()[ei].nodes;
+                let slot = nodes.get_mut(*terminal).ok_or(InjectError::BadTerminal {
+                    element: element.clone(),
+                    terminal: *terminal,
+                })?;
+                if *slot != old {
+                    return Err(InjectError::BadTerminal {
+                        element: element.clone(),
+                        terminal: *terminal,
+                    });
+                }
+                *slot = fresh;
+            }
+            add_open(&mut ckt, &tag, old, fresh, model);
+        }
+        FaultEffect::ParamDeviation { element, factor } => {
+            let ei = ckt
+                .find_element(element)
+                .ok_or_else(|| InjectError::UnknownElement(element.clone()))?;
+            match &mut ckt.elements_mut()[ei].kind {
+                ElementKind::Resistor { r } => *r *= factor,
+                ElementKind::Capacitor { c, .. } => *c *= factor,
+                ElementKind::Mosfet { w, .. } => *w *= factor,
+                _ => return Err(InjectError::NotScalable(element.clone())),
+            }
+        }
+    }
+    Ok(ckt)
+}
+
+fn add_short(ckt: &mut Circuit, tag: &str, a: usize, b: usize, model: HardFaultModel) {
+    match model {
+        HardFaultModel::Resistor { r_short, .. } => {
+            ckt.add(
+                format!("R{tag}_short"),
+                vec![a, b],
+                ElementKind::Resistor { r: r_short },
+            );
+        }
+        HardFaultModel::Source => {
+            ckt.add(
+                format!("V{tag}_short"),
+                vec![a, b],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(0.0),
+                },
+            );
+        }
+    }
+}
+
+fn add_open(ckt: &mut Circuit, tag: &str, a: usize, b: usize, model: HardFaultModel) {
+    match model {
+        HardFaultModel::Resistor { r_open, .. } => {
+            ckt.add(
+                format!("R{tag}_openr"),
+                vec![a, b],
+                ElementKind::Resistor { r: r_open },
+            );
+        }
+        HardFaultModel::Source => {
+            // An ideal open is "no element at all"; a 0 A source keeps
+            // the break explicit in the netlist (and exercises the same
+            // MNA path ELDO's source model used).
+            ckt.add(
+                format!("I{tag}_open"),
+                vec![a, b],
+                ElementKind::Isource {
+                    wave: Waveform::Dc(0.0),
+                },
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::Fault;
+    use spice::parser::parse_netlist;
+    use spice::tran::{tran, TranSpec};
+
+    fn divider() -> Circuit {
+        parse_netlist(
+            "divider\nV1 in 0 dc 10\nR1 in mid 1k\nR2 mid out 1k\nR3 out 0 2k\n.end\n",
+        )
+        .unwrap()
+    }
+
+    fn v_at(ckt: &Circuit, node: &str) -> f64 {
+        let res = tran(ckt, &TranSpec::new(1e-6, 1e-5)).unwrap();
+        res.wave(node).unwrap().last_value()
+    }
+
+    #[test]
+    fn nominal_divider_sanity() {
+        // 10 V over 4k: mid = 7.5, out = 5.0.
+        let c = divider();
+        assert!((v_at(&c, "mid") - 7.5).abs() < 1e-6);
+        assert!((v_at(&c, "out") - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_resistor_model_collapses_nodes() {
+        let f = Fault::new(1, "BRI mid->out", FaultEffect::Short { a: "mid".into(), b: "out".into() });
+        let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        // R2 bypassed: divider becomes 1k over 2k -> out = mid ≈ 6.67 V.
+        let v = v_at(&faulty, "out");
+        assert!((v - 10.0 * 2.0 / 3.0).abs() < 1e-3, "v = {v}");
+        assert_eq!(faulty.elements().len(), divider().elements().len() + 1);
+    }
+
+    #[test]
+    fn short_source_model_matches_resistor_model() {
+        let f = Fault::new(1, "BRI mid->out", FaultEffect::Short { a: "mid".into(), b: "out".into() });
+        let r = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        let s = inject(&divider(), &f, HardFaultModel::Source).unwrap();
+        assert!((v_at(&r, "out") - v_at(&s, "out")).abs() < 1e-3);
+    }
+
+    #[test]
+    fn open_terminal_disconnects() {
+        // Open R3's upper terminal: no current -> out floats near mid
+        // path... with the 100 MΩ model `out` sits at the divider of
+        // 2k/(100M+2k) — effectively ground side cut, so out ≈ V_mid ·
+        // tiny. The load disappears: mid-out chain carries (almost) no
+        // current, so mid ≈ in = 10.
+        let f = Fault::new(2, "OPN R3.0", FaultEffect::OpenTerminal { element: "R3".into(), terminal: 0 });
+        let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        let v_mid = v_at(&faulty, "mid");
+        assert!((v_mid - 10.0).abs() < 0.01, "mid = {v_mid}");
+    }
+
+    #[test]
+    fn open_source_model_equivalent() {
+        let f = Fault::new(2, "OPN R3.0", FaultEffect::OpenTerminal { element: "R3".into(), terminal: 0 });
+        let s = inject(&divider(), &f, HardFaultModel::Source).unwrap();
+        let v_mid = v_at(&s, "mid");
+        assert!((v_mid - 10.0).abs() < 0.01, "mid = {v_mid}");
+    }
+
+    #[test]
+    fn element_short_uses_current_terminals() {
+        // Short across R2 (its two terminals): same result as mid-out
+        // node short.
+        let f = Fault::new(3, "BRI R2", FaultEffect::ElementShort { element: "R2".into(), t1: 0, t2: 1 });
+        let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        assert!((v_at(&faulty, "out") - 10.0 * 2.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn split_node_moves_attachments() {
+        // Split `mid`: move R2's terminal 0 to the new node. The chain
+        // through R2/R3 is broken -> out ≈ 0 (pulled down through R3 via
+        // 100 MΩ leakage only).
+        let f = Fault::new(
+            4,
+            "OPN split mid",
+            FaultEffect::SplitNode {
+                node: "mid".into(),
+                move_terminals: vec![("R2".to_string(), 0)],
+            },
+        );
+        let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        let v_out = v_at(&faulty, "out");
+        assert!(v_out < 0.05, "out = {v_out}");
+        // Node orders: original circuit mid has order 2; after the
+        // split each piece has order fewer attachments + the bridging
+        // resistor.
+        assert!(faulty.node_count() > divider().node_count());
+    }
+
+    #[test]
+    fn split_node_rejects_wrong_attachment() {
+        // R3 terminal 0 is `out`, not `mid` — the fault is inconsistent.
+        let f = Fault::new(
+            5,
+            "bad split",
+            FaultEffect::SplitNode {
+                node: "mid".into(),
+                move_terminals: vec![("R3".to_string(), 0)],
+            },
+        );
+        let err = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap_err();
+        assert!(matches!(err, InjectError::BadTerminal { .. }));
+    }
+
+    #[test]
+    fn param_deviation_scales_resistance() {
+        let f = Fault::new(6, "SOFT R3 x2", FaultEffect::ParamDeviation { element: "R3".into(), factor: 2.0 });
+        let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
+        // out = 10 * 4k/6k ≈ 6.67.
+        assert!((v_at(&faulty, "out") - 10.0 * 4.0 / 6.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn unknown_references_error() {
+        let f = Fault::new(7, "bad", FaultEffect::Short { a: "zz".into(), b: "out".into() });
+        assert!(matches!(
+            inject(&divider(), &f, HardFaultModel::paper_resistor()),
+            Err(InjectError::UnknownNode(_))
+        ));
+        let f = Fault::new(8, "bad", FaultEffect::OpenTerminal { element: "R9".into(), terminal: 0 });
+        assert!(matches!(
+            inject(&divider(), &f, HardFaultModel::paper_resistor()),
+            Err(InjectError::UnknownElement(_))
+        ));
+    }
+
+    #[test]
+    fn base_circuit_is_untouched() {
+        let base = divider();
+        let f = Fault::new(9, "BRI in->out", FaultEffect::Short { a: "in".into(), b: "out".into() });
+        let _ = inject(&base, &f, HardFaultModel::paper_resistor()).unwrap();
+        assert_eq!(base.elements().len(), 4);
+        assert!((v_at(&base, "out") - 5.0).abs() < 1e-6);
+    }
+}

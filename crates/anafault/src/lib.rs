@@ -1,0 +1,39 @@
+//! # anafault — the automatic analogue fault simulator
+//!
+//! The Rust reproduction of AnaFAULT (paper §V): a complete tool that
+//! takes a circuit, a fault list and a stimulus, and produces fault
+//! coverage statistics. Its defining capability — the one the paper
+//! notes stock circuit simulators lack — is **altering the topology** of
+//! the circuit for every fault:
+//!
+//! * [`fault`] — the fault model vocabulary of Fig. 2: local shorts,
+//!   global shorts, local opens, **split nodes** (a node of order *n*
+//!   becomes two nodes of order *k* and *n−k*) and transistor
+//!   stuck-opens, plus parametric (soft) deviations;
+//! * [`inject`] — rewrites a deep copy of the in-memory netlist per
+//!   fault, under either the **resistor model** (short = 0.01 Ω,
+//!   open = 100 MΩ) or the **source model** (ideal 0 V / 0 A sources);
+//! * [`campaign`] — the repetitive simulate–compare–log cycle: nominal
+//!   run first, then every fault on a pool of worker threads (the
+//!   paper's cluster-parallel execution, reproduced with threads);
+//! * [`coverage`] — tolerance-band detection (2 V amplitude / 0.2 µs
+//!   time in the paper's Fig. 5) and fault-coverage-versus-time curves;
+//! * [`faultlist`] — the textual fault-list interface through which LIFT
+//!   hands over extracted faults;
+//! * [`soft`] — parametric (soft) fault generation, deterministic sweeps
+//!   and Monte Carlo deviations (the paper's §II soft-fault model);
+//! * [`report`] — tabular reports, protocol rows and ASCII coverage
+//!   plots.
+
+pub mod campaign;
+pub mod coverage;
+pub mod fault;
+pub mod faultlist;
+pub mod inject;
+pub mod report;
+pub mod soft;
+
+pub use campaign::{Campaign, CampaignResult, FaultOutcome, FaultRecord};
+pub use coverage::{coverage_curve, DetectionSpec};
+pub use fault::{Fault, FaultEffect, MosTerminal};
+pub use inject::{inject, HardFaultModel, InjectError};

@@ -1,0 +1,145 @@
+//! Result presentation: protocol tables and ASCII coverage plots.
+//!
+//! "Results are presented in tabular form or in form of fault coverage
+//! plots displaying the progress of the fault coverage versus time"
+//! (paper §V).
+
+use crate::campaign::{CampaignResult, FaultOutcome};
+
+/// Formats the per-fault protocol table.
+pub fn protocol_table(result: &CampaignResult) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<6} {:<34} {:>11} {:>14} {:>10}\n",
+        "id", "fault", "p_j", "detected at", "sim [s]"
+    ));
+    s.push_str(&"-".repeat(80));
+    s.push('\n');
+    for r in &result.records {
+        let p = match r.fault.probability {
+            Some(p) => format!("{p:.2e}"),
+            None => "-".to_string(),
+        };
+        let det = match &r.outcome {
+            FaultOutcome::Detected { at } => format!("{:.3} µs", at * 1e6),
+            FaultOutcome::NotDetected => "undetected".to_string(),
+            FaultOutcome::InjectionFailed(_) => "inject-fail".to_string(),
+            FaultOutcome::SimulationFailed(_) => "sim-fail".to_string(),
+        };
+        s.push_str(&format!(
+            "{:<6} {:<34} {:>11} {:>14} {:>10.4}\n",
+            format!("#{}", r.fault.id),
+            truncate(&r.fault.label, 34),
+            p,
+            det,
+            r.sim_seconds
+        ));
+    }
+    s.push_str(&"-".repeat(80));
+    s.push('\n');
+    s.push_str(&format!(
+        "faults: {}   coverage: {:.1} %   fault-sim time: {:.3} s (nominal {:.3} s)\n",
+        result.records.len(),
+        result.final_coverage(),
+        result.fault_sim_seconds(),
+        result.nominal_seconds
+    ));
+    s
+}
+
+/// Renders the coverage-versus-time curve as an ASCII plot
+/// (`width × height` characters), the in-terminal equivalent of the
+/// paper's Fig. 5.
+pub fn coverage_plot(curve: &[(f64, f64)], width: usize, height: usize) -> String {
+    if curve.is_empty() || width < 2 || height < 2 {
+        return String::new();
+    }
+    let t_max = curve.last().expect("non-empty").0.max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![' '; width]; height];
+    for &(t, cov) in curve {
+        let x = ((t / t_max) * (width - 1) as f64).round() as usize;
+        let y = ((cov / 100.0) * (height - 1) as f64).round() as usize;
+        let row = height - 1 - y.min(height - 1);
+        grid[row][x.min(width - 1)] = '*';
+    }
+    let mut s = String::new();
+    s.push_str("fault coverage [%]\n");
+    for (i, row) in grid.iter().enumerate() {
+        let level = 100.0 * (height - 1 - i) as f64 / (height - 1) as f64;
+        s.push_str(&format!("{level:>5.0} |"));
+        s.extend(row.iter());
+        s.push('\n');
+    }
+    s.push_str(&format!("      +{}\n", "-".repeat(width)));
+    s.push_str(&format!(
+        "       0{:>width$}\n",
+        format!("{:.1} µs", t_max * 1e6),
+        width = width - 1
+    ));
+    s
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.len() <= n {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..n.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::FaultRecord;
+    use crate::fault::{Fault, FaultEffect};
+    use spice::Wave;
+
+    fn result() -> CampaignResult {
+        CampaignResult {
+            nominal: Wave::new(vec![0.0, 1e-6], vec![0.0, 5.0]),
+            records: vec![
+                FaultRecord {
+                    fault: Fault::new(6, "BRI n_ds_short 5->6", FaultEffect::Short { a: "5".into(), b: "6".into() })
+                        .with_probability(3.2e-8),
+                    outcome: FaultOutcome::Detected { at: 0.5e-6 },
+                    sim_seconds: 0.01,
+                    newton_iterations: 400,
+                },
+                FaultRecord {
+                    fault: Fault::new(7, "SOP M3.g", FaultEffect::OpenTerminal { element: "M3".into(), terminal: 1 }),
+                    outcome: FaultOutcome::NotDetected,
+                    sim_seconds: 0.02,
+                    newton_iterations: 400,
+                },
+            ],
+            nominal_seconds: 0.01,
+            total_seconds: 0.04,
+        }
+    }
+
+    #[test]
+    fn protocol_table_contains_key_fields() {
+        let table = protocol_table(&result());
+        assert!(table.contains("#6"));
+        assert!(table.contains("n_ds_short"));
+        assert!(table.contains("3.20e-8"));
+        assert!(table.contains("undetected"));
+        assert!(table.contains("coverage: 50.0 %"));
+    }
+
+    #[test]
+    fn coverage_plot_dimensions() {
+        let curve = vec![(0.0, 0.0), (1e-6, 50.0), (2e-6, 100.0)];
+        let plot = coverage_plot(&curve, 40, 10);
+        let lines: Vec<&str> = plot.lines().collect();
+        // header + 10 rows + axis + label
+        assert_eq!(lines.len(), 13);
+        assert!(plot.contains('*'));
+        assert!(plot.contains("100 |"));
+    }
+
+    #[test]
+    fn empty_curve_safe() {
+        assert_eq!(coverage_plot(&[], 40, 10), "");
+    }
+}

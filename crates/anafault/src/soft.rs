@@ -1,0 +1,158 @@
+//! Parametric ("soft") fault generation.
+//!
+//! The paper's §II distinguishes the catastrophic ("hard") model from
+//! the parameter-deviation ("soft") model, and its Fig. 4 remarks that
+//! one extracted *hard* fault looks like a *soft* one at first glance.
+//! This module generates the soft-fault campaigns that make such
+//! comparisons possible: every passive/MOS element deviated by a set of
+//! factors, plus Monte Carlo sampling of deviation factors.
+
+use crate::fault::{Fault, FaultEffect};
+use rand::{Rng, RngExt};
+use spice::{Circuit, ElementKind};
+
+/// Deterministic soft-fault sweep: every resistor, capacitor and MOS
+/// width deviated by each factor in `factors`.
+///
+/// Elements whose name starts with one of `exclude_prefixes` are
+/// skipped (testbench sources, injected fault elements, supply
+/// resistors, …).
+pub fn deviation_sweep(ckt: &Circuit, factors: &[f64], exclude_prefixes: &[&str]) -> Vec<Fault> {
+    let mut out = Vec::new();
+    let mut id = 1usize;
+    for e in ckt.elements() {
+        if exclude_prefixes
+            .iter()
+            .any(|p| e.name.to_ascii_uppercase().starts_with(&p.to_ascii_uppercase()))
+        {
+            continue;
+        }
+        let scalable = matches!(
+            e.kind,
+            ElementKind::Resistor { .. } | ElementKind::Capacitor { .. } | ElementKind::Mosfet { .. }
+        );
+        if !scalable {
+            continue;
+        }
+        for &factor in factors {
+            out.push(Fault::new(
+                id,
+                format!("SOFT {} x{:.3}", e.name, factor),
+                FaultEffect::ParamDeviation {
+                    element: e.name.clone(),
+                    factor,
+                },
+            ));
+            id += 1;
+        }
+    }
+    out
+}
+
+/// Monte Carlo soft faults: `n` faults, each deviating one random
+/// scalable element by a log-uniform factor in `[1/max_factor,
+/// max_factor]`.
+///
+/// # Panics
+/// Panics when the circuit has no scalable elements or
+/// `max_factor <= 1`.
+pub fn monte_carlo_deviations<R: Rng + ?Sized>(
+    ckt: &Circuit,
+    n: usize,
+    max_factor: f64,
+    exclude_prefixes: &[&str],
+    rng: &mut R,
+) -> Vec<Fault> {
+    assert!(max_factor > 1.0, "max_factor must exceed 1");
+    let candidates: Vec<&str> = ckt
+        .elements()
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.kind,
+                ElementKind::Resistor { .. }
+                    | ElementKind::Capacitor { .. }
+                    | ElementKind::Mosfet { .. }
+            ) && !exclude_prefixes.iter().any(|p| {
+                e.name
+                    .to_ascii_uppercase()
+                    .starts_with(&p.to_ascii_uppercase())
+            })
+        })
+        .map(|e| e.name.as_str())
+        .collect();
+    assert!(!candidates.is_empty(), "no scalable elements");
+    let log_max = max_factor.ln();
+    (0..n)
+        .map(|i| {
+            let element = candidates[rng.random_range(0..candidates.len())].to_string();
+            let factor = (rng.random_range(-log_max..log_max)).exp();
+            Fault::new(
+                i + 1,
+                format!("SOFT-MC {element} x{factor:.3}"),
+                FaultEffect::ParamDeviation { element, factor },
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, FaultOutcome};
+    use crate::coverage::DetectionSpec;
+    use crate::inject::HardFaultModel;
+    use rand::SeedableRng;
+    use spice::parser::parse_netlist;
+    use spice::tran::TranSpec;
+
+    fn rc() -> Circuit {
+        parse_netlist(
+            "rc\nV1 in 0 pulse(0 5 0 1u 1u 40u 100u)\nR1 in out 10k\nC1 out 0 1n ic=0\n.end\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_excludes_testbench() {
+        let faults = deviation_sweep(&rc(), &[0.5, 2.0], &["V"]);
+        // R1 and C1, two factors each.
+        assert_eq!(faults.len(), 4);
+        assert!(faults.iter().all(|f| !f.label.contains("V1")));
+    }
+
+    #[test]
+    fn small_deviations_hide_inside_tolerance_large_ones_do_not() {
+        let campaign = Campaign {
+            circuit: rc(),
+            tran: TranSpec::new(0.5e-6, 50e-6).with_uic(),
+            observe: "out".into(),
+            detection: DetectionSpec { v_tol: 0.5, t_tol: 1e-6 },
+            model: HardFaultModel::paper_resistor(),
+            threads: 2,
+        };
+        let faults = deviation_sweep(&rc(), &[1.02, 5.0], &["V"]);
+        let result = campaign.run(&faults).unwrap();
+        for r in &result.records {
+            let is_small = r.fault.label.contains("x1.02");
+            match (&r.outcome, is_small) {
+                (FaultOutcome::NotDetected, true) => {}
+                (FaultOutcome::Detected { .. }, false) => {}
+                other => panic!("{}: unexpected {:?}", r.fault.label, other),
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_factors_are_bounded() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let faults = monte_carlo_deviations(&rc(), 200, 4.0, &["V"], &mut rng);
+        assert_eq!(faults.len(), 200);
+        for f in faults {
+            let FaultEffect::ParamDeviation { factor, .. } = f.effect else {
+                panic!("soft faults only");
+            };
+            assert!(factor >= 0.25 && factor <= 4.0, "factor {factor}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The RT-RATIO performance experiment as a Criterion benchmark: one
+//! fault simulation under each hard-fault model. The paper's finding —
+//! the source model costs more (43 % over the whole campaign) because
+//! every injected short adds an MNA branch row — should reproduce as
+//! `short_source ≥ short_resistor`.
+
+use anafault::{inject, Fault, FaultEffect, HardFaultModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let (_, tb) = bench::vco_system();
+    let fault = Fault::new(
+        1,
+        "BRI 6->0",
+        FaultEffect::Short {
+            a: "6".into(),
+            b: "0".into(),
+        },
+    );
+    let spec = bench::paper_tran();
+    let mut group = c.benchmark_group("fault_models");
+    group.sample_size(10);
+    group.bench_function("short_resistor_model", |b| {
+        let faulty = inject(&tb, &fault, HardFaultModel::paper_resistor()).expect("injects");
+        b.iter(|| spice::tran::tran(black_box(&faulty), &spec).expect("simulates"))
+    });
+    group.bench_function("short_source_model", |b| {
+        let faulty = inject(&tb, &fault, HardFaultModel::Source).expect("injects");
+        b.iter(|| spice::tran::tran(black_box(&faulty), &spec).expect("simulates"))
+    });
+    group.bench_function("injection_only", |b| {
+        b.iter(|| inject(black_box(&tb), &fault, HardFaultModel::paper_resistor()).expect("injects"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Geometry substrate benchmarks: the boolean and critical-area
+//! primitives LIFT leans on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defect::SizeDistribution;
+use geom::{Rect, Region};
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    // A comb of 200 wires — a dense-layer workload.
+    let comb: Vec<Rect> = (0..200)
+        .map(|i| Rect::from_wh(0, i * 3_000, 300_000, 1_500))
+        .collect();
+    group.bench_function("region_union_200_wires", |b| {
+        b.iter(|| Region::from_rects(black_box(&comb).iter().copied()))
+    });
+    let region = Region::from_rects(comb.iter().copied());
+    let other = Region::from_rects(
+        (0..200).map(|i| Rect::from_wh(i * 1_500, 0, 1_000, 600_000)),
+    );
+    group.bench_function("region_intersection", |b| {
+        b.iter(|| black_box(&region).intersection(black_box(&other)))
+    });
+    let dist = SizeDistribution::default_1um();
+    group.bench_function("weighted_bridge_area_closed_form", |b| {
+        b.iter(|| defect::weighted_bridge_area(black_box(30_000.0), 1_500.0, &dist))
+    });
+    let a = Region::from_rects([Rect::new(0, 0, 30_000, 1_500)]);
+    let bb = Region::from_rects([Rect::new(0, 3_000, 30_000, 4_500)]);
+    group.bench_function("weighted_bridge_area_exact_64pt", |b| {
+        b.iter(|| defect::critical::weighted_bridge_area_exact(black_box(&a), &bb, &dist, 64))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_geometry);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Kernel simulator benchmarks: the nominal VCO transient (the unit of
+//! work every fault simulation repeats) and the integrator ablation
+//! (backward Euler vs trapezoidal) called out in DESIGN.md §7.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spice::tran::{tran, TranSpec};
+use std::hint::black_box;
+use vco::{vco_testbench, TestbenchParams};
+
+fn bench_nominal_transient(c: &mut Criterion) {
+    let ckt = vco_testbench(&TestbenchParams::default());
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(10);
+    group.bench_function("vco_tran_400steps_be", |b| {
+        let spec = TranSpec::new(10e-9, 4e-6).with_uic();
+        b.iter(|| tran(black_box(&ckt), &spec).expect("converges"))
+    });
+    group.bench_function("vco_tran_400steps_trap", |b| {
+        let spec = TranSpec::new(10e-9, 4e-6).with_uic().with_trapezoidal();
+        b.iter(|| tran(black_box(&ckt), &spec).expect("converges"))
+    });
+    group.bench_function("vco_dcop", |b| {
+        // Operating point with settled supply (DC sources).
+        let mut dc = vco::vco_schematic();
+        let vdd = dc.node("vdd");
+        let vin = dc.node("1");
+        dc.add("VDD", vec![vdd, spice::Circuit::GROUND],
+            spice::ElementKind::Vsource { wave: spice::Waveform::Dc(5.0) });
+        dc.add("VIN", vec![vin, spice::Circuit::GROUND],
+            spice::ElementKind::Vsource { wave: spice::Waveform::Dc(2.2) });
+        b.iter(|| spice::dcop::dc_operating_point(black_box(&dc)).expect("solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nominal_transient);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! LIFT-side benchmarks: circuit extraction and fault extraction from
+//! the VCO layout — the preprocessing cost the paper's flow pays once
+//! per design.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use extract::ExtractOptions;
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let (flat, tech) = vco::vco_layout();
+    let mut group = c.benchmark_group("lift");
+    group.sample_size(20);
+    group.bench_function("circuit_extraction", |b| {
+        b.iter(|| {
+            extract::extract(black_box(&flat), &tech, &ExtractOptions::default())
+                .expect("extracts")
+        })
+    });
+    let netlist = extract::extract(&flat, &tech, &ExtractOptions::default()).expect("extracts");
+    group.bench_function("fault_extraction_glrfm", |b| {
+        b.iter(|| lift::extract_faults(black_box(&netlist), &tech, &bench::paper_lift_options()))
+    });
+    group.bench_function("layout_generation", |b| {
+        b.iter(vco::vco_layout)
+    });
+    group.bench_function("gds_write_read", |b| {
+        let (lib, _) = vco::vco_library();
+        b.iter(|| {
+            let bytes = layout::gds::write_library(black_box(&lib)).expect("writes");
+            layout::gds::read_library(&bytes).expect("reads")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! DRC report for the generated VCO layout. The remaining violation
+//! classes are by construction (see DESIGN.md): doubled contact/via
+//! pairs sit tighter than the standard cut spacing (redundant-via
+//! practice), and the conservative width check flags rectangle
+//! decomposition slivers at wire joints.
+
+use std::collections::BTreeMap;
+
+fn main() {
+    let (flat, tech) = vco::vco_layout();
+    let violations = layout::drc_check(&flat, &tech);
+    println!("VCO layout DRC: {} findings\n", violations.len());
+    let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
+    for v in &violations {
+        *by_class.entry(format!("{} {:?}", v.layer, v.rule)).or_insert(0) += 1;
+    }
+    println!("{:<28} {:>6}", "class", "count");
+    println!("{}", "-".repeat(36));
+    for (class, n) in by_class {
+        println!("{class:<28} {n:>6}");
+    }
+    println!("\nknown-benign classes: doubled-cut pairs (cont/via spacing),");
+    println!("decomposition slivers (poly min-width at riser joints), and");
+    println!("same-net pad-to-track gaps in the routing channel.");
+}

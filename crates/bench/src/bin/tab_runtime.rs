@@ -1,0 +1,43 @@
+//! RT-RATIO — regenerates the §VI runtime comparison: the source-model
+//! campaign took 43 % longer than the resistor-model one (4383 s vs
+//! 3068 s on the paper's workstation).
+
+use bench::runtime_comparison;
+
+fn main() {
+    println!("Fault-model runtime comparison (full campaign, both models)\n");
+    let cmp = runtime_comparison();
+    println!("{:<40} {:>10} {:>12}", "", "paper", "measured");
+    println!("{}", "-".repeat(64));
+    println!(
+        "{:<40} {:>9}s {:>11.2}s",
+        "resistor model fault-sim time", 3068, cmp.resistor_seconds
+    );
+    println!(
+        "{:<40} {:>9}s {:>11.2}s",
+        "source model fault-sim time", 4383, cmp.source_seconds
+    );
+    println!("{:<40} {:>10} {:>12.2}", "source / resistor ratio", 1.43, cmp.ratio());
+    println!(
+        "{:<40} {:>10} {:>12}",
+        "kernel work resistor (solves)", "-", cmp.resistor_work
+    );
+    println!(
+        "{:<40} {:>10} {:>12}",
+        "kernel work source (solves)", "-", cmp.source_work
+    );
+    println!(
+        "{:<40} {:>10} {:>11.1}pp",
+        "coverage difference between models", "~0", cmp.coverage_delta
+    );
+    println!("{}", "-".repeat(64));
+    println!("\nreproduction note: the paper measured the source model 43 %");
+    println!("slower on ELDO, whose sparse kernel pays per extra branch");
+    println!("equation. In this dense-LU kernel the cost balance flips: the");
+    println!("0.01 Ω short makes the Jacobian stiff and costs extra Newton");
+    println!("iterations, while the ideal 0 V source is handled exactly —");
+    println!("so the resistor model ends up the slower one here. What *does*");
+    println!("reproduce is the paper's actionable conclusion: both models");
+    println!("yield identical fault coverage (\"nearly identical plots\"),");
+    println!("and the choice of resistor value is the delicate part (Fig. 6).");
+}

@@ -1,0 +1,35 @@
+//! SCH-FLT — regenerates the §VI schematic fault counts: 78 single
+//! opens on the transistors + 1 capacitor open, and 73 shorts (six
+//! gate-drain pairs are designed shorts).
+
+use lift::schematic::schematic_faults;
+use vco::vco_schematic;
+
+fn main() {
+    let ckt = vco_schematic();
+    let n_mos = vco::schematic::transistor_count(&ckt);
+    let n_diode = vco::schematic::diode_connected_count(&ckt);
+    let faults = schematic_faults(&ckt);
+
+    let mos_opens = faults
+        .opens
+        .iter()
+        .filter(|f| f.label.contains('M'))
+        .count();
+    let cap_opens = faults.opens.len() - mos_opens;
+
+    println!("Schematic-complete fault list of the VCO (paper §VI)\n");
+    println!("{:<42} {:>8} {:>8}", "", "paper", "measured");
+    println!("{}", "-".repeat(62));
+    println!("{:<42} {:>8} {:>8}", "transistors", 26, n_mos);
+    println!("{:<42} {:>8} {:>8}", "designed gate-drain shorts", 6, n_diode);
+    println!("{:<42} {:>8} {:>8}", "single opens on transistors", 78, mos_opens);
+    println!("{:<42} {:>8} {:>8}", "opens on the capacitor", 1, cap_opens);
+    println!("{:<42} {:>8} {:>8}", "shorts (incl. capacitor)", 73, faults.shorts.len());
+    println!(
+        "{:<42} {:>8} {:>8}",
+        "complete fault list",
+        78 + 1 + 73,
+        faults.total()
+    );
+}

@@ -1,0 +1,309 @@
+//! # bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see DESIGN.md §4). Each
+//! `src/bin/*` binary calls one of these and prints the regenerated
+//! artefact next to the paper's reference values; the Criterion benches
+//! measure the performance dimensions (fault-model runtime ratio,
+//! kernel/extraction throughput).
+
+use anafault::{Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, HardFaultModel};
+use cat_core::{CatSystem, FaultFunnel};
+use defect::SizeDistribution;
+use extract::ExtractOptions;
+use lift::schematic::schematic_faults;
+use lift::{LiftOptions, LiftResult};
+use spice::tran::TranSpec;
+use spice::{Circuit, Wave};
+use vco::{attach_sources, TestbenchParams, OBSERVED_NODE};
+
+/// The LIFT configuration used for all paper experiments: Tab. 1
+/// densities, x₀ = 1 µm / x_max = 10 µm defect sizes, p_min = 3·10⁻⁸.
+/// These reproduce the paper's headline reduction (70 faults, 53 %)
+/// on our generated layout.
+pub fn paper_lift_options() -> LiftOptions {
+    LiftOptions {
+        ports: vec!["vdd".into(), "0".into(), "1".into(), "11".into()],
+        size_dist: SizeDistribution::new(1_000, 10_000),
+        p_min: 3e-8,
+        ..LiftOptions::default()
+    }
+}
+
+/// The paper's transient: 400 steps over 4 µs, starting at supply
+/// activation (UIC).
+pub fn paper_tran() -> TranSpec {
+    TranSpec::new(10e-9, 4e-6).with_uic()
+}
+
+/// Builds the full CAT system for the VCO plus the testbench circuit.
+pub fn vco_system() -> (CatSystem, Circuit) {
+    let (flat, tech) = vco::vco_layout();
+    let sys = CatSystem::from_layout(
+        &flat,
+        &tech,
+        &ExtractOptions::default(),
+        &paper_lift_options(),
+    )
+    .expect("VCO layout extracts cleanly");
+    let mut tb = sys.circuit.clone();
+    attach_sources(&mut tb, &TestbenchParams::default());
+    (sys, tb)
+}
+
+/// A campaign with the paper's settings over the given testbench.
+pub fn paper_campaign(testbench: Circuit, model: HardFaultModel) -> Campaign {
+    Campaign {
+        circuit: testbench,
+        tran: paper_tran(),
+        observe: OBSERVED_NODE.to_string(),
+        detection: DetectionSpec::paper_fig5(),
+        model,
+        threads: 0,
+    }
+}
+
+// ---------------------------------------------------------------------
+// SCH-FLT + LIFT-RED: the §VI fault-count tables
+// ---------------------------------------------------------------------
+
+/// The §VI reduction experiment: schematic-complete counts versus
+/// LIFT's extracted list.
+#[derive(Debug, Clone)]
+pub struct ReductionReport {
+    /// Schematic single opens (paper: 78 + 1 capacitor = 79).
+    pub schematic_opens: usize,
+    /// Schematic shorts (paper: 73 including the capacitor).
+    pub schematic_shorts: usize,
+    /// Designed gate-drain shorts skipped (paper: 6).
+    pub designed_shorts: usize,
+    /// LIFT result.
+    pub lift: LiftResult,
+}
+
+impl ReductionReport {
+    /// Total schematic faults.
+    pub fn schematic_total(&self) -> usize {
+        self.schematic_opens + self.schematic_shorts
+    }
+
+    /// The headline reduction percentage (paper: 53 %).
+    pub fn reduction_percent(&self) -> f64 {
+        self.lift.reduction_vs(self.schematic_total())
+    }
+}
+
+/// Runs the reduction experiment.
+pub fn lift_reduction() -> ReductionReport {
+    let (sys, _) = vco_system();
+    let sch = schematic_faults(&vco::vco_schematic());
+    ReductionReport {
+        schematic_opens: sch.opens.len(),
+        schematic_shorts: sch.shorts.len(),
+        designed_shorts: sch.skipped_designed_shorts,
+        lift: sys.lift,
+    }
+}
+
+/// The Fig. 1 funnel: all faults → L²RFM → GLRFM.
+pub fn fault_funnel() -> FaultFunnel {
+    let tech = layout::Technology::generic_1um();
+    let sch = schematic_faults(&vco::vco_schematic());
+    let all = sch.all();
+    let patterns = cat_core::l2rfm::characterise_mos(&tech);
+    let l2 = cat_core::l2rfm::apply_patterns(&all, &patterns);
+    let (sys, _) = vco_system();
+    FaultFunnel::new(all.len(), l2.len(), sys.lift.stats.total())
+}
+
+// ---------------------------------------------------------------------
+// FIG4: example fault waveforms
+// ---------------------------------------------------------------------
+
+/// The Fig. 4 regeneration: fault-free output plus the two example
+/// bridging faults.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Fault-free V(11).
+    pub fault_free: Wave,
+    /// `BRI n_ds_short 5->6` label and waveform.
+    pub f_ds: (String, Wave),
+    /// `BRI metal1_short 1->5` label and waveform.
+    pub f_m1: (String, Wave),
+}
+
+/// Simulates the Fig. 4 waveforms (resistor fault model, as in the
+/// paper's main run).
+pub fn fig4_waveforms() -> Fig4 {
+    let (sys, tb) = vco_system();
+    let nominal = spice::tran::tran(&tb, &paper_tran()).expect("nominal run");
+    let fault_free = nominal.wave(OBSERVED_NODE).expect("observed node");
+
+    let find = |needle: &str| -> Fault {
+        sys.lift
+            .faults
+            .iter()
+            .map(|f| &f.fault)
+            .find(|f| f.label.contains(needle))
+            .unwrap_or_else(|| panic!("fault `{needle}` not in the LIFT list"))
+            .clone()
+    };
+    let run = |fault: &Fault| -> Wave {
+        let faulty = anafault::inject(&tb, fault, HardFaultModel::paper_resistor())
+            .expect("injectable");
+        spice::tran::tran(&faulty, &paper_tran())
+            .expect("faulty run")
+            .wave(OBSERVED_NODE)
+            .expect("observed node")
+    };
+    let f_ds = find("n_ds_short 5->6");
+    let f_m1 = find("metal1_short 1->5");
+    Fig4 {
+        fault_free,
+        f_ds: (format!("#{} {}", f_ds.id, f_ds.label), run(&f_ds)),
+        f_m1: (format!("#{} {}", f_m1.id, f_m1.label), run(&f_m1)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// FIG5: fault coverage vs time
+// ---------------------------------------------------------------------
+
+/// Runs the full fault-simulation campaign and returns the result plus
+/// the coverage curve sampled each 1 % of test time.
+pub fn fig5_campaign(model: HardFaultModel) -> (CampaignResult, Vec<(f64, f64)>) {
+    let (sys, tb) = vco_system();
+    let result = paper_campaign(tb, model)
+        .run(&sys.fault_list())
+        .expect("nominal simulation succeeds");
+    let samples: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0 * 4e-6).collect();
+    let curve = result.coverage_curve(&samples);
+    (result, curve)
+}
+
+// ---------------------------------------------------------------------
+// FIG6: bridge resistance sweep on M11's drain
+// ---------------------------------------------------------------------
+
+/// Simulates the Fig. 6 sweep: a resistor from the Schmitt trigger
+/// M11's drain (the supply rail — M11 is the N-side feedback device)
+/// to ground, for each resistance value. Observability comes through
+/// the testbench's supply impedance, exactly as on a real bench.
+pub fn fig6_sweep(r_values: &[f64]) -> Vec<(f64, Wave)> {
+    let (_, tb) = vco_system();
+    r_values
+        .iter()
+        .map(|&r| {
+            let fault = Fault::new(
+                900,
+                format!("BRI M11.d->0 R={r}"),
+                FaultEffect::Short {
+                    a: "vdd".into(),
+                    b: "0".into(),
+                },
+            );
+            let model = HardFaultModel::Resistor {
+                r_short: r,
+                r_open: 100e6,
+            };
+            let faulty = anafault::inject(&tb, &fault, model).expect("injectable");
+            let wave = spice::tran::tran(&faulty, &paper_tran())
+                .expect("sweep point simulates")
+                .wave(OBSERVED_NODE)
+                .expect("observed node");
+            (r, wave)
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// RT-RATIO: source vs resistor model runtime
+// ---------------------------------------------------------------------
+
+/// Runtime comparison between the two hard-fault models (paper §VI:
+/// source model 43 % slower — 4383 s vs 3068 s on their hardware).
+#[derive(Debug, Clone)]
+pub struct RuntimeComparison {
+    /// Summed per-fault simulation seconds, resistor model.
+    pub resistor_seconds: f64,
+    /// Summed per-fault simulation seconds, source model.
+    pub source_seconds: f64,
+    /// Kernel work (Newton solves), resistor model.
+    pub resistor_work: u64,
+    /// Kernel work, source model.
+    pub source_work: u64,
+    /// Coverage agreement between the two models (percentage points of
+    /// difference; the paper found "nearly identical" plots).
+    pub coverage_delta: f64,
+}
+
+impl RuntimeComparison {
+    /// Source/resistor runtime ratio (paper: 1.43).
+    pub fn ratio(&self) -> f64 {
+        self.source_seconds / self.resistor_seconds
+    }
+}
+
+/// Runs both campaigns and compares runtimes.
+pub fn runtime_comparison() -> RuntimeComparison {
+    let (resistor, _) = fig5_campaign(HardFaultModel::paper_resistor());
+    let (source, _) = fig5_campaign(HardFaultModel::Source);
+    RuntimeComparison {
+        resistor_seconds: resistor.fault_sim_seconds(),
+        source_seconds: source.fault_sim_seconds(),
+        resistor_work: resistor.total_newton_iterations(),
+        source_work: source.total_newton_iterations(),
+        coverage_delta: (resistor.final_coverage() - source.final_coverage()).abs(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rendering helpers shared by the binaries
+// ---------------------------------------------------------------------
+
+/// Renders a waveform as an ASCII strip chart (`width` columns,
+/// `height` rows), used by the fig4/fig6 binaries.
+pub fn ascii_wave(wave: &Wave, width: usize, height: usize, v_min: f64, v_max: f64) -> String {
+    let mut grid = vec![vec![' '; width]; height];
+    let t0 = wave.times().first().copied().unwrap_or(0.0);
+    let t1 = wave.times().last().copied().unwrap_or(1.0);
+    for col in 0..width {
+        let t = t0 + (t1 - t0) * col as f64 / (width - 1) as f64;
+        let v = wave.value_at(t);
+        let frac = ((v - v_min) / (v_max - v_min)).clamp(0.0, 1.0);
+        let row = height - 1 - (frac * (height - 1) as f64).round() as usize;
+        grid[row][col] = '*';
+    }
+    let mut s = String::new();
+    for (i, row) in grid.iter().enumerate() {
+        let level = v_max - (v_max - v_min) * i as f64 / (height - 1) as f64;
+        s.push_str(&format!("{level:>6.1} |"));
+        s.extend(row.iter());
+        s.push('\n');
+    }
+    s.push_str(&format!("       +{}\n", "-".repeat(width)));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_options_are_consistent() {
+        let o = paper_lift_options();
+        assert_eq!(o.p_min, 3e-8);
+        assert_eq!(o.size_dist.x_max(), 10_000.0);
+        let t = paper_tran();
+        assert_eq!(t.tstep, 10e-9);
+        assert_eq!(t.tstop, 4e-6);
+        assert!(t.uic);
+    }
+
+    #[test]
+    fn ascii_wave_renders() {
+        let w = Wave::new(vec![0.0, 1.0, 2.0], vec![0.0, 5.0, 0.0]);
+        let art = ascii_wave(&w, 30, 8, -1.0, 5.0);
+        assert_eq!(art.lines().count(), 9);
+        assert!(art.contains('*'));
+    }
+}

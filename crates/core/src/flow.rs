@@ -1,0 +1,207 @@
+//! The end-to-end CAT flow.
+
+use anafault::{Campaign, CampaignResult, DetectionSpec, Fault, HardFaultModel};
+use extract::{ExtractError, ExtractOptions, ExtractedNetlist};
+use layout::{FlatLayout, Technology};
+use lift::{extract_faults, LiftOptions, LiftResult};
+use spice::tran::TranSpec;
+use spice::{Circuit, SpiceError};
+
+/// Errors from assembling the CAT system.
+#[derive(Debug)]
+pub enum CatError {
+    /// Circuit extraction failed.
+    Extract(ExtractError),
+    /// Simulation failed.
+    Spice(SpiceError),
+}
+
+impl core::fmt::Display for CatError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CatError::Extract(e) => write!(f, "extraction: {e}"),
+            CatError::Spice(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CatError {}
+
+impl From<ExtractError> for CatError {
+    fn from(e: ExtractError) -> Self {
+        CatError::Extract(e)
+    }
+}
+
+impl From<SpiceError> for CatError {
+    fn from(e: SpiceError) -> Self {
+        CatError::Spice(e)
+    }
+}
+
+/// The assembled CAT system for one design: extracted netlist,
+/// simulation circuit and ranked realistic fault list.
+#[derive(Debug, Clone)]
+pub struct CatSystem {
+    /// Geometric/electrical extraction result.
+    pub netlist: ExtractedNetlist,
+    /// The extracted circuit (no testbench yet).
+    pub circuit: Circuit,
+    /// LIFT's ranked weighted fault list.
+    pub lift: LiftResult,
+}
+
+impl CatSystem {
+    /// Runs extraction and LIFT on a flattened layout.
+    ///
+    /// # Errors
+    /// Propagates extraction failures ([`CatError::Extract`]).
+    pub fn from_layout(
+        flat: &FlatLayout,
+        tech: &Technology,
+        extract_options: &ExtractOptions,
+        lift_options: &LiftOptions,
+    ) -> Result<Self, CatError> {
+        let netlist = extract::extract(flat, tech, extract_options)?;
+        let circuit = netlist.to_circuit("extracted", extract_options);
+        let lift = extract_faults(&netlist, tech, lift_options);
+        Ok(CatSystem {
+            netlist,
+            circuit,
+            lift,
+        })
+    }
+
+    /// The simulation-ready fault list.
+    pub fn fault_list(&self) -> Vec<Fault> {
+        self.lift.fault_list()
+    }
+
+    /// Builds a campaign over a caller-prepared testbench circuit
+    /// (usually [`CatSystem::circuit`] plus sources).
+    pub fn campaign(
+        &self,
+        testbench: Circuit,
+        tran: TranSpec,
+        observe: &str,
+        detection: DetectionSpec,
+        model: HardFaultModel,
+    ) -> Campaign {
+        Campaign {
+            circuit: testbench,
+            tran,
+            observe: observe.to_string(),
+            detection,
+            model,
+            threads: 0,
+        }
+    }
+
+    /// Convenience: run the whole fault simulation with LIFT's list.
+    ///
+    /// # Errors
+    /// Fails when the nominal simulation fails.
+    pub fn run_campaign(
+        &self,
+        testbench: Circuit,
+        tran: TranSpec,
+        observe: &str,
+        detection: DetectionSpec,
+        model: HardFaultModel,
+    ) -> Result<CampaignResult, SpiceError> {
+        self.campaign(testbench, tran, observe, detection, model)
+            .run(&self.fault_list())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice::{ElementKind, Waveform};
+
+    #[test]
+    fn full_flow_on_vco_layout() {
+        let (flat, tech) = vco::vco_layout();
+        let lift_options = LiftOptions {
+            ports: vec!["vdd".into(), "0".into(), "1".into(), "11".into()],
+            ..LiftOptions::default()
+        };
+        let sys = CatSystem::from_layout(
+            &flat,
+            &tech,
+            &ExtractOptions::default(),
+            &lift_options,
+        )
+        .unwrap();
+        assert_eq!(sys.netlist.mosfets.len(), 26);
+        assert!(sys.lift.stats.total() > 20, "stats: {:?}", sys.lift.stats);
+        assert!(sys.lift.stats.bridges > 0);
+        assert!(sys.lift.stats.stuck_opens + sys.lift.stats.line_opens > 0);
+        // Probabilities are ranked descending.
+        let ps: Vec<f64> = sys.lift.faults.iter().map(|f| f.probability).collect();
+        assert!(ps.windows(2).all(|w| w[0] >= w[1]));
+        assert!(sys.circuit.validate().is_ok());
+    }
+
+    #[test]
+    fn campaign_runs_on_extracted_circuit() {
+        let (flat, tech) = vco::vco_layout();
+        let sys = CatSystem::from_layout(
+            &flat,
+            &tech,
+            &ExtractOptions::default(),
+            &LiftOptions::default(),
+        )
+        .unwrap();
+        // Attach the paper's testbench to the extracted circuit.
+        let mut tb = sys.circuit.clone();
+        let vdd = tb.node("vdd");
+        let vin = tb.node("1");
+        tb.add(
+            "VDD",
+            vec![vdd, spice::Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 5.0,
+                    td: 0.0,
+                    tr: 50e-9,
+                    tf: 50e-9,
+                    pw: f64::INFINITY,
+                    period: f64::INFINITY,
+                },
+            },
+        );
+        tb.add(
+            "VIN",
+            vec![vin, spice::Circuit::GROUND],
+            ElementKind::Vsource { wave: Waveform::Dc(2.2) },
+        );
+        // Short campaign: top 10 faults only (full campaign is the
+        // benchmark's job).
+        let faults: Vec<_> = sys.fault_list().into_iter().take(10).collect();
+        let result = sys
+            .campaign(
+                tb,
+                TranSpec::new(10e-9, 4e-6).with_uic(),
+                "11",
+                DetectionSpec::paper_fig5(),
+                HardFaultModel::paper_resistor(),
+            )
+            .run(&faults)
+            .unwrap();
+        assert_eq!(result.records.len(), 10);
+        // The top-probability faults on this oscillator are gross
+        // shorts; most should be detected.
+        assert!(
+            result.final_coverage() >= 50.0,
+            "coverage {} too low; records: {:?}",
+            result.final_coverage(),
+            result
+                .records
+                .iter()
+                .map(|r| (&r.fault.label, &r.outcome))
+                .collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! The Fig. 1 fault-list funnel.
+//!
+//! The paper's Fig. 1 draws the fault list narrowing from *all faults*
+//! (schematic-complete) through L²RFM (pre-layout local realistic
+//! mapping) to the GLRFM list LIFT produces from the final layout. The
+//! arrow widths are the list sizes — this module computes them.
+
+/// One stage of the funnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunnelStage {
+    /// Stage name (`all faults`, `L2RFM`, `GLRFM`).
+    pub name: String,
+    /// Fault-list size at this stage.
+    pub count: usize,
+}
+
+/// The complete funnel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultFunnel {
+    /// Stages from widest to narrowest.
+    pub stages: Vec<FunnelStage>,
+}
+
+impl FaultFunnel {
+    /// Builds the funnel from the three list sizes.
+    pub fn new(all_faults: usize, l2rfm: usize, glrfm: usize) -> Self {
+        FaultFunnel {
+            stages: vec![
+                FunnelStage { name: "all faults".into(), count: all_faults },
+                FunnelStage { name: "L2RFM".into(), count: l2rfm },
+                FunnelStage { name: "GLRFM (LIFT)".into(), count: glrfm },
+            ],
+        }
+    }
+
+    /// Total reduction from first to last stage, percent.
+    pub fn total_reduction_percent(&self) -> f64 {
+        match (self.stages.first(), self.stages.last()) {
+            (Some(first), Some(last)) if first.count > 0 => {
+                100.0 * (1.0 - last.count as f64 / first.count as f64)
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Renders the funnel as ASCII art (arrow width ∝ list size), the
+    /// terminal version of Fig. 1.
+    pub fn render(&self, max_width: usize) -> String {
+        let widest = self
+            .stages
+            .iter()
+            .map(|s| s.count)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        for s in &self.stages {
+            let w = ((s.count as f64 / widest as f64) * max_width as f64).round() as usize;
+            out.push_str(&format!(
+                "{:>14} | {} {}\n",
+                s.name,
+                "█".repeat(w.max(1)),
+                s.count
+            ));
+        }
+        out.push_str(&format!(
+            "{:>14} | total reduction {:.0} %\n",
+            "", self.total_reduction_percent()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_math() {
+        // The paper's VCO: 152 schematic faults -> 70 after GLRFM.
+        let funnel = FaultFunnel::new(152, 120, 70);
+        assert!((funnel.total_reduction_percent() - 53.9).abs() < 0.2);
+    }
+
+    #[test]
+    fn render_is_monotone_in_width() {
+        let funnel = FaultFunnel::new(100, 60, 30);
+        let art = funnel.render(40);
+        let widths: Vec<usize> = art
+            .lines()
+            .take(3)
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert!(widths[0] > widths[1] && widths[1] > widths[2], "{art}");
+        assert!(art.contains("100"));
+        assert!(art.contains("GLRFM"));
+    }
+
+    #[test]
+    fn empty_funnel_is_safe() {
+        let funnel = FaultFunnel::new(0, 0, 0);
+        assert_eq!(funnel.total_reduction_percent(), 0.0);
+        let _ = funnel.render(10);
+    }
+}

@@ -1,0 +1,28 @@
+//! # defect — spot-defect statistics and critical-area analysis
+//!
+//! Implements the defect model of the paper's §IV:
+//!
+//! * [`mechanisms`] — the likely physical failure modes of a CMOS
+//!   process and their relative densities (Tab. 1 of the paper, used
+//!   verbatim as the default mechanism file);
+//! * [`sizedist`] — the defect-size probability density `f(x) = 2x₀²/x³`
+//!   (Ferris-Prabhu), with sampling for Monte Carlo work;
+//! * [`critical`] — critical areas for bridges, line opens and cut
+//!   opens, both in closed form and by exact geometric construction
+//!   (expand-and-intersect), weighted by the size distribution;
+//! * [`montecarlo`] — a spot-defect sampler that cross-validates the
+//!   analytic critical areas and powers inductive fault analysis
+//!   experiments.
+//!
+//! Probabilities come out as `p_j = D_rel · D_m1short · A̅_j` where
+//! `D_m1short` is the metal-1 short density (1 defect/cm², paper §IV)
+//! and `A̅_j` the size-weighted critical area.
+
+pub mod critical;
+pub mod mechanisms;
+pub mod montecarlo;
+pub mod sizedist;
+
+pub use critical::{weighted_bridge_area, weighted_cut_open_area, weighted_open_area};
+pub use mechanisms::{FailureClass, Mechanism, MechanismTable, METAL1_SHORT_DENSITY_PER_NM2};
+pub use sizedist::SizeDistribution;

@@ -1,0 +1,119 @@
+//! Conversion of an extracted netlist into a simulatable circuit.
+//!
+//! This is the handover point of the paper's flow: the layout-extracted
+//! transistor-level netlist becomes the [`spice::Circuit`] AnaFAULT
+//! simulates. Node names equal extracted net names, element names equal
+//! extracted device names, so LIFT's fault effects (phrased in those
+//! names) apply directly.
+
+use crate::{ExtractOptions, ExtractedNetlist, Polarity};
+use spice::{Circuit, ElementKind, MosModel};
+
+/// Default NMOS model name used for extracted devices.
+pub const NMOS_MODEL: &str = "nmos1u";
+/// Default PMOS model name used for extracted devices.
+pub const PMOS_MODEL: &str = "pmos1u";
+
+impl ExtractedNetlist {
+    /// Builds a [`spice::Circuit`] from the extracted devices.
+    ///
+    /// Bulk terminals follow `options`: NMOS bulks tie to
+    /// `options.bulk_n`, PMOS bulks to `options.bulk_p` (nodes are
+    /// created when absent). The caller adds testbench sources
+    /// afterwards, connecting by node name.
+    pub fn to_circuit(&self, title: &str, options: &ExtractOptions) -> Circuit {
+        let mut ckt = Circuit::new(title);
+        ckt.add_model(MosModel::default_nmos(NMOS_MODEL));
+        ckt.add_model(MosModel::default_pmos(PMOS_MODEL));
+
+        // Create nodes in net order so names are stable.
+        let node_ids: Vec<usize> = self
+            .nets
+            .iter()
+            .map(|n| ckt.node(&n.name))
+            .collect();
+        let bulk_n = ckt.node(&options.bulk_n);
+        let bulk_p = ckt.node(&options.bulk_p);
+
+        for m in &self.mosfets {
+            let (model, bulk) = match m.polarity {
+                Polarity::Nmos => (NMOS_MODEL, bulk_n),
+                Polarity::Pmos => (PMOS_MODEL, bulk_p),
+            };
+            ckt.add(
+                m.name.clone(),
+                vec![
+                    node_ids[m.drain],
+                    node_ids[m.gate],
+                    node_ids[m.source],
+                    bulk,
+                ],
+                ElementKind::Mosfet {
+                    model: model.to_string(),
+                    w: m.w as f64 * 1e-9,
+                    l: m.l as f64 * 1e-9,
+                },
+            );
+        }
+        for c in &self.capacitors {
+            ckt.add(
+                c.name.clone(),
+                vec![node_ids[c.bottom], node_ids[c.top]],
+                ElementKind::Capacitor {
+                    c: c.value,
+                    ic: None,
+                },
+            );
+        }
+        ckt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::extract;
+    use geom::Point;
+    use layout::{CellBuilder, Layer, Library, MosParams, MosStyle, Technology};
+
+    #[test]
+    fn inverter_layout_to_circuit() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("inv", &t);
+        // NMOS at origin, PMOS above; join gates and drains.
+        let n = b.mosfet(Point::new(0, 0), &MosParams { w: 3_000, l: 1_000, style: MosStyle::Nmos });
+        let p = b.mosfet(Point::new(0, 20_000), &MosParams { w: 6_000, l: 1_000, style: MosStyle::Pmos });
+        // Gate connection in poly.
+        b.min_wire(Layer::Poly, &[
+            Point::new(0, n.gate_stub.y1()),
+            Point::new(0, p.gate_stub.y0() + 19_000),
+        ]);
+        // Drain connection in metal1.
+        b.min_wire(Layer::Metal1, &[n.drain_pad.center(), p.drain_pad.center()]);
+        b.label(Layer::Poly, Point::new(0, 5_000), "in");
+        b.label(Layer::Metal1, n.drain_pad.center(), "out");
+        b.label(Layer::Metal1, n.source_pad.center(), "0");
+        b.label(Layer::Metal1, p.source_pad.center(), "vdd");
+        let cell = b.finish();
+        let mut lib = Library::new("l");
+        lib.add_cell(cell);
+        let flat = lib.flatten("inv").unwrap();
+        let opts = crate::ExtractOptions::default();
+        let netlist = extract(&flat, &t, &opts).unwrap();
+        assert_eq!(netlist.mosfets.len(), 2);
+        assert_eq!(netlist.ports.len(), 4);
+
+        let ckt = netlist.to_circuit("inv", &opts);
+        assert!(ckt.validate().is_ok());
+        assert_eq!(ckt.elements().len(), 2);
+        assert!(ckt.find_node("out").is_some());
+        assert!(ckt.find_node("in").is_some());
+        // Device sizes survive the nm -> m conversion.
+        let m1 = &ckt.elements()[0];
+        if let ElementKind::Mosfet { w, .. } = m1.kind {
+            assert!((w - 3e-6).abs() < 1e-12 || (w - 6e-6).abs() < 1e-12);
+        } else {
+            panic!("expected mosfet");
+        }
+    }
+}

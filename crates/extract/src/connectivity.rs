@@ -1,0 +1,292 @@
+//! Net labelling: fragments, cuts and union-find.
+
+use crate::devices::{recognise_capacitors, recognise_mosfets};
+use crate::{Cut, ExtractError, ExtractOptions, ExtractedNetlist, Fragment, Net};
+use geom::{Rect, Region};
+use layout::{FlatLayout, Layer, Technology};
+
+/// Union-find over fragment indices.
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Extracts the transistor-level netlist from a flattened layout.
+///
+/// The pipeline: compute channels (poly ∩ active), split active by the
+/// channels, build connected fragments per conductor layer, union
+/// fragments through contact/via cuts, name nets from labels, then
+/// recognise devices.
+///
+/// # Errors
+/// [`ExtractError::LabelConflict`] when two different labels land on one
+/// net, [`ExtractError::MalformedDevice`] when a channel does not have
+/// exactly two diffusion neighbours.
+pub fn extract(
+    flat: &FlatLayout,
+    tech: &Technology,
+    options: &ExtractOptions,
+) -> Result<ExtractedNetlist, ExtractError> {
+    let mut warnings = Vec::new();
+
+    // 1. Channel regions.
+    let poly_region = Region::from_rects(flat.shapes(Layer::Poly).iter().copied());
+    let active_region = Region::from_rects(flat.shapes(Layer::Active).iter().copied());
+    let channel_region = poly_region.intersection(&active_region);
+    let channels: Vec<Region> = channel_region.connected_components();
+
+    // 2. Conductor fragments. Active is split by the channels so that
+    //    source and drain become separate nets.
+    let sd_region = active_region.subtract(&channel_region);
+    let mut fragments: Vec<(Layer, Region)> = Vec::new();
+    for comp in sd_region.connected_components() {
+        fragments.push((Layer::Active, comp));
+    }
+    for comp in poly_region.connected_components() {
+        fragments.push((Layer::Poly, comp));
+    }
+    for layer in [Layer::Metal1, Layer::Metal2] {
+        let region = Region::from_rects(flat.shapes(layer).iter().copied());
+        for comp in region.connected_components() {
+            fragments.push((layer, comp));
+        }
+    }
+
+    // 3. Union through cuts.
+    let mut uf = UnionFind::new(fragments.len());
+    let mut raw_cuts: Vec<(Layer, Rect, usize, usize)> = Vec::new();
+    for cut_layer in Layer::CUTS {
+        let (upper, lowers) = cut_layer.cut_connects().expect("cut layer");
+        for &cut in flat.shapes(cut_layer) {
+            let find_fragment = |layers: &[Layer]| {
+                fragments.iter().position(|(l, region)| {
+                    layers.contains(l) && region.rects().iter().any(|r| r.overlaps(&cut))
+                })
+            };
+            let up = find_fragment(&[upper]);
+            let low = find_fragment(lowers);
+            match (up, low) {
+                (Some(u), Some(lo)) => {
+                    uf.union(u, lo);
+                    raw_cuts.push((cut_layer, cut, u, lo));
+                }
+                _ => warnings.push(format!(
+                    "dangling {cut_layer} cut at {} lands on nothing",
+                    cut.center()
+                )),
+            }
+        }
+    }
+
+    // 4. Build nets from union-find roots.
+    let mut root_to_net: std::collections::HashMap<usize, usize> = Default::default();
+    let mut nets: Vec<Net> = Vec::new();
+    let mut fragment_nets: Vec<usize> = vec![0; fragments.len()];
+    for fi in 0..fragments.len() {
+        let root = uf.find(fi);
+        let net = *root_to_net.entry(root).or_insert_with(|| {
+            nets.push(Net {
+                name: String::new(),
+                fragments: Vec::new(),
+            });
+            nets.len() - 1
+        });
+        nets[net].fragments.push(fi);
+        fragment_nets[fi] = net;
+    }
+
+    // 5. Names from labels (also recorded as ports for LIFT's
+    //    split-node anchoring).
+    let mut ports: Vec<crate::PortLabel> = Vec::new();
+    for label in &flat.labels {
+        if !label.layer.is_conductor() {
+            continue;
+        }
+        let hit = fragments.iter().position(|(l, region)| {
+            *l == label.layer && region.rects().iter().any(|r| r.contains_point(label.at))
+        });
+        match hit {
+            Some(fi) => {
+                let net = fragment_nets[fi];
+                if nets[net].name.is_empty() {
+                    nets[net].name = label.text.to_ascii_lowercase();
+                } else if !nets[net].name.eq_ignore_ascii_case(&label.text) {
+                    return Err(ExtractError::LabelConflict {
+                        first: nets[net].name.clone(),
+                        second: label.text.clone(),
+                    });
+                }
+                ports.push(crate::PortLabel {
+                    name: label.text.to_ascii_lowercase(),
+                    fragment: fi,
+                    at: label.at,
+                });
+            }
+            None => warnings.push(format!(
+                "label `{}` at {} touches no {} shape",
+                label.text, label.at, label.layer
+            )),
+        }
+    }
+    for (i, net) in nets.iter_mut().enumerate() {
+        if net.name.is_empty() {
+            net.name = format!("n{i}");
+        }
+    }
+
+    let fragments: Vec<Fragment> = fragments
+        .into_iter()
+        .zip(&fragment_nets)
+        .map(|((layer, region), &net)| Fragment { layer, region, net })
+        .collect();
+
+    let cuts: Vec<Cut> = raw_cuts
+        .into_iter()
+        .map(|(layer, rect, u, lo)| Cut {
+            layer,
+            rect,
+            net: fragments[u].net,
+            upper_fragment: u,
+            lower_fragment: lo,
+        })
+        .collect();
+
+    let mut netlist = ExtractedNetlist {
+        nets,
+        fragments,
+        cuts,
+        mosfets: Vec::new(),
+        capacitors: Vec::new(),
+        ports,
+        warnings,
+    };
+
+    // 6. Devices.
+    let nwell = Region::from_rects(flat.shapes(Layer::Nwell).iter().copied());
+    recognise_mosfets(&mut netlist, &channels, &nwell, tech)?;
+    recognise_capacitors(&mut netlist, options);
+
+    Ok(netlist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point;
+    use layout::{Cell, CellBuilder, Library, MosParams, MosStyle};
+
+    fn tech() -> Technology {
+        Technology::generic_1um()
+    }
+
+    fn flatten(cell: Cell) -> FlatLayout {
+        let mut lib = Library::new("t");
+        let name = cell.name().to_string();
+        lib.add_cell(cell);
+        lib.flatten(&name).unwrap()
+    }
+
+    #[test]
+    fn two_disjoint_wires_are_two_nets() {
+        let t = tech();
+        let mut b = CellBuilder::new("w", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.wire(Layer::Metal1, &[Point::new(0, 9_000), Point::new(10_000, 9_000)], 1_500);
+        let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
+        assert_eq!(n.net_count(), 2);
+        assert!(n.mosfets.is_empty());
+    }
+
+    #[test]
+    fn via_joins_metal_layers() {
+        let t = tech();
+        let mut b = CellBuilder::new("v", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.wire(Layer::Metal2, &[Point::new(10_000, 0), Point::new(10_000, 10_000)], 1_500);
+        b.via(Point::new(10_000, 0));
+        let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
+        assert_eq!(n.net_count(), 1);
+        assert_eq!(n.cuts.len(), 1);
+        assert_eq!(n.cuts[0].layer, Layer::Via1);
+    }
+
+    #[test]
+    fn labels_name_nets() {
+        let t = tech();
+        let mut b = CellBuilder::new("l", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.label(Layer::Metal1, Point::new(5_000, 0), "vdd");
+        let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
+        assert_eq!(n.nets[0].name, "vdd");
+        assert_eq!(n.net_by_name("VDD"), Some(0));
+    }
+
+    #[test]
+    fn conflicting_labels_error() {
+        let t = tech();
+        let mut b = CellBuilder::new("l", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.label(Layer::Metal1, Point::new(1_000, 0), "a");
+        b.label(Layer::Metal1, Point::new(9_000, 0), "b");
+        let err = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap_err();
+        assert!(matches!(err, ExtractError::LabelConflict { .. }));
+    }
+
+    #[test]
+    fn single_nmos_extracts_three_nets_plus_gate() {
+        let t = tech();
+        let mut b = CellBuilder::new("m", &t);
+        let g = b.mosfet(
+            Point::new(0, 0),
+            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+        );
+        // Label gate, source, drain via their landing pads.
+        b.label(Layer::Poly, g.gate_stub.center(), "g");
+        b.label(Layer::Metal1, g.source_pad.center(), "s");
+        b.label(Layer::Metal1, g.drain_pad.center(), "d");
+        let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
+        assert_eq!(n.mosfets.len(), 1);
+        let m = &n.mosfets[0];
+        assert_eq!(m.polarity, crate::Polarity::Nmos);
+        assert_eq!(m.w, 4_000);
+        assert_eq!(m.l, 1_000);
+        assert_eq!(n.nets[m.gate].name, "g");
+        // Source/drain are the two labelled diffusion nets.
+        let sd: Vec<&str> = vec![&n.nets[m.source].name, &n.nets[m.drain].name];
+        assert!(sd.contains(&"s") && sd.contains(&"d"));
+        assert!(n.warnings.is_empty(), "{:?}", n.warnings);
+    }
+
+    #[test]
+    fn dangling_cut_warns() {
+        let t = tech();
+        let mut b = CellBuilder::new("d", &t);
+        // A lone contact cut with no conductors under/over it.
+        b.rect(Layer::Contact, Rect::new(0, 0, 1_000, 1_000));
+        let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
+        assert_eq!(n.warnings.len(), 1);
+        assert!(n.warnings[0].contains("dangling"));
+    }
+}

@@ -1,0 +1,372 @@
+//! Layout-versus-schematic comparison.
+//!
+//! A lightweight LVS based on Weisfeiler–Lehman colour refinement over
+//! the device/net bipartite graph. MOS source/drain are treated as
+//! interchangeable (the device is symmetric), capacitor plates likewise.
+//! Supply nets can be *pinned* by name to anchor the refinement.
+//!
+//! This is the check the integration suite uses to prove the generated
+//! VCO layout implements the paper's 26-transistor schematic.
+
+use crate::{ExtractedNetlist, Polarity};
+use spice::{Circuit, ElementKind, MosPolarity};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+
+/// One device in the canonical comparison graph.
+#[derive(Debug, Clone, PartialEq)]
+struct CanonDevice {
+    name: String,
+    /// "nmos"/"pmos"/"cap".
+    kind: &'static str,
+    /// W/L quantised to nm (0 for caps) — sizes must match for a device
+    /// match.
+    w_nm: i64,
+    l_nm: i64,
+    /// (role, net index); role: "g" gate, "sd" source-or-drain, "p"
+    /// plate.
+    pins: Vec<(&'static str, usize)>,
+}
+
+/// A canonical netlist ready for comparison.
+#[derive(Debug, Clone)]
+pub struct CanonNetlist {
+    devices: Vec<CanonDevice>,
+    net_names: Vec<String>,
+}
+
+/// The result of an LVS run.
+#[derive(Debug, Clone)]
+pub struct LvsReport {
+    /// True when the netlists are isomorphic under the refinement.
+    pub matched: bool,
+    /// Human-readable discrepancies (empty when matched).
+    pub mismatches: Vec<String>,
+    /// Device pairing (layout name, schematic name) for devices whose
+    /// colour was unique on both sides.
+    pub pairing: Vec<(String, String)>,
+}
+
+impl CanonNetlist {
+    /// Builds the canonical graph from an extracted layout netlist.
+    pub fn from_extracted(n: &ExtractedNetlist) -> Self {
+        let mut devices = Vec::new();
+        for m in &n.mosfets {
+            devices.push(CanonDevice {
+                name: m.name.clone(),
+                kind: match m.polarity {
+                    Polarity::Nmos => "nmos",
+                    Polarity::Pmos => "pmos",
+                },
+                w_nm: m.w,
+                l_nm: m.l,
+                pins: vec![("g", m.gate), ("sd", m.source), ("sd", m.drain)],
+            });
+        }
+        for c in &n.capacitors {
+            devices.push(CanonDevice {
+                name: c.name.clone(),
+                kind: "cap",
+                w_nm: 0,
+                l_nm: 0,
+                pins: vec![("p", c.bottom), ("p", c.top)],
+            });
+        }
+        CanonNetlist {
+            devices,
+            net_names: n.nets.iter().map(|net| net.name.clone()).collect(),
+        }
+    }
+
+    /// Builds the canonical graph from a schematic circuit. Only `M` and
+    /// `C` elements participate; sources and resistors are testbench.
+    pub fn from_circuit(c: &Circuit) -> Self {
+        let mut devices = Vec::new();
+        for e in c.elements() {
+            match &e.kind {
+                ElementKind::Mosfet { model, w, l } => {
+                    let kind = match c
+                        .models
+                        .get(&model.to_ascii_lowercase())
+                        .map(|m| m.polarity)
+                    {
+                        Some(MosPolarity::Pmos) => "pmos",
+                        _ => "nmos",
+                    };
+                    devices.push(CanonDevice {
+                        name: e.name.clone(),
+                        kind,
+                        w_nm: (*w * 1e9).round() as i64,
+                        l_nm: (*l * 1e9).round() as i64,
+                        pins: vec![
+                            ("g", e.nodes[1]),
+                            ("sd", e.nodes[0]),
+                            ("sd", e.nodes[2]),
+                        ],
+                    });
+                }
+                ElementKind::Capacitor { .. } => {
+                    devices.push(CanonDevice {
+                        name: e.name.clone(),
+                        kind: "cap",
+                        w_nm: 0,
+                        l_nm: 0,
+                        pins: vec![("p", e.nodes[0]), ("p", e.nodes[1])],
+                    });
+                }
+                _ => {}
+            }
+        }
+        let net_names = (0..c.node_count())
+            .map(|i| c.node_name(i).to_string())
+            .collect();
+        CanonNetlist {
+            devices,
+            net_names,
+        }
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Runs colour refinement; returns per-device and per-net colours.
+    fn refine(&self, pinned: &[&str]) -> (Vec<u64>, Vec<u64>) {
+        let mut net_color: Vec<u64> = (0..self.net_count())
+            .map(|i| {
+                let name = self.net_names[i].to_ascii_lowercase();
+                if pinned.iter().any(|p| p.eq_ignore_ascii_case(&name)) {
+                    hash_one(&("pin", name))
+                } else {
+                    hash_one(&"net")
+                }
+            })
+            .collect();
+        let mut dev_color: Vec<u64> = self
+            .devices
+            .iter()
+            .map(|d| hash_one(&("dev", d.kind, d.w_nm, d.l_nm)))
+            .collect();
+
+        // log2(#nets+#devices) rounds suffice for WL; cap generously.
+        let rounds = 2 + (self.net_count() + self.device_count())
+            .next_power_of_two()
+            .trailing_zeros() as usize;
+        for _ in 0..rounds {
+            // Device colours from pin (role, net colour) multisets.
+            let mut new_dev = Vec::with_capacity(self.devices.len());
+            for (di, d) in self.devices.iter().enumerate() {
+                let mut pin_sig: Vec<(&str, u64)> = d
+                    .pins
+                    .iter()
+                    .map(|&(role, net)| (role, net_color[net]))
+                    .collect();
+                pin_sig.sort_unstable();
+                new_dev.push(hash_one(&(dev_color[di], pin_sig)));
+            }
+            // Net colours from attached (role, device colour) multisets.
+            let mut incident: Vec<Vec<(&str, u64)>> = vec![Vec::new(); self.net_count()];
+            for (di, d) in self.devices.iter().enumerate() {
+                for &(role, net) in &d.pins {
+                    incident[net].push((role, new_dev[di]));
+                }
+            }
+            let mut new_net = Vec::with_capacity(self.net_count());
+            for (ni, inc) in incident.iter_mut().enumerate() {
+                inc.sort_unstable();
+                new_net.push(hash_one(&(net_color[ni], &*inc)));
+            }
+            dev_color = new_dev;
+            net_color = new_net;
+        }
+        (dev_color, net_color)
+    }
+}
+
+fn hash_one<T: Hash>(value: &T) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Compares two canonical netlists. `pinned` names anchor nets present
+/// on both sides (supplies, typically `["vdd", "0"]`).
+pub fn compare(layout: &CanonNetlist, schematic: &CanonNetlist, pinned: &[&str]) -> LvsReport {
+    let mut mismatches = Vec::new();
+
+    // Cheap counts first.
+    let count_by_kind = |c: &CanonNetlist| {
+        let mut m: BTreeMap<&str, usize> = BTreeMap::new();
+        for d in &c.devices {
+            *m.entry(d.kind).or_default() += 1;
+        }
+        m
+    };
+    let (lk, sk) = (count_by_kind(layout), count_by_kind(schematic));
+    if lk != sk {
+        mismatches.push(format!(
+            "device counts differ: layout {lk:?} vs schematic {sk:?}"
+        ));
+    }
+
+    let (l_dev, _) = layout.refine(pinned);
+    let (s_dev, _) = schematic.refine(pinned);
+
+    // Colour multisets must agree.
+    let mut l_sorted = l_dev.clone();
+    let mut s_sorted = s_dev.clone();
+    l_sorted.sort_unstable();
+    s_sorted.sort_unstable();
+    if l_sorted != s_sorted {
+        // Identify the offending devices for the report.
+        let mut l_map: HashMap<u64, Vec<&str>> = HashMap::new();
+        for (i, &c) in l_dev.iter().enumerate() {
+            l_map.entry(c).or_default().push(&layout.devices[i].name);
+        }
+        let mut s_map: HashMap<u64, Vec<&str>> = HashMap::new();
+        for (i, &c) in s_dev.iter().enumerate() {
+            s_map
+                .entry(c)
+                .or_default()
+                .push(&schematic.devices[i].name);
+        }
+        for (c, names) in &l_map {
+            if !s_map.contains_key(c) {
+                mismatches.push(format!(
+                    "layout devices {names:?} have no schematic counterpart"
+                ));
+            }
+        }
+        for (c, names) in &s_map {
+            if !l_map.contains_key(c) {
+                mismatches.push(format!(
+                    "schematic devices {names:?} have no layout counterpart"
+                ));
+            }
+        }
+        if mismatches.is_empty() {
+            mismatches.push("device colour multisets differ".to_string());
+        }
+    }
+
+    // Pair devices whose colour is unique on both sides.
+    let mut pairing = Vec::new();
+    let mut l_unique: HashMap<u64, usize> = HashMap::new();
+    let mut l_dup: HashMap<u64, usize> = HashMap::new();
+    for (i, &c) in l_dev.iter().enumerate() {
+        *l_dup.entry(c).or_default() += 1;
+        l_unique.insert(c, i);
+    }
+    let mut s_unique: HashMap<u64, usize> = HashMap::new();
+    let mut s_dup: HashMap<u64, usize> = HashMap::new();
+    for (i, &c) in s_dev.iter().enumerate() {
+        *s_dup.entry(c).or_default() += 1;
+        s_unique.insert(c, i);
+    }
+    for (&color, &li) in &l_unique {
+        if l_dup[&color] == 1 && s_dup.get(&color) == Some(&1) {
+            if let Some(&si) = s_unique.get(&color) {
+                pairing.push((
+                    layout.devices[li].name.clone(),
+                    schematic.devices[si].name.clone(),
+                ));
+            }
+        }
+    }
+    pairing.sort();
+
+    LvsReport {
+        matched: mismatches.is_empty(),
+        mismatches,
+        pairing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice::{MosModel, Waveform};
+
+    /// Schematic CMOS inverter (plus testbench bits that must be
+    /// ignored).
+    fn inverter_circuit(w_n: f64) -> Circuit {
+        let mut c = Circuit::new("inv");
+        c.add_model(MosModel::default_nmos("n"));
+        c.add_model(MosModel::default_pmos("p"));
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add("V1", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+        c.add("Mn", vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet { model: "n".into(), w: w_n, l: 1e-6 });
+        c.add("Mp", vec![out, inp, vdd, vdd],
+            ElementKind::Mosfet { model: "p".into(), w: 25e-6, l: 1e-6 });
+        c
+    }
+
+    #[test]
+    fn identical_circuits_match() {
+        let a = CanonNetlist::from_circuit(&inverter_circuit(10e-6));
+        let b = CanonNetlist::from_circuit(&inverter_circuit(10e-6));
+        let report = compare(&a, &b, &["vdd", "0"]);
+        assert!(report.matched, "{:?}", report.mismatches);
+        // Both devices have unique colours -> full pairing.
+        assert_eq!(report.pairing.len(), 2);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let a = CanonNetlist::from_circuit(&inverter_circuit(10e-6));
+        let b = CanonNetlist::from_circuit(&inverter_circuit(12e-6));
+        let report = compare(&a, &b, &["vdd", "0"]);
+        assert!(!report.matched);
+    }
+
+    #[test]
+    fn swapped_source_drain_still_matches() {
+        let mut sw = inverter_circuit(10e-6);
+        // Swap d/s of the NMOS: index 1 is Mn.
+        let idx = sw.find_element("Mn").unwrap();
+        sw.elements_mut()[idx].nodes.swap(0, 2);
+        let a = CanonNetlist::from_circuit(&inverter_circuit(10e-6));
+        let b = CanonNetlist::from_circuit(&sw);
+        let report = compare(&a, &b, &["vdd", "0"]);
+        assert!(report.matched, "{:?}", report.mismatches);
+    }
+
+    #[test]
+    fn missing_device_detected() {
+        let full = inverter_circuit(10e-6);
+        let mut partial = inverter_circuit(10e-6);
+        let idx = partial.find_element("Mp").unwrap();
+        partial.elements_mut().remove(idx);
+        let a = CanonNetlist::from_circuit(&full);
+        let b = CanonNetlist::from_circuit(&partial);
+        let report = compare(&a, &b, &["vdd", "0"]);
+        assert!(!report.matched);
+        assert!(report
+            .mismatches
+            .iter()
+            .any(|m| m.contains("counts differ")));
+    }
+
+    #[test]
+    fn topology_difference_detected() {
+        // Same device counts/sizes but the gate of Mp moved to vdd.
+        let good = inverter_circuit(10e-6);
+        let mut bad = inverter_circuit(10e-6);
+        let idx = bad.find_element("Mp").unwrap();
+        let vdd = bad.find_node("vdd").unwrap();
+        bad.elements_mut()[idx].nodes[1] = vdd;
+        let a = CanonNetlist::from_circuit(&good);
+        let b = CanonNetlist::from_circuit(&bad);
+        let report = compare(&a, &b, &["vdd", "0"]);
+        assert!(!report.matched);
+    }
+}

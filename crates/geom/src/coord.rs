@@ -1,0 +1,133 @@
+//! Coordinate scalars, points and vectors.
+//!
+//! All geometry in this workspace is expressed in integer nanometres to
+//! keep boolean operations and critical-area arithmetic exact. One
+//! micrometre is [`NM_PER_UM`] database units.
+
+/// Scalar coordinate in nanometres.
+pub type Coord = i64;
+
+/// Number of database units (nanometres) per micrometre.
+pub const NM_PER_UM: Coord = 1_000;
+
+/// A point in the layout plane, in nanometres.
+///
+/// ```
+/// use geom::Point;
+/// let p = Point::new(10, 20);
+/// assert_eq!(p.x, 10);
+/// assert_eq!(p + geom::Vector::new(5, -5), Point::new(15, 15));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Horizontal coordinate (nm).
+    pub x: Coord,
+    /// Vertical coordinate (nm).
+    pub y: Coord,
+}
+
+/// A displacement in the layout plane, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Vector {
+    /// Horizontal component (nm).
+    pub dx: Coord,
+    /// Vertical component (nm).
+    pub dy: Coord,
+}
+
+impl Point {
+    /// Creates a point from `x`/`y` nanometre coordinates.
+    pub const fn new(x: Coord, y: Coord) -> Self {
+        Point { x, y }
+    }
+
+    /// Creates a point from micrometre coordinates (scaled by [`NM_PER_UM`]).
+    pub const fn from_um(x_um: Coord, y_um: Coord) -> Self {
+        Point::new(x_um * NM_PER_UM, y_um * NM_PER_UM)
+    }
+
+    /// Squared Euclidean distance to `other`, in nm².
+    pub fn distance_sq(&self, other: Point) -> i128 {
+        let dx = (self.x - other.x) as i128;
+        let dy = (self.y - other.y) as i128;
+        dx * dx + dy * dy
+    }
+
+    /// Manhattan (L1) distance to `other`.
+    pub fn manhattan_distance(&self, other: Point) -> Coord {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+impl Vector {
+    /// Creates a vector from `dx`/`dy` nanometre components.
+    pub const fn new(dx: Coord, dy: Coord) -> Self {
+        Vector { dx, dy }
+    }
+}
+
+impl core::ops::Add<Vector> for Point {
+    type Output = Point;
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.dx, self.y + v.dy)
+    }
+}
+
+impl core::ops::Sub<Vector> for Point {
+    type Output = Point;
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.dx, self.y - v.dy)
+    }
+}
+
+impl core::ops::Sub<Point> for Point {
+    type Output = Vector;
+    fn sub(self, p: Point) -> Vector {
+        Vector::new(self.x - p.x, self.y - p.y)
+    }
+}
+
+impl core::ops::Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.dx, -self.dy)
+    }
+}
+
+impl core::fmt::Display for Point {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_arithmetic() {
+        let p = Point::new(3, 4);
+        let q = p + Vector::new(1, -1);
+        assert_eq!(q, Point::new(4, 3));
+        assert_eq!(q - p, Vector::new(1, -1));
+        assert_eq!(p - Vector::new(3, 4), Point::new(0, 0));
+    }
+
+    #[test]
+    fn micron_scaling() {
+        assert_eq!(Point::from_um(2, 3), Point::new(2_000, 3_000));
+    }
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0, 0);
+        let b = Point::new(3, 4);
+        assert_eq!(a.distance_sq(b), 25);
+        assert_eq!(a.manhattan_distance(b), 7);
+    }
+
+    #[test]
+    fn vector_negation() {
+        assert_eq!(-Vector::new(2, -5), Vector::new(-2, 5));
+    }
+}

@@ -1,0 +1,156 @@
+//! Uniform-grid spatial index for neighbour queries.
+//!
+//! LIFT's bridging-fault extraction asks, for every shape, "which other
+//! shapes lie within the maximum defect diameter?". A uniform bucket
+//! grid answers this in near-constant time for IC layouts, whose shape
+//! sizes are tightly distributed around the technology feature size.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+
+/// A uniform-grid index mapping rectangles (with a user payload id) to
+/// buckets for fast window queries.
+///
+/// ```
+/// use geom::{GridIndex, Rect};
+/// let mut idx = GridIndex::new(100);
+/// idx.insert(0, Rect::new(0, 0, 50, 50));
+/// idx.insert(1, Rect::new(500, 500, 600, 600));
+/// let near_origin = idx.query(&Rect::new(-10, -10, 60, 60));
+/// assert_eq!(near_origin, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell: Coord,
+    buckets: std::collections::HashMap<(Coord, Coord), Vec<usize>>,
+    entries: Vec<Rect>,
+    ids: Vec<usize>,
+}
+
+impl GridIndex {
+    /// Creates an index with the given bucket size in nanometres.
+    ///
+    /// # Panics
+    /// Panics if `cell_size` is not positive.
+    pub fn new(cell_size: Coord) -> Self {
+        assert!(cell_size > 0, "grid cell size must be positive");
+        GridIndex {
+            cell: cell_size,
+            buckets: Default::default(),
+            entries: Vec::new(),
+            ids: Vec::new(),
+        }
+    }
+
+    /// Number of indexed rectangles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn bucket_range(&self, r: &Rect) -> (Coord, Coord, Coord, Coord) {
+        (
+            r.x0().div_euclid(self.cell),
+            r.y0().div_euclid(self.cell),
+            r.x1().div_euclid(self.cell),
+            r.y1().div_euclid(self.cell),
+        )
+    }
+
+    /// Inserts a rectangle with a caller-chosen id (ids may repeat; a
+    /// net id or shape index is typical).
+    pub fn insert(&mut self, id: usize, rect: Rect) {
+        let slot = self.entries.len();
+        self.entries.push(rect);
+        self.ids.push(id);
+        let (bx0, by0, bx1, by1) = self.bucket_range(&rect);
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                self.buckets.entry((bx, by)).or_default().push(slot);
+            }
+        }
+    }
+
+    /// Returns the distinct ids of rectangles that *touch* the query
+    /// window (edge contact counts), sorted ascending.
+    pub fn query(&self, window: &Rect) -> Vec<usize> {
+        let mut ids = self.query_entries(window).iter().map(|&(id, _)| id).collect::<Vec<_>>();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Returns `(id, rect)` pairs touching the query window; a single id
+    /// may appear once per matching rectangle.
+    pub fn query_entries(&self, window: &Rect) -> Vec<(usize, Rect)> {
+        let (bx0, by0, bx1, by1) = self.bucket_range(window);
+        let mut slots: Vec<usize> = Vec::new();
+        for bx in bx0..=bx1 {
+            for by in by0..=by1 {
+                if let Some(b) = self.buckets.get(&(bx, by)) {
+                    slots.extend_from_slice(b);
+                }
+            }
+        }
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+            .into_iter()
+            .filter(|&s| self.entries[s].touches(window))
+            .map(|s| (self.ids[s], self.entries[s]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_finds_touching_rects_only() {
+        let mut idx = GridIndex::new(10);
+        idx.insert(7, Rect::new(0, 0, 10, 10));
+        idx.insert(8, Rect::new(30, 30, 40, 40));
+        // Touching at the corner counts.
+        assert_eq!(idx.query(&Rect::new(10, 10, 20, 20)), vec![7]);
+        // Far away finds nothing.
+        assert!(idx.query(&Rect::new(100, 100, 110, 110)).is_empty());
+    }
+
+    #[test]
+    fn large_rect_spans_many_buckets() {
+        let mut idx = GridIndex::new(10);
+        idx.insert(1, Rect::new(0, 0, 1000, 5));
+        // Query any window along the strip.
+        for x in (0..1000).step_by(100) {
+            assert_eq!(idx.query(&Rect::new(x, 0, x + 1, 1)), vec![1]);
+        }
+    }
+
+    #[test]
+    fn duplicate_ids_are_deduped_in_query() {
+        let mut idx = GridIndex::new(10);
+        idx.insert(3, Rect::new(0, 0, 5, 5));
+        idx.insert(3, Rect::new(5, 0, 12, 5));
+        assert_eq!(idx.query(&Rect::new(0, 0, 12, 5)), vec![3]);
+        assert_eq!(idx.query_entries(&Rect::new(0, 0, 12, 5)).len(), 2);
+    }
+
+    #[test]
+    fn negative_coordinates_bucket_correctly() {
+        let mut idx = GridIndex::new(100);
+        idx.insert(0, Rect::new(-250, -250, -150, -150));
+        assert_eq!(idx.query(&Rect::new(-200, -200, -190, -190)), vec![0]);
+        assert!(idx.query(&Rect::new(0, 0, 10, 10)).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cell_size_panics() {
+        let _ = GridIndex::new(0);
+    }
+}

@@ -1,0 +1,35 @@
+//! # geom — 2-D Manhattan geometry substrate
+//!
+//! Integer-nanometre rectilinear geometry used by the layout database,
+//! the circuit extractor and the critical-area engine of the LIFT /
+//! AnaFAULT reproduction.
+//!
+//! The coordinate space is `i64` nanometres ([`Coord`]). All shapes are
+//! axis-aligned: [`Rect`] is the workhorse, [`Polygon`] is a rectilinear
+//! polygon that can be decomposed into rectangles, and [`Region`] is a
+//! canonicalised set of non-overlapping rectangles supporting boolean
+//! operations. [`GridIndex`] provides the spatial queries LIFT needs to
+//! find neighbouring shapes within a maximum defect diameter.
+//!
+//! ```
+//! use geom::{Rect, Region};
+//!
+//! let a = Rect::new(0, 0, 100, 50);
+//! let b = Rect::new(60, 0, 200, 50);
+//! let union = Region::from_rects([a, b]);
+//! assert_eq!(union.area(), 200 * 50);
+//! ```
+
+pub mod coord;
+pub mod index;
+pub mod polygon;
+pub mod rect;
+pub mod region;
+pub mod separation;
+
+pub use coord::{Coord, Point, Vector, NM_PER_UM};
+pub use index::GridIndex;
+pub use polygon::Polygon;
+pub use rect::Rect;
+pub use region::Region;
+pub use separation::{edge_separation, parallel_run, Separation};

@@ -1,0 +1,253 @@
+//! Rectilinear polygons and their rectangle decomposition.
+//!
+//! GDSII `BOUNDARY` records carry arbitrary rectilinear outlines; the
+//! extractor and critical-area engine work on rectangles, so polygons
+//! are decomposed on import via a horizontal-slab sweep.
+
+use crate::coord::{Coord, Point};
+use crate::rect::Rect;
+use crate::region::Region;
+
+/// Error produced when a vertex list does not describe a rectilinear
+/// polygon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolygonError {
+    /// Fewer than four vertices.
+    TooFewVertices(usize),
+    /// An edge is neither horizontal nor vertical.
+    NonRectilinearEdge { from: Point, to: Point },
+    /// Consecutive duplicate vertex.
+    DuplicateVertex(Point),
+}
+
+impl core::fmt::Display for PolygonError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PolygonError::TooFewVertices(n) => {
+                write!(f, "rectilinear polygon needs at least 4 vertices, got {n}")
+            }
+            PolygonError::NonRectilinearEdge { from, to } => {
+                write!(f, "edge {from} -> {to} is neither horizontal nor vertical")
+            }
+            PolygonError::DuplicateVertex(p) => write!(f, "duplicate consecutive vertex {p}"),
+        }
+    }
+}
+
+impl std::error::Error for PolygonError {}
+
+/// A simple rectilinear polygon given by its vertex ring (implicitly
+/// closed; the last vertex connects back to the first).
+///
+/// ```
+/// use geom::{Point, Polygon};
+/// // An L-shape.
+/// let poly = Polygon::new(vec![
+///     Point::new(0, 0), Point::new(30, 0), Point::new(30, 10),
+///     Point::new(10, 10), Point::new(10, 30), Point::new(0, 30),
+/// ])?;
+/// assert_eq!(poly.to_region().area(), 30 * 10 + 10 * 20);
+/// # Ok::<(), geom::polygon::PolygonError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Validates and wraps a vertex ring.
+    ///
+    /// # Errors
+    /// Returns [`PolygonError`] when the ring has fewer than four
+    /// vertices, repeats a vertex consecutively, or contains a diagonal
+    /// edge.
+    pub fn new(vertices: Vec<Point>) -> Result<Self, PolygonError> {
+        // Drop an explicitly repeated closing vertex (GDSII convention).
+        let mut v = vertices;
+        if v.len() >= 2 && v.first() == v.last() {
+            v.pop();
+        }
+        if v.len() < 4 {
+            return Err(PolygonError::TooFewVertices(v.len()));
+        }
+        for i in 0..v.len() {
+            let a = v[i];
+            let b = v[(i + 1) % v.len()];
+            if a == b {
+                return Err(PolygonError::DuplicateVertex(a));
+            }
+            if a.x != b.x && a.y != b.y {
+                return Err(PolygonError::NonRectilinearEdge { from: a, to: b });
+            }
+        }
+        Ok(Polygon { vertices: v })
+    }
+
+    /// A rectangle as a four-vertex polygon.
+    pub fn from_rect(r: Rect) -> Self {
+        Polygon {
+            vertices: vec![
+                Point::new(r.x0(), r.y0()),
+                Point::new(r.x1(), r.y0()),
+                Point::new(r.x1(), r.y1()),
+                Point::new(r.x0(), r.y1()),
+            ],
+        }
+    }
+
+    /// The vertex ring (without a repeated closing vertex).
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Bounding box of the outline.
+    pub fn bounding_box(&self) -> Rect {
+        let xs = self.vertices.iter().map(|p| p.x);
+        let ys = self.vertices.iter().map(|p| p.y);
+        Rect::new(
+            xs.clone().min().unwrap_or(0),
+            ys.clone().min().unwrap_or(0),
+            xs.max().unwrap_or(0),
+            ys.max().unwrap_or(0),
+        )
+    }
+
+    /// Decomposes the polygon interior into a canonical [`Region`] using
+    /// a horizontal slab sweep with even-odd filling.
+    pub fn to_region(&self) -> Region {
+        // Vertical edges sorted for the even-odd parity test per slab.
+        let n = self.vertices.len();
+        let mut vert_edges: Vec<(Coord, Coord, Coord)> = Vec::new(); // (x, y_lo, y_hi)
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            if a.x == b.x {
+                vert_edges.push((a.x, a.y.min(b.y), a.y.max(b.y)));
+            }
+        }
+        let mut ys: Vec<Coord> = self.vertices.iter().map(|p| p.y).collect();
+        ys.sort_unstable();
+        ys.dedup();
+
+        let mut rects = Vec::new();
+        for w in ys.windows(2) {
+            let (y0, y1) = (w[0], w[1]);
+            if y0 == y1 {
+                continue;
+            }
+            // x-positions of vertical edges spanning this slab.
+            let mut xs: Vec<Coord> = vert_edges
+                .iter()
+                .filter(|(_, lo, hi)| *lo <= y0 && *hi >= y1)
+                .map(|(x, _, _)| *x)
+                .collect();
+            xs.sort_unstable();
+            // Even-odd: pair up crossings.
+            for pair in xs.chunks(2) {
+                if let [x0, x1] = pair {
+                    rects.push(Rect::new(*x0, y0, *x1, y1));
+                }
+            }
+        }
+        Region::from_rects(rects)
+    }
+
+    /// Interior area in nm².
+    pub fn area(&self) -> i128 {
+        self.to_region().area()
+    }
+}
+
+impl From<Rect> for Polygon {
+    fn from(r: Rect) -> Self {
+        Polygon::from_rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l_shape() -> Polygon {
+        Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(30, 0),
+            Point::new(30, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_diagonal_edges() {
+        let err = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 10),
+            Point::new(10, 0),
+            Point::new(0, 5),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, PolygonError::NonRectilinearEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_tiny_rings() {
+        assert!(matches!(
+            Polygon::new(vec![Point::new(0, 0), Point::new(1, 0), Point::new(0, 0)]),
+            Err(PolygonError::TooFewVertices(_))
+        ));
+    }
+
+    #[test]
+    fn accepts_closed_ring_convention() {
+        // GDSII repeats the first point at the end; we tolerate it.
+        let p = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(10, 10),
+            Point::new(0, 10),
+            Point::new(0, 0),
+        ])
+        .unwrap();
+        assert_eq!(p.vertices().len(), 4);
+        assert_eq!(p.area(), 100);
+    }
+
+    #[test]
+    fn l_shape_decomposition_area() {
+        let poly = l_shape();
+        assert_eq!(poly.area(), 300 + 200);
+        assert_eq!(poly.bounding_box(), Rect::new(0, 0, 30, 30));
+    }
+
+    #[test]
+    fn u_shape_decomposition() {
+        // A "U": 30 wide, 30 tall, with a 10-wide notch from the top.
+        let poly = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(30, 0),
+            Point::new(30, 30),
+            Point::new(20, 30),
+            Point::new(20, 10),
+            Point::new(10, 10),
+            Point::new(10, 30),
+            Point::new(0, 30),
+        ])
+        .unwrap();
+        assert_eq!(poly.area(), 900 - 200);
+        let reg = poly.to_region();
+        assert!(!reg.contains(15, 20)); // inside the notch
+        assert!(reg.contains(5, 20));
+        assert!(reg.contains(15, 5));
+    }
+
+    #[test]
+    fn rect_round_trip() {
+        let r = Rect::new(3, 4, 17, 9);
+        let p = Polygon::from_rect(r);
+        let reg = p.to_region();
+        assert_eq!(reg.rects(), &[r]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Axis-aligned rectangles, the primitive shape of the layout database.
+
+use crate::coord::{Coord, Point};
+
+/// An axis-aligned rectangle with `x0 <= x1` and `y0 <= y1`.
+///
+/// A rectangle is *degenerate* (zero area) when either extent is zero;
+/// degenerate rectangles are permitted (they arise as intersections) but
+/// most consumers filter them out via [`Rect::is_empty`].
+///
+/// ```
+/// use geom::Rect;
+/// let r = Rect::new(0, 0, 10, 5);
+/// assert_eq!(r.width(), 10);
+/// assert_eq!(r.height(), 5);
+/// assert_eq!(r.area(), 50);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rect {
+    x0: Coord,
+    y0: Coord,
+    x1: Coord,
+    y1: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners, normalising the
+    /// coordinate order.
+    pub fn new(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Self {
+        Rect {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// Creates a rectangle from corner points.
+    pub fn from_points(a: Point, b: Point) -> Self {
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Creates a rectangle from its lower-left corner plus width/height.
+    ///
+    /// # Panics
+    /// Panics if `w` or `h` is negative.
+    pub fn from_wh(x0: Coord, y0: Coord, w: Coord, h: Coord) -> Self {
+        assert!(w >= 0 && h >= 0, "width/height must be non-negative");
+        Rect::new(x0, y0, x0 + w, y0 + h)
+    }
+
+    /// Left edge.
+    pub fn x0(&self) -> Coord {
+        self.x0
+    }
+    /// Bottom edge.
+    pub fn y0(&self) -> Coord {
+        self.y0
+    }
+    /// Right edge.
+    pub fn x1(&self) -> Coord {
+        self.x1
+    }
+    /// Top edge.
+    pub fn y1(&self) -> Coord {
+        self.y1
+    }
+
+    /// Horizontal extent.
+    pub fn width(&self) -> Coord {
+        self.x1 - self.x0
+    }
+
+    /// Vertical extent.
+    pub fn height(&self) -> Coord {
+        self.y1 - self.y0
+    }
+
+    /// The shorter of width and height — the electrical "line width" used
+    /// for open-circuit critical areas.
+    pub fn short_side(&self) -> Coord {
+        self.width().min(self.height())
+    }
+
+    /// The longer of width and height.
+    pub fn long_side(&self) -> Coord {
+        self.width().max(self.height())
+    }
+
+    /// Area in nm² (i128 to avoid overflow on chip-scale rectangles).
+    pub fn area(&self) -> i128 {
+        self.width() as i128 * self.height() as i128
+    }
+
+    /// True when the rectangle has zero area.
+    pub fn is_empty(&self) -> bool {
+        self.width() == 0 || self.height() == 0
+    }
+
+    /// Centre point (rounded towards negative infinity).
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.x0 + self.width() / 2,
+            self.y0 + self.height() / 2,
+        )
+    }
+
+    /// Lower-left corner.
+    pub fn ll(&self) -> Point {
+        Point::new(self.x0, self.y0)
+    }
+
+    /// Upper-right corner.
+    pub fn ur(&self) -> Point {
+        Point::new(self.x1, self.y1)
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.x0 && p.x <= self.x1 && p.y >= self.y0 && p.y <= self.y1
+    }
+
+    /// True when `other` lies entirely inside (or equals) `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x0 >= self.x0 && other.x1 <= self.x1 && other.y0 >= self.y0 && other.y1 <= self.y1
+    }
+
+    /// True when the rectangles share interior area (touching edges do
+    /// not count).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x0 < other.x1 && other.x0 < self.x1 && self.y0 < other.y1 && other.y0 < self.y1
+    }
+
+    /// True when the rectangles overlap **or** touch along an edge or
+    /// corner. Electrical connectivity on a layer uses this predicate.
+    pub fn touches(&self, other: &Rect) -> bool {
+        self.x0 <= other.x1 && other.x0 <= self.x1 && self.y0 <= other.y1 && other.y0 <= self.y1
+    }
+
+    /// The common area of two rectangles, if any interior overlap exists.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        let r = Rect {
+            x0: self.x0.max(other.x0),
+            y0: self.y0.max(other.y0),
+            x1: self.x1.min(other.x1),
+            y1: self.y1.min(other.y1),
+        };
+        if r.x0 < r.x1 && r.y0 < r.y1 {
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both inputs.
+    pub fn bounding_union(&self, other: &Rect) -> Rect {
+        Rect {
+            x0: self.x0.min(other.x0),
+            y0: self.y0.min(other.y0),
+            x1: self.x1.max(other.x1),
+            y1: self.y1.max(other.y1),
+        }
+    }
+
+    /// Grows the rectangle by `d` on every side (shrinks for negative
+    /// `d`; collapses to a degenerate rectangle rather than inverting).
+    pub fn expanded(&self, d: Coord) -> Rect {
+        let x0 = self.x0 - d;
+        let y0 = self.y0 - d;
+        let x1 = self.x1 + d;
+        let y1 = self.y1 + d;
+        if x0 > x1 || y0 > y1 {
+            let cx = self.center().x;
+            let cy = self.center().y;
+            Rect::new(cx, cy, cx, cy)
+        } else {
+            Rect { x0, y0, x1, y1 }
+        }
+    }
+
+    /// Translates the rectangle by `(dx, dy)`.
+    pub fn translated(&self, dx: Coord, dy: Coord) -> Rect {
+        Rect {
+            x0: self.x0 + dx,
+            y0: self.y0 + dy,
+            x1: self.x1 + dx,
+            y1: self.y1 + dy,
+        }
+    }
+
+    /// Minimum axis-wise gap between two rectangles: the Chebyshev-style
+    /// separation `max(gap_x, gap_y)` where a negative gap means overlap
+    /// in that axis. Two rectangles bridge when a square defect of
+    /// diameter `> separation` lands between them.
+    pub fn separation(&self, other: &Rect) -> Coord {
+        let gap_x = (other.x0 - self.x1).max(self.x0 - other.x1);
+        let gap_y = (other.y0 - self.y1).max(self.y0 - other.y1);
+        gap_x.max(gap_y)
+    }
+}
+
+impl core::fmt::Display for Rect {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{},{} .. {},{}]", self.x0, self.y0, self.x1, self.y1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalises_corner_order() {
+        let r = Rect::new(10, 20, 0, 5);
+        assert_eq!((r.x0(), r.y0(), r.x1(), r.y1()), (0, 5, 10, 20));
+    }
+
+    #[test]
+    fn area_and_sides() {
+        let r = Rect::from_wh(0, 0, 30, 10);
+        assert_eq!(r.area(), 300);
+        assert_eq!(r.short_side(), 10);
+        assert_eq!(r.long_side(), 30);
+        assert!(!r.is_empty());
+        assert!(Rect::new(5, 5, 5, 9).is_empty());
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 10, 10)));
+        // Touching edge: no interior intersection, but `touches` holds.
+        let c = Rect::new(10, 0, 20, 10);
+        assert_eq!(a.intersection(&c), None);
+        assert!(a.touches(&c));
+        assert!(!a.overlaps(&c));
+        // Disjoint.
+        let d = Rect::new(100, 100, 110, 110);
+        assert!(!a.touches(&d));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 100, 100);
+        assert!(outer.contains_rect(&Rect::new(10, 10, 20, 20)));
+        assert!(outer.contains_rect(&outer));
+        assert!(!outer.contains_rect(&Rect::new(-1, 0, 5, 5)));
+        assert!(outer.contains_point(Point::new(0, 100)));
+        assert!(!outer.contains_point(Point::new(101, 0)));
+    }
+
+    #[test]
+    fn expansion_clamps() {
+        let r = Rect::new(0, 0, 10, 10);
+        assert_eq!(r.expanded(5), Rect::new(-5, -5, 15, 15));
+        // Over-shrink collapses to the centre instead of inverting.
+        let collapsed = r.expanded(-6);
+        assert!(collapsed.is_empty());
+    }
+
+    #[test]
+    fn separation_between_rects() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(14, 0, 20, 10); // 4 apart horizontally
+        assert_eq!(a.separation(&b), 4);
+        assert_eq!(b.separation(&a), 4);
+        let c = Rect::new(0, 17, 10, 20); // 7 apart vertically
+        assert_eq!(a.separation(&c), 7);
+        let o = Rect::new(5, 5, 15, 15); // overlapping
+        assert!(a.separation(&o) < 0);
+        // Diagonal neighbours: both axis gaps positive -> max.
+        let d = Rect::new(13, 12, 20, 20);
+        assert_eq!(a.separation(&d), 3);
+    }
+
+    #[test]
+    fn bounding_union_covers_both() {
+        let a = Rect::new(0, 0, 1, 1);
+        let b = Rect::new(10, -5, 12, 0);
+        let u = a.bounding_union(&b);
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(u, Rect::new(0, -5, 12, 1));
+    }
+}

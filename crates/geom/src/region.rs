@@ -1,0 +1,329 @@
+//! Canonical rectangle sets with boolean operations.
+//!
+//! A [`Region`] stores a union of axis-aligned rectangles in a canonical
+//! form: the rectangles are pairwise non-overlapping, produced by a
+//! vertical-slab decomposition. This gives exact `area()`, `union`,
+//! `intersection` and `subtract` over arbitrary inputs, which the
+//! critical-area engine and the extractor rely on.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+
+/// A set of points in the plane represented as disjoint rectangles.
+///
+/// ```
+/// use geom::{Rect, Region};
+/// let l_shape = Region::from_rects([
+///     Rect::new(0, 0, 30, 10),
+///     Rect::new(0, 0, 10, 30),
+/// ]);
+/// assert_eq!(l_shape.area(), 30 * 10 + 10 * 20);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Region {
+    /// Disjoint rectangles, sorted by (x0, y0).
+    rects: Vec<Rect>,
+}
+
+impl Region {
+    /// The empty region.
+    pub fn new() -> Self {
+        Region::default()
+    }
+
+    /// Builds a canonical region from arbitrary, possibly overlapping
+    /// rectangles.
+    pub fn from_rects<I: IntoIterator<Item = Rect>>(rects: I) -> Self {
+        let src: Vec<Rect> = rects.into_iter().filter(|r| !r.is_empty()).collect();
+        Region {
+            rects: canonicalise(&src),
+        }
+    }
+
+    /// The disjoint rectangles of the canonical decomposition.
+    pub fn rects(&self) -> &[Rect] {
+        &self.rects
+    }
+
+    /// Iterates over the disjoint rectangles.
+    pub fn iter(&self) -> core::slice::Iter<'_, Rect> {
+        self.rects.iter()
+    }
+
+    /// True when the region contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Exact area in nm².
+    pub fn area(&self) -> i128 {
+        self.rects.iter().map(Rect::area).sum()
+    }
+
+    /// Bounding box of the whole region, `None` when empty.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut it = self.rects.iter();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.bounding_union(r)))
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &Region) -> Region {
+        let mut all = self.rects.clone();
+        all.extend_from_slice(&other.rects);
+        Region {
+            rects: canonicalise(&all),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Region) -> Region {
+        let mut out = Vec::new();
+        for a in &self.rects {
+            for b in &other.rects {
+                if let Some(i) = a.intersection(b) {
+                    out.push(i);
+                }
+            }
+        }
+        Region {
+            rects: canonicalise(&out),
+        }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn subtract(&self, other: &Region) -> Region {
+        let mut current = self.rects.clone();
+        for b in &other.rects {
+            let mut next = Vec::with_capacity(current.len());
+            for a in current {
+                subtract_rect(&a, b, &mut next);
+            }
+            current = next;
+        }
+        Region {
+            rects: canonicalise(&current),
+        }
+    }
+
+    /// True when point-set membership holds for `(x, y)` (boundary
+    /// inclusive on the low edges, exclusive on high edges — half-open
+    /// semantics consistent with area computations).
+    pub fn contains(&self, x: Coord, y: Coord) -> bool {
+        self.rects
+            .iter()
+            .any(|r| x >= r.x0() && x < r.x1() && y >= r.y0() && y < r.y1())
+    }
+
+    /// Region grown by `d` on every side of every rectangle (the result
+    /// is re-canonicalised). Negative `d` shrinks each rectangle
+    /// individually — note this is per-rectangle erosion, not true
+    /// morphological erosion of the union, and is only used on canonical
+    /// single-wire segments.
+    pub fn expanded(&self, d: Coord) -> Region {
+        Region::from_rects(self.rects.iter().map(|r| r.expanded(d)))
+    }
+
+    /// Splits the region into connected components (touching rectangles,
+    /// edge or corner contact, belong to the same component).
+    pub fn connected_components(&self) -> Vec<Region> {
+        let n = self.rects.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.rects[i].touches(&self.rects[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<Rect>> = Default::default();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            groups.entry(root).or_default().push(self.rects[i]);
+        }
+        groups
+            .into_values()
+            .map(|rs| Region { rects: rs })
+            .collect()
+    }
+}
+
+impl FromIterator<Rect> for Region {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        Region::from_rects(iter)
+    }
+}
+
+impl Extend<Rect> for Region {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        let mut all = std::mem::take(&mut self.rects);
+        all.extend(iter);
+        self.rects = canonicalise(&all);
+    }
+}
+
+impl<'a> IntoIterator for &'a Region {
+    type Item = &'a Rect;
+    type IntoIter = core::slice::Iter<'a, Rect>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rects.iter()
+    }
+}
+
+/// Rebuilds a disjoint decomposition of the union of `src` using a
+/// vertical-slab sweep: x-coordinates of all edges split the plane into
+/// slabs; within each slab the covered y-intervals are merged.
+fn canonicalise(src: &[Rect]) -> Vec<Rect> {
+    if src.is_empty() {
+        return Vec::new();
+    }
+    let mut xs: Vec<Coord> = src.iter().flat_map(|r| [r.x0(), r.x1()]).collect();
+    xs.sort_unstable();
+    xs.dedup();
+
+    let mut out: Vec<Rect> = Vec::new();
+    for w in xs.windows(2) {
+        let (sx0, sx1) = (w[0], w[1]);
+        if sx0 == sx1 {
+            continue;
+        }
+        // Collect y-intervals of rectangles covering this slab.
+        let mut ys: Vec<(Coord, Coord)> = src
+            .iter()
+            .filter(|r| r.x0() <= sx0 && r.x1() >= sx1)
+            .map(|r| (r.y0(), r.y1()))
+            .collect();
+        ys.sort_unstable();
+        let mut merged: Vec<(Coord, Coord)> = Vec::new();
+        for (y0, y1) in ys {
+            match merged.last_mut() {
+                Some((_, me)) if y0 <= *me => *me = (*me).max(y1),
+                _ => merged.push((y0, y1)),
+            }
+        }
+        for (y0, y1) in merged {
+            // Horizontal coalescing: extend the previous slab's rect when
+            // it lines up exactly.
+            if let Some(prev) = out.iter_mut().rev().find(|r| {
+                r.x1() == sx0 && r.y0() == y0 && r.y1() == y1
+            }) {
+                *prev = Rect::new(prev.x0(), y0, sx1, y1);
+            } else {
+                out.push(Rect::new(sx0, y0, sx1, y1));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Pushes the parts of `a` not covered by `b` onto `out` (up to four
+/// pieces).
+fn subtract_rect(a: &Rect, b: &Rect, out: &mut Vec<Rect>) {
+    let Some(i) = a.intersection(b) else {
+        out.push(*a);
+        return;
+    };
+    // Bottom band.
+    if a.y0() < i.y0() {
+        out.push(Rect::new(a.x0(), a.y0(), a.x1(), i.y0()));
+    }
+    // Top band.
+    if i.y1() < a.y1() {
+        out.push(Rect::new(a.x0(), i.y1(), a.x1(), a.y1()));
+    }
+    // Left band (middle slab only).
+    if a.x0() < i.x0() {
+        out.push(Rect::new(a.x0(), i.y0(), i.x0(), i.y1()));
+    }
+    // Right band (middle slab only).
+    if i.x1() < a.x1() {
+        out.push(Rect::new(i.x1(), i.y0(), a.x1(), i.y1()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_of_overlapping_rects_has_exact_area() {
+        let r = Region::from_rects([Rect::new(0, 0, 10, 10), Rect::new(5, 5, 15, 15)]);
+        assert_eq!(r.area(), 100 + 100 - 25);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let r = Region::from_rects([Rect::new(0, 0, 10, 10)]);
+        let u = r.union(&r);
+        assert_eq!(u.area(), 100);
+        assert_eq!(u, r);
+    }
+
+    #[test]
+    fn intersection_and_subtraction_partition_area() {
+        let a = Region::from_rects([Rect::new(0, 0, 20, 20)]);
+        let b = Region::from_rects([Rect::new(10, 10, 30, 30)]);
+        let i = a.intersection(&b);
+        let d = a.subtract(&b);
+        assert_eq!(i.area(), 100);
+        assert_eq!(d.area(), 400 - 100);
+        assert_eq!(i.area() + d.area(), a.area());
+        // subtract ∩ intersection must be empty
+        assert!(d.intersection(&i).is_empty());
+    }
+
+    #[test]
+    fn subtract_hole_produces_frame() {
+        let outer = Region::from_rects([Rect::new(0, 0, 30, 30)]);
+        let hole = Region::from_rects([Rect::new(10, 10, 20, 20)]);
+        let frame = outer.subtract(&hole);
+        assert_eq!(frame.area(), 900 - 100);
+        assert!(!frame.contains(15, 15));
+        assert!(frame.contains(5, 5));
+    }
+
+    #[test]
+    fn contains_uses_half_open_semantics() {
+        let r = Region::from_rects([Rect::new(0, 0, 10, 10)]);
+        assert!(r.contains(0, 0));
+        assert!(!r.contains(10, 10));
+    }
+
+    #[test]
+    fn connected_components_split() {
+        let r = Region::from_rects([
+            Rect::new(0, 0, 10, 10),
+            Rect::new(10, 0, 20, 10), // touches the first
+            Rect::new(100, 100, 110, 110),
+        ]);
+        let comps = r.connected_components();
+        assert_eq!(comps.len(), 2);
+        let areas: Vec<i128> = comps.iter().map(|c| c.area()).collect();
+        assert!(areas.contains(&200) && areas.contains(&100));
+    }
+
+    #[test]
+    fn bounding_box_spans_region() {
+        let r = Region::from_rects([Rect::new(0, 0, 1, 1), Rect::new(50, -3, 60, 2)]);
+        assert_eq!(r.bounding_box(), Some(Rect::new(0, -3, 60, 2)));
+        assert_eq!(Region::new().bounding_box(), None);
+    }
+
+    #[test]
+    fn extend_recanonicalises() {
+        let mut r = Region::from_rects([Rect::new(0, 0, 10, 10)]);
+        r.extend([Rect::new(5, 0, 15, 10)]);
+        assert_eq!(r.area(), 150);
+    }
+}

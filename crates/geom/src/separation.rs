@@ -1,0 +1,143 @@
+//! Edge separation and parallel-run-length between rectangles.
+//!
+//! Bridging-fault critical area between two wires is, to first order,
+//! `L · (x − s)` for a defect of diameter `x`, spacing `s` and facing
+//! (parallel-run) length `L` — see Stapper's critical-area model. This
+//! module computes `s` and `L` for rectangle pairs.
+
+use crate::coord::Coord;
+use crate::rect::Rect;
+
+/// The geometric relation between two rectangles relevant to bridging
+/// defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Separation {
+    /// Edge-to-edge spacing in nm (0 when touching, negative overlap is
+    /// reported as 0 by [`edge_separation`]).
+    pub spacing: Coord,
+    /// Length over which the facing edges run in parallel, in nm. Zero
+    /// when the rectangles only face diagonally.
+    pub parallel_length: Coord,
+    /// True when the facing gap is horizontal (rectangles side by side),
+    /// false when vertical (stacked).
+    pub horizontal_gap: bool,
+}
+
+/// Overlap of the two rectangles' projections on one axis.
+fn projection_overlap(a0: Coord, a1: Coord, b0: Coord, b1: Coord) -> Coord {
+    (a1.min(b1) - a0.max(b0)).max(0)
+}
+
+/// Computes the parallel-run length between two rectangles: the overlap
+/// of their projections on the axis perpendicular to the gap.
+pub fn parallel_run(a: &Rect, b: &Rect) -> Coord {
+    let sep = edge_separation(a, b);
+    sep.parallel_length
+}
+
+/// Computes spacing and parallel-run length between two rectangles.
+///
+/// Overlapping rectangles report `spacing == 0` (a defect of any size
+/// already bridges them — callers normally filter same-net pairs first).
+/// Diagonal neighbours report `parallel_length == 0`; their (corner)
+/// critical area is second-order and handled separately by the defect
+/// engine.
+///
+/// ```
+/// use geom::{edge_separation, Rect};
+/// let a = Rect::new(0, 0, 100, 20);
+/// let b = Rect::new(0, 50, 100, 70); // 30 above, full 100 overlap
+/// let s = edge_separation(&a, &b);
+/// assert_eq!(s.spacing, 30);
+/// assert_eq!(s.parallel_length, 100);
+/// assert!(!s.horizontal_gap);
+/// ```
+pub fn edge_separation(a: &Rect, b: &Rect) -> Separation {
+    let gap_x = (b.x0() - a.x1()).max(a.x0() - b.x1());
+    let gap_y = (b.y0() - a.y1()).max(a.y0() - b.y1());
+    let overlap_x = projection_overlap(a.x0(), a.x1(), b.x0(), b.x1());
+    let overlap_y = projection_overlap(a.y0(), a.y1(), b.y0(), b.y1());
+
+    if gap_x <= 0 && gap_y <= 0 {
+        // Overlapping or touching: prefer to report along the axis with
+        // the larger projection overlap.
+        return Separation {
+            spacing: 0,
+            parallel_length: overlap_x.max(overlap_y),
+            horizontal_gap: overlap_y >= overlap_x,
+        };
+    }
+    if gap_x > 0 && gap_y > 0 {
+        // Diagonal: no facing edges.
+        return Separation {
+            spacing: gap_x.max(gap_y),
+            parallel_length: 0,
+            horizontal_gap: gap_x >= gap_y,
+        };
+    }
+    if gap_x > 0 {
+        Separation {
+            spacing: gap_x,
+            parallel_length: overlap_y,
+            horizontal_gap: true,
+        }
+    } else {
+        Separation {
+            spacing: gap_y,
+            parallel_length: overlap_x,
+            horizontal_gap: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_by_side() {
+        let a = Rect::new(0, 0, 10, 100);
+        let b = Rect::new(14, 20, 24, 80);
+        let s = edge_separation(&a, &b);
+        assert_eq!(s.spacing, 4);
+        assert_eq!(s.parallel_length, 60);
+        assert!(s.horizontal_gap);
+        // Symmetric.
+        assert_eq!(edge_separation(&b, &a), s);
+    }
+
+    #[test]
+    fn stacked() {
+        let a = Rect::new(0, 0, 100, 10);
+        let b = Rect::new(30, 25, 70, 35);
+        let s = edge_separation(&a, &b);
+        assert_eq!(s.spacing, 15);
+        assert_eq!(s.parallel_length, 40);
+        assert!(!s.horizontal_gap);
+    }
+
+    #[test]
+    fn diagonal_has_zero_parallel_run() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(20, 20, 30, 30);
+        let s = edge_separation(&a, &b);
+        assert_eq!(s.parallel_length, 0);
+        assert_eq!(s.spacing, 10);
+    }
+
+    #[test]
+    fn touching_and_overlapping_report_zero_spacing() {
+        let a = Rect::new(0, 0, 10, 10);
+        let touching = Rect::new(10, 0, 20, 10);
+        assert_eq!(edge_separation(&a, &touching).spacing, 0);
+        let overlapping = Rect::new(5, 5, 15, 15);
+        assert_eq!(edge_separation(&a, &overlapping).spacing, 0);
+    }
+
+    #[test]
+    fn parallel_run_helper_matches() {
+        let a = Rect::new(0, 0, 10, 100);
+        let b = Rect::new(20, 0, 30, 100);
+        assert_eq!(parallel_run(&a, &b), 100);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the geometry substrate.
+//!
+//! These pin down the algebraic invariants the extractor and critical
+//! area engine rely on: exact areas under boolean operations, symmetry
+//! of separations, and canonical-form stability.
+
+use geom::{edge_separation, Rect, Region};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-500i64..500, -500i64..500, 1i64..200, 1i64..200)
+        .prop_map(|(x, y, w, h)| Rect::from_wh(x, y, w, h))
+}
+
+fn arb_rects(max: usize) -> impl Strategy<Value = Vec<Rect>> {
+    proptest::collection::vec(arb_rect(), 1..max)
+}
+
+proptest! {
+    #[test]
+    fn union_area_never_exceeds_sum(rects in arb_rects(12)) {
+        let sum: i128 = rects.iter().map(Rect::area).sum();
+        let region = Region::from_rects(rects.iter().copied());
+        prop_assert!(region.area() <= sum);
+        let max_single = rects.iter().map(Rect::area).max().unwrap_or(0);
+        prop_assert!(region.area() >= max_single);
+    }
+
+    #[test]
+    fn canonicalisation_is_idempotent(rects in arb_rects(10)) {
+        let r1 = Region::from_rects(rects.iter().copied());
+        let r2 = Region::from_rects(r1.rects().iter().copied());
+        prop_assert_eq!(r1.area(), r2.area());
+        // Canonical rectangles are pairwise non-overlapping.
+        let rs = r1.rects();
+        for i in 0..rs.len() {
+            for j in (i + 1)..rs.len() {
+                prop_assert!(!rs[i].overlaps(&rs[j]), "{} overlaps {}", rs[i], rs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn subtract_then_union_restores(a in arb_rects(8), b in arb_rects(8)) {
+        let ra = Region::from_rects(a.iter().copied());
+        let rb = Region::from_rects(b.iter().copied());
+        let diff = ra.subtract(&rb);
+        let inter = ra.intersection(&rb);
+        // A = (A \ B) ∪ (A ∩ B), disjointly.
+        prop_assert_eq!(diff.area() + inter.area(), ra.area());
+        prop_assert!(diff.intersection(&inter).is_empty());
+        let rebuilt = diff.union(&inter);
+        prop_assert_eq!(rebuilt.area(), ra.area());
+    }
+
+    #[test]
+    fn intersection_commutes(a in arb_rects(6), b in arb_rects(6)) {
+        let ra = Region::from_rects(a.iter().copied());
+        let rb = Region::from_rects(b.iter().copied());
+        prop_assert_eq!(ra.intersection(&rb).area(), rb.intersection(&ra).area());
+    }
+
+    #[test]
+    fn union_commutes_and_is_monotone(a in arb_rects(6), b in arb_rects(6)) {
+        let ra = Region::from_rects(a.iter().copied());
+        let rb = Region::from_rects(b.iter().copied());
+        let u1 = ra.union(&rb);
+        let u2 = rb.union(&ra);
+        prop_assert_eq!(u1.area(), u2.area());
+        prop_assert!(u1.area() >= ra.area().max(rb.area()));
+    }
+
+    #[test]
+    fn separation_is_symmetric(a in arb_rect(), b in arb_rect()) {
+        let s_ab = edge_separation(&a, &b);
+        let s_ba = edge_separation(&b, &a);
+        prop_assert_eq!(s_ab.spacing, s_ba.spacing);
+        prop_assert_eq!(s_ab.parallel_length, s_ba.parallel_length);
+    }
+
+    #[test]
+    fn separation_matches_rect_separation_when_apart(a in arb_rect(), b in arb_rect()) {
+        let s = edge_separation(&a, &b);
+        let raw = a.separation(&b);
+        if raw > 0 {
+            prop_assert_eq!(s.spacing, raw);
+        } else {
+            prop_assert_eq!(s.spacing, 0);
+        }
+    }
+
+    #[test]
+    fn rect_intersection_is_contained(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+        }
+    }
+
+    #[test]
+    fn connected_components_partition_area(rects in arb_rects(8)) {
+        let region = Region::from_rects(rects.iter().copied());
+        let comps = region.connected_components();
+        let total: i128 = comps.iter().map(|c| c.area()).sum();
+        prop_assert_eq!(total, region.area());
+    }
+}

@@ -1,0 +1,347 @@
+//! Parameterised layout generators (PCells).
+//!
+//! [`CellBuilder`] wraps a [`Cell`] plus a [`Technology`] and provides
+//! the primitives needed to assemble full-custom analogue layout:
+//! axis-aligned wires with corner joining, contact/via stacks, and a
+//! single-finger MOSFET generator that reports its terminal landing
+//! pads so callers can route to them.
+
+use crate::cell::Cell;
+use crate::layer::Layer;
+use crate::tech::Technology;
+use geom::{Coord, Point, Rect};
+
+/// Device polarity for the MOSFET generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MosStyle {
+    /// N-channel device (active in substrate).
+    Nmos,
+    /// P-channel device (active inside an n-well the generator draws).
+    Pmos,
+}
+
+/// Parameters of a single-finger MOSFET.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MosParams {
+    /// Channel width in nm (the active height; the gate runs vertically).
+    pub w: Coord,
+    /// Channel length in nm (the poly width).
+    pub l: Coord,
+    /// Polarity.
+    pub style: MosStyle,
+}
+
+/// The geometry a placed MOSFET exposes for routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MosGeometry {
+    /// The channel rectangle (poly ∩ active).
+    pub channel: Rect,
+    /// Poly gate landing point (bottom gate stub end).
+    pub gate_stub: Rect,
+    /// Metal1 pad over the source contact (left side).
+    pub source_pad: Rect,
+    /// Metal1 pad over the drain contact (right side).
+    pub drain_pad: Rect,
+    /// Full active rectangle.
+    pub active: Rect,
+}
+
+/// Builder over a [`Cell`] with technology-aware helpers.
+///
+/// ```
+/// use layout::{CellBuilder, Layer, Technology};
+/// use geom::Point;
+///
+/// let tech = Technology::generic_1um();
+/// let mut b = CellBuilder::new("demo", &tech);
+/// b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0), Point::new(10_000, 5_000)], 1_500);
+/// let cell = b.finish();
+/// assert_eq!(cell.shapes(Layer::Metal1).len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CellBuilder<'t> {
+    cell: Cell,
+    tech: &'t Technology,
+}
+
+impl<'t> CellBuilder<'t> {
+    /// Starts building a cell named `name` in technology `tech`.
+    pub fn new(name: impl Into<String>, tech: &'t Technology) -> Self {
+        CellBuilder {
+            cell: Cell::new(name),
+            tech,
+        }
+    }
+
+    /// The technology in use.
+    pub fn tech(&self) -> &Technology {
+        self.tech
+    }
+
+    /// Mutable access to the underlying cell for operations the builder
+    /// does not wrap.
+    pub fn cell_mut(&mut self) -> &mut Cell {
+        &mut self.cell
+    }
+
+    /// Finishes and returns the built cell.
+    pub fn finish(self) -> Cell {
+        self.cell
+    }
+
+    /// Adds a raw rectangle.
+    pub fn rect(&mut self, layer: Layer, r: Rect) -> &mut Self {
+        self.cell.add_rect(layer, r);
+        self
+    }
+
+    /// Adds a net/pin label.
+    pub fn label(&mut self, layer: Layer, at: Point, text: impl Into<String>) -> &mut Self {
+        self.cell.add_label(layer, at, text);
+        self
+    }
+
+    /// Draws an axis-aligned wire through `points` with the given width.
+    /// Corners are joined by extending each segment by half the width.
+    ///
+    /// # Panics
+    /// Panics if consecutive points form a diagonal segment or fewer
+    /// than two points are given.
+    pub fn wire(&mut self, layer: Layer, points: &[Point], width: Coord) -> &mut Self {
+        assert!(points.len() >= 2, "wire needs at least two points");
+        let hw = width / 2;
+        for seg in points.windows(2) {
+            let (a, b) = (seg[0], seg[1]);
+            assert!(
+                a.x == b.x || a.y == b.y,
+                "wire segment {a} -> {b} must be axis-aligned"
+            );
+            let r = if a.y == b.y {
+                // Horizontal: extend by half-width to join corners.
+                Rect::new(a.x.min(b.x) - hw, a.y - hw, a.x.max(b.x) + hw, a.y + hw)
+            } else {
+                Rect::new(a.x - hw, a.y.min(b.y) - hw, a.x + hw, a.y.max(b.y) + hw)
+            };
+            self.cell.add_rect(layer, r);
+        }
+        self
+    }
+
+    /// Draws a minimum-width wire on `layer`.
+    pub fn min_wire(&mut self, layer: Layer, points: &[Point]) -> &mut Self {
+        let width = self.tech.rules(layer).min_width;
+        self.wire(layer, points, width)
+    }
+
+    /// Places a contact stack at `at` joining Metal1 down to `lower`
+    /// (Poly or Active): cut + metal pad + lower-layer pad.
+    ///
+    /// # Panics
+    /// Panics if `lower` is not Poly or Active.
+    pub fn contact(&mut self, at: Point, lower: Layer) -> &mut Self {
+        assert!(
+            matches!(lower, Layer::Poly | Layer::Active),
+            "contact lands on poly or active, not {lower}"
+        );
+        let cs = self.tech.cut_size();
+        let sur = self.tech.cut_surround();
+        let cut = Rect::new(at.x - cs / 2, at.y - cs / 2, at.x + cs / 2, at.y + cs / 2);
+        self.cell.add_rect(Layer::Contact, cut);
+        self.cell.add_rect(Layer::Metal1, cut.expanded(sur));
+        self.cell.add_rect(lower, cut.expanded(sur));
+        self
+    }
+
+    /// Places a via stack at `at` joining Metal1 and Metal2.
+    pub fn via(&mut self, at: Point) -> &mut Self {
+        let cs = self.tech.cut_size();
+        let sur = self.tech.cut_surround();
+        let cut = Rect::new(at.x - cs / 2, at.y - cs / 2, at.x + cs / 2, at.y + cs / 2);
+        self.cell.add_rect(Layer::Via1, cut);
+        self.cell.add_rect(Layer::Metal1, cut.expanded(sur));
+        self.cell.add_rect(Layer::Metal2, cut.expanded(sur));
+        self
+    }
+
+    /// Places a single-finger MOSFET whose channel centre sits at `at`.
+    /// The gate poly runs vertically; source is the left diffusion,
+    /// drain the right. Returns the landing geometry for routing.
+    ///
+    /// Source/drain connections use **doubled contacts** (two cuts side
+    /// by side under one pad) — the standard defect-tolerance practice
+    /// that keeps a single spot defect from opening a terminal.
+    pub fn mosfet(&mut self, at: Point, params: &MosParams) -> MosGeometry {
+        let t = self.tech;
+        let (w, l) = (params.w, params.l);
+        let half_l = l / 2;
+        let half_w = w / 2;
+        // Room for two contacts in a row plus surrounds:
+        // 1λ gap + cut + 1λ + cut + 1λ overlap.
+        let cs = t.cut_size();
+        let sur = t.cut_surround();
+        let sd = 3 * sur + 2 * cs;
+        let gext = t.gate_extension();
+
+        let channel = Rect::new(at.x - half_l, at.y - half_w, at.x + half_l, at.y + half_w);
+        let active = Rect::new(
+            at.x - half_l - sd,
+            at.y - half_w,
+            at.x + half_l + sd,
+            at.y + half_w,
+        );
+        let poly = Rect::new(
+            at.x - half_l,
+            at.y - half_w - gext,
+            at.x + half_l,
+            at.y + half_w + gext,
+        );
+        self.cell.add_rect(Layer::Active, active);
+        self.cell.add_rect(Layer::Poly, poly);
+
+        // Doubled source/drain contacts in the diffusion extensions.
+        let cut_at = |cx: Coord| Rect::new(cx - cs / 2, at.y - cs / 2, cx + cs / 2, at.y + cs / 2);
+        let s_cx1 = at.x - half_l - sur - cs / 2;
+        let s_cx2 = s_cx1 - cs - sur;
+        let d_cx1 = at.x + half_l + sur + cs / 2;
+        let d_cx2 = d_cx1 + cs + sur;
+        for cx in [s_cx1, s_cx2, d_cx1, d_cx2] {
+            self.cell.add_rect(Layer::Contact, cut_at(cx));
+        }
+        let s_pad = cut_at(s_cx1).bounding_union(&cut_at(s_cx2)).expanded(sur);
+        let d_pad = cut_at(d_cx1).bounding_union(&cut_at(d_cx2)).expanded(sur);
+        self.cell.add_rect(Layer::Metal1, s_pad);
+        self.cell.add_rect(Layer::Metal1, d_pad);
+
+        if params.style == MosStyle::Pmos {
+            self.cell
+                .add_rect(Layer::Nwell, active.expanded(t.nwell_surround()));
+        }
+
+        // Gate stub: the lower poly extension, where routing attaches.
+        let gate_stub = Rect::new(at.x - half_l, at.y - half_w - gext, at.x + half_l, at.y - half_w);
+
+        MosGeometry {
+            channel,
+            gate_stub,
+            source_pad: s_pad,
+            drain_pad: d_pad,
+            active,
+        }
+    }
+
+    /// Draws a metal1/metal2 parallel-plate capacitor with its bottom
+    /// plate on Metal1 and top plate on Metal2; returns
+    /// `(bottom_pad, top_pad)` Metal1/Metal2 landing rectangles.
+    /// The top-plate connection comes out on Metal2.
+    pub fn plate_capacitor(&mut self, ll: Point, size: Coord) -> (Rect, Rect) {
+        let bottom = Rect::new(ll.x, ll.y, ll.x + size, ll.y + size);
+        // Top plate inset so the bottom plate rim stays contactable.
+        let inset = self.tech.rules(Layer::Metal2).min_spacing;
+        let top = bottom.expanded(-inset);
+        self.cell.add_rect(Layer::Metal1, bottom);
+        self.cell.add_rect(Layer::Metal2, top);
+        (bottom, top)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::generic_1um()
+    }
+
+    #[test]
+    fn wire_joins_corners() {
+        let t = tech();
+        let mut b = CellBuilder::new("w", &t);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(10_000, 0), Point::new(10_000, 8_000)],
+            1_000,
+        );
+        let cell = b.finish();
+        let rs = cell.shapes(Layer::Metal1);
+        assert_eq!(rs.len(), 2);
+        // The two segments overlap at the corner.
+        assert!(rs[0].overlaps(&rs[1]) || rs[0].touches(&rs[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis-aligned")]
+    fn diagonal_wire_panics() {
+        let t = tech();
+        let mut b = CellBuilder::new("w", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10, 10)], 100);
+    }
+
+    #[test]
+    fn contact_stack_layers() {
+        let t = tech();
+        let mut b = CellBuilder::new("c", &t);
+        b.contact(Point::new(0, 0), Layer::Poly);
+        let cell = b.finish();
+        assert_eq!(cell.shapes(Layer::Contact).len(), 1);
+        assert_eq!(cell.shapes(Layer::Metal1).len(), 1);
+        assert_eq!(cell.shapes(Layer::Poly).len(), 1);
+        // Pad covers the cut with surround.
+        let cut = cell.shapes(Layer::Contact)[0];
+        let pad = cell.shapes(Layer::Metal1)[0];
+        assert!(pad.contains_rect(&cut));
+        assert_eq!(pad.width() - cut.width(), 2 * t.cut_surround());
+    }
+
+    #[test]
+    fn nmos_geometry_is_consistent() {
+        let t = tech();
+        let mut b = CellBuilder::new("m", &t);
+        let g = b.mosfet(
+            Point::new(0, 0),
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
+        );
+        let cell = b.finish();
+        // Channel is the poly/active overlap.
+        let poly = cell.shapes(Layer::Poly)[0];
+        let active = cell.shapes(Layer::Active)[0];
+        assert_eq!(poly.intersection(&active), Some(g.channel));
+        assert_eq!(g.channel.width(), 1_000); // L
+        assert_eq!(g.channel.height(), 4_000); // W
+        // Source pad left of drain pad, both inside active + surround.
+        assert!(g.source_pad.x1() < g.drain_pad.x0());
+        // No well for NMOS.
+        assert!(cell.shapes(Layer::Nwell).is_empty());
+    }
+
+    #[test]
+    fn pmos_draws_nwell() {
+        let t = tech();
+        let mut b = CellBuilder::new("m", &t);
+        let g = b.mosfet(
+            Point::new(0, 0),
+            &MosParams {
+                w: 6_000,
+                l: 1_000,
+                style: MosStyle::Pmos,
+            },
+        );
+        let cell = b.finish();
+        let well = cell.shapes(Layer::Nwell)[0];
+        assert!(well.contains_rect(&g.active));
+    }
+
+    #[test]
+    fn capacitor_plates_nest() {
+        let t = tech();
+        let mut b = CellBuilder::new("cap", &t);
+        let (bottom, top) = b.plate_capacitor(Point::new(0, 0), 20_000);
+        assert!(bottom.contains_rect(&top));
+        let cell = b.finish();
+        assert_eq!(cell.shapes(Layer::Metal1).len(), 1);
+        assert_eq!(cell.shapes(Layer::Metal2).len(), 1);
+    }
+}

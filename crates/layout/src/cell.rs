@@ -1,0 +1,480 @@
+//! Hierarchical layout cells and flattening.
+
+use crate::layer::Layer;
+use geom::{Coord, Point, Polygon, Rect, Vector};
+use std::collections::BTreeMap;
+
+/// Orthogonal placement orientation (rotation in 90° steps, optional
+/// mirror about the x-axis applied before rotation — the GDSII `STRANS`
+/// convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Orientation {
+    /// No rotation.
+    #[default]
+    R0,
+    /// 90° counter-clockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counter-clockwise.
+    R270,
+    /// Mirrored about the x-axis (y -> -y).
+    MX,
+    /// Mirrored then rotated 90°.
+    MX90,
+    /// Mirrored then rotated 180°.
+    MX180,
+    /// Mirrored then rotated 270°.
+    MX270,
+}
+
+impl Orientation {
+    /// Applies the orientation to a point (about the origin).
+    pub fn apply(&self, p: Point) -> Point {
+        let (x, y) = match self {
+            Orientation::R0 => (p.x, p.y),
+            Orientation::R90 => (-p.y, p.x),
+            Orientation::R180 => (-p.x, -p.y),
+            Orientation::R270 => (p.y, -p.x),
+            Orientation::MX => (p.x, -p.y),
+            Orientation::MX90 => (p.y, p.x),
+            Orientation::MX180 => (-p.x, p.y),
+            Orientation::MX270 => (-p.y, -p.x),
+        };
+        Point::new(x, y)
+    }
+
+    /// Applies the orientation to a rectangle (stays axis-aligned).
+    pub fn apply_rect(&self, r: Rect) -> Rect {
+        Rect::from_points(self.apply(r.ll()), self.apply(r.ur()))
+    }
+}
+
+/// A placed instance of another cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Name of the referenced cell.
+    pub cell: String,
+    /// Translation applied after orientation.
+    pub at: Vector,
+    /// Orthogonal orientation.
+    pub orientation: Orientation,
+}
+
+/// A text label attaching a net or pin name to a point on a conductor
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// The labelled layer.
+    pub layer: Layer,
+    /// Anchor point; the net containing a shape under this point gets
+    /// the name.
+    pub at: Point,
+    /// The net/pin name.
+    pub text: String,
+}
+
+/// A layout cell: per-layer rectangles, labels, and instances of other
+/// cells.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cell {
+    name: String,
+    shapes: BTreeMap<Layer, Vec<Rect>>,
+    labels: Vec<Label>,
+    instances: Vec<Instance>,
+}
+
+impl Cell {
+    /// Creates an empty cell.
+    pub fn new(name: impl Into<String>) -> Self {
+        Cell {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a rectangle on a layer. Empty rectangles are ignored.
+    pub fn add_rect(&mut self, layer: Layer, rect: Rect) {
+        if !rect.is_empty() {
+            self.shapes.entry(layer).or_default().push(rect);
+        }
+    }
+
+    /// Adds a rectilinear polygon, decomposed into rectangles.
+    pub fn add_polygon(&mut self, layer: Layer, poly: &Polygon) {
+        for r in poly.to_region().rects() {
+            self.add_rect(layer, *r);
+        }
+    }
+
+    /// Adds a text label.
+    pub fn add_label(&mut self, layer: Layer, at: Point, text: impl Into<String>) {
+        self.labels.push(Label {
+            layer,
+            at,
+            text: text.into(),
+        });
+    }
+
+    /// Places an instance of another cell.
+    pub fn add_instance(&mut self, instance: Instance) {
+        self.instances.push(instance);
+    }
+
+    /// Shapes on `layer` (empty slice when none).
+    pub fn shapes(&self, layer: Layer) -> &[Rect] {
+        self.shapes.get(&layer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Layers with at least one shape.
+    pub fn used_layers(&self) -> Vec<Layer> {
+        self.shapes
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(l, _)| *l)
+            .collect()
+    }
+
+    /// Bounding box of the cell's own shapes (instances excluded).
+    pub fn local_bounding_box(&self) -> Option<Rect> {
+        let mut it = self.shapes.values().flatten();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.bounding_union(r)))
+    }
+}
+
+/// A collection of cells addressed by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Library {
+    name: String,
+    cells: BTreeMap<String, Cell>,
+}
+
+/// Errors produced by library operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LibraryError {
+    /// A cell instance references a name not present in the library.
+    MissingCell(String),
+    /// Instance graph contains a cycle through the named cell.
+    RecursiveHierarchy(String),
+}
+
+impl core::fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LibraryError::MissingCell(n) => write!(f, "instance references missing cell `{n}`"),
+            LibraryError::RecursiveHierarchy(n) => {
+                write!(f, "recursive hierarchy through cell `{n}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LibraryError {}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library {
+            name: name.into(),
+            cells: Default::default(),
+        }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds (or replaces) a cell; returns the previous cell of the same
+    /// name, if any.
+    pub fn add_cell(&mut self, cell: Cell) -> Option<Cell> {
+        self.cells.insert(cell.name().to_string(), cell)
+    }
+
+    /// Looks up a cell by name.
+    pub fn cell(&self, name: &str) -> Option<&Cell> {
+        self.cells.get(name)
+    }
+
+    /// Iterates over all cells in name order.
+    pub fn cells(&self) -> impl Iterator<Item = &Cell> {
+        self.cells.values()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Flattens `top` and everything below it into a single-level
+    /// layout.
+    ///
+    /// # Errors
+    /// Returns [`LibraryError::MissingCell`] for dangling references and
+    /// [`LibraryError::RecursiveHierarchy`] when the instance graph
+    /// cycles.
+    pub fn flatten(&self, top: &str) -> Result<FlatLayout, LibraryError> {
+        let mut flat = FlatLayout::default();
+        let mut stack: Vec<String> = Vec::new();
+        self.flatten_into(top, Vector::new(0, 0), Orientation::R0, &mut flat, &mut stack)?;
+        Ok(flat)
+    }
+
+    fn flatten_into(
+        &self,
+        name: &str,
+        at: Vector,
+        orient: Orientation,
+        out: &mut FlatLayout,
+        stack: &mut Vec<String>,
+    ) -> Result<(), LibraryError> {
+        if stack.iter().any(|n| n == name) {
+            return Err(LibraryError::RecursiveHierarchy(name.to_string()));
+        }
+        let cell = self
+            .cells
+            .get(name)
+            .ok_or_else(|| LibraryError::MissingCell(name.to_string()))?;
+        stack.push(name.to_string());
+        for (layer, rects) in &cell.shapes {
+            let dst = out.shapes.entry(*layer).or_default();
+            for r in rects {
+                dst.push(orient.apply_rect(*r).translated(at.dx, at.dy));
+            }
+        }
+        for label in &cell.labels {
+            out.labels.push(Label {
+                layer: label.layer,
+                at: orient.apply(label.at) + at,
+                text: label.text.clone(),
+            });
+        }
+        for inst in &cell.instances {
+            // Compose: child point -> child orient -> child offset, then
+            // parent orient -> parent offset. For orthogonal transforms
+            // the composition is "rotate child placement by parent".
+            let child_at_parent = orient.apply(Point::new(inst.at.dx, inst.at.dy));
+            let combined_at = Vector::new(child_at_parent.x + at.dx, child_at_parent.y + at.dy);
+            let combined_orient = compose(orient, inst.orientation);
+            self.flatten_into(&inst.cell, combined_at, combined_orient, out, stack)?;
+        }
+        stack.pop();
+        Ok(())
+    }
+}
+
+/// Composition `outer ∘ inner` of two orthogonal orientations.
+fn compose(outer: Orientation, inner: Orientation) -> Orientation {
+    // Probe with two basis points to identify the composed transform.
+    let probe = |o: Orientation, p: Point| o.apply(p);
+    let e1 = probe(outer, probe(inner, Point::new(1, 0)));
+    let e2 = probe(outer, probe(inner, Point::new(0, 1)));
+    for cand in [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MX,
+        Orientation::MX90,
+        Orientation::MX180,
+        Orientation::MX270,
+    ] {
+        if cand.apply(Point::new(1, 0)) == e1 && cand.apply(Point::new(0, 1)) == e2 {
+            return cand;
+        }
+    }
+    unreachable!("orthogonal transforms are closed under composition")
+}
+
+/// A flattened layout: all shapes in top-cell coordinates.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FlatLayout {
+    /// Per-layer rectangles.
+    pub shapes: BTreeMap<Layer, Vec<Rect>>,
+    /// All labels.
+    pub labels: Vec<Label>,
+}
+
+impl FlatLayout {
+    /// Shapes on `layer` (empty slice when none).
+    pub fn shapes(&self, layer: Layer) -> &[Rect] {
+        self.shapes.get(&layer).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total shape count across layers.
+    pub fn shape_count(&self) -> usize {
+        self.shapes.values().map(Vec::len).sum()
+    }
+
+    /// Bounding box over all layers.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let mut it = self.shapes.values().flatten();
+        let first = *it.next()?;
+        Some(it.fold(first, |acc, r| acc.bounding_union(r)))
+    }
+
+    /// Total drawn area of `layer` (overlaps counted once), in nm².
+    pub fn layer_area(&self, layer: Layer) -> i128 {
+        geom::Region::from_rects(self.shapes(layer).iter().copied()).area()
+    }
+}
+
+/// Coordinate used by flattening helpers.
+pub type FlatCoord = Coord;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_rotates_rects() {
+        let r = Rect::new(0, 0, 10, 4);
+        assert_eq!(Orientation::R90.apply_rect(r), Rect::new(-4, 0, 0, 10));
+        assert_eq!(Orientation::R180.apply_rect(r), Rect::new(-10, -4, 0, 0));
+        assert_eq!(Orientation::MX.apply_rect(r), Rect::new(0, -4, 10, 0));
+    }
+
+    #[test]
+    fn orientation_composition_closure() {
+        // compose() must terminate and agree with sequential application
+        // for every pair.
+        let all = [
+            Orientation::R0,
+            Orientation::R90,
+            Orientation::R180,
+            Orientation::R270,
+            Orientation::MX,
+            Orientation::MX90,
+            Orientation::MX180,
+            Orientation::MX270,
+        ];
+        let p = Point::new(3, 7);
+        for a in all {
+            for b in all {
+                let composed = compose(a, b);
+                assert_eq!(composed.apply(p), a.apply(b.apply(p)), "{a:?} ∘ {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_applies_transform_chain() {
+        let mut lib = Library::new("lib");
+        let mut leaf = Cell::new("leaf");
+        leaf.add_rect(Layer::Metal1, Rect::new(0, 0, 10, 2));
+        lib.add_cell(leaf);
+
+        let mut mid = Cell::new("mid");
+        mid.add_instance(Instance {
+            cell: "leaf".into(),
+            at: Vector::new(100, 0),
+            orientation: Orientation::R90,
+        });
+        lib.add_cell(mid);
+
+        let mut top = Cell::new("top");
+        top.add_instance(Instance {
+            cell: "mid".into(),
+            at: Vector::new(0, 1000),
+            orientation: Orientation::R0,
+        });
+        lib.add_cell(top);
+
+        let flat = lib.flatten("top").unwrap();
+        let m1 = flat.shapes(Layer::Metal1);
+        assert_eq!(m1.len(), 1);
+        // leaf rect rotated 90 -> [-2,0..0,10], moved by (100,0) -> [98,0..100,10], then +(0,1000)
+        assert_eq!(m1[0], Rect::new(98, 1000, 100, 1010));
+    }
+
+    #[test]
+    fn flatten_detects_recursion() {
+        let mut lib = Library::new("lib");
+        let mut a = Cell::new("a");
+        a.add_instance(Instance {
+            cell: "b".into(),
+            at: Vector::new(0, 0),
+            orientation: Orientation::R0,
+        });
+        let mut b = Cell::new("b");
+        b.add_instance(Instance {
+            cell: "a".into(),
+            at: Vector::new(0, 0),
+            orientation: Orientation::R0,
+        });
+        lib.add_cell(a);
+        lib.add_cell(b);
+        assert!(matches!(
+            lib.flatten("a"),
+            Err(LibraryError::RecursiveHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn flatten_missing_cell_errors() {
+        let mut lib = Library::new("lib");
+        let mut top = Cell::new("top");
+        top.add_instance(Instance {
+            cell: "ghost".into(),
+            at: Vector::new(0, 0),
+            orientation: Orientation::R0,
+        });
+        lib.add_cell(top);
+        assert_eq!(
+            lib.flatten("top"),
+            Err(LibraryError::MissingCell("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn labels_are_transformed() {
+        let mut lib = Library::new("lib");
+        let mut leaf = Cell::new("leaf");
+        leaf.add_rect(Layer::Metal1, Rect::new(0, 0, 10, 10));
+        leaf.add_label(Layer::Metal1, Point::new(5, 5), "vdd");
+        lib.add_cell(leaf);
+        let mut top = Cell::new("top");
+        top.add_instance(Instance {
+            cell: "leaf".into(),
+            at: Vector::new(20, 0),
+            orientation: Orientation::R0,
+        });
+        lib.add_cell(top);
+        let flat = lib.flatten("top").unwrap();
+        assert_eq!(flat.labels.len(), 1);
+        assert_eq!(flat.labels[0].at, Point::new(25, 5));
+        assert_eq!(flat.labels[0].text, "vdd");
+    }
+
+    #[test]
+    fn layer_area_deduplicates_overlap() {
+        let mut lib = Library::new("lib");
+        let mut c = Cell::new("c");
+        c.add_rect(Layer::Poly, Rect::new(0, 0, 10, 10));
+        c.add_rect(Layer::Poly, Rect::new(5, 0, 15, 10));
+        lib.add_cell(c);
+        let flat = lib.flatten("c").unwrap();
+        assert_eq!(flat.layer_area(Layer::Poly), 150);
+    }
+}

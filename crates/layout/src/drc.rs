@@ -1,0 +1,203 @@
+//! Design-rule checking.
+//!
+//! Minimum width and spacing are exactly the quantities that set
+//! critical areas, so a layout that violates them silently corrupts the
+//! probability ranking. The VCO generator's output is DRC-checked in
+//! the integration tests; user layouts can be checked the same way.
+
+use crate::cell::FlatLayout;
+use crate::layer::Layer;
+use crate::tech::Technology;
+use geom::{edge_separation, Coord, GridIndex, Rect, Region};
+
+/// One design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrcViolation {
+    /// Layer the violation is on.
+    pub layer: Layer,
+    /// Which rule failed.
+    pub rule: DrcRule,
+    /// Where (a representative rectangle).
+    pub at: Rect,
+    /// The measured value (nm).
+    pub measured: Coord,
+    /// The rule's limit (nm).
+    pub limit: Coord,
+}
+
+/// The checked rule classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrcRule {
+    /// Drawn feature narrower than the layer's minimum width.
+    MinWidth,
+    /// Two disjoint shapes closer than the layer's minimum spacing.
+    MinSpacing,
+}
+
+impl core::fmt::Display for DrcViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let rule = match self.rule {
+            DrcRule::MinWidth => "min-width",
+            DrcRule::MinSpacing => "min-spacing",
+        };
+        write!(
+            f,
+            "{} {rule} at {}: {} nm < {} nm",
+            self.layer, self.at, self.measured, self.limit
+        )
+    }
+}
+
+/// Checks minimum width and same-layer spacing on every conductor and
+/// cut layer. Width is evaluated per canonical rectangle of the merged
+/// layer region (a conservative approximation of true polygon width:
+/// decomposition slivers at jogs can produce false positives, which the
+/// caller may whitelist); spacing between different connected
+/// components only (notches inside one component are width features).
+pub fn check(flat: &FlatLayout, tech: &Technology) -> Vec<DrcViolation> {
+    let mut out = Vec::new();
+    for layer in Layer::ALL {
+        let rules = tech.rules(layer);
+        let region = Region::from_rects(flat.shapes(layer).iter().copied());
+        if region.is_empty() {
+            continue;
+        }
+        let components = region.connected_components();
+
+        // Width: the short side of each component's rectangles, skipping
+        // decomposition slivers that are flush inside the component
+        // (their neighbours make up the width).
+        for comp in &components {
+            for r in comp.rects() {
+                if r.short_side() < rules.min_width {
+                    // Tolerate slivers created by rectangle decomposition:
+                    // the sliver plus its touching neighbours still spans
+                    // the full width. Expand and re-measure.
+                    let grown = comp
+                        .rects()
+                        .iter()
+                        .filter(|o| o.touches(r))
+                        .fold(*r, |acc, o| acc.bounding_union(o));
+                    if grown.short_side() < rules.min_width {
+                        out.push(DrcViolation {
+                            layer,
+                            rule: DrcRule::MinWidth,
+                            at: *r,
+                            measured: grown.short_side(),
+                            limit: rules.min_width,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Spacing between distinct components.
+        let mut index = GridIndex::new(rules.min_spacing.max(1) * 2);
+        let mut comp_rects: Vec<(usize, Rect)> = Vec::new();
+        for (ci, comp) in components.iter().enumerate() {
+            for r in comp.rects() {
+                index.insert(comp_rects.len(), *r);
+                comp_rects.push((ci, *r));
+            }
+        }
+        let mut seen: std::collections::HashSet<(usize, usize)> = Default::default();
+        for (i, (ci, r)) in comp_rects.iter().enumerate() {
+            let window = r.expanded(rules.min_spacing);
+            for (j, other) in index.query_entries(&window) {
+                if j <= i {
+                    continue;
+                }
+                let cj = comp_rects[j].0;
+                if cj == *ci {
+                    continue;
+                }
+                let sep = edge_separation(r, &other);
+                if sep.spacing > 0 && sep.spacing < rules.min_spacing {
+                    let key = (*ci.min(&cj), *ci.max(&cj));
+                    if seen.insert(key) {
+                        out.push(DrcViolation {
+                            layer,
+                            rule: DrcRule::MinSpacing,
+                            at: r.bounding_union(&other),
+                            measured: sep.spacing,
+                            limit: rules.min_spacing,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, Library};
+
+    fn flat_of(cell: Cell) -> FlatLayout {
+        let mut lib = Library::new("t");
+        let name = cell.name().to_string();
+        lib.add_cell(cell);
+        lib.flatten(&name).unwrap()
+    }
+
+    #[test]
+    fn clean_layout_passes() {
+        let tech = Technology::generic_1um();
+        let mut c = Cell::new("ok");
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 1_500));
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 3_000, 10_000, 1_500));
+        let v = check(&flat_of(c), &tech);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn narrow_wire_flagged() {
+        let tech = Technology::generic_1um();
+        let mut c = Cell::new("thin");
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 800));
+        let v = check(&flat_of(c), &tech);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, DrcRule::MinWidth);
+        assert_eq!(v[0].measured, 800);
+    }
+
+    #[test]
+    fn close_wires_flagged_once_per_pair() {
+        let tech = Technology::generic_1um();
+        let mut c = Cell::new("close");
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 1_500));
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 2_000, 10_000, 1_500)); // 500 nm gap
+        let v = check(&flat_of(c), &tech);
+        let spacing: Vec<_> = v.iter().filter(|x| x.rule == DrcRule::MinSpacing).collect();
+        assert_eq!(spacing.len(), 1);
+        assert_eq!(spacing[0].measured, 500);
+    }
+
+    #[test]
+    fn touching_shapes_are_one_component_no_spacing_check() {
+        let tech = Technology::generic_1um();
+        let mut c = Cell::new("joined");
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 1_500));
+        c.add_rect(Layer::Metal1, Rect::from_wh(9_000, 0, 10_000, 1_500));
+        let v = check(&flat_of(c), &tech);
+        assert!(v.iter().all(|x| x.rule != DrcRule::MinSpacing));
+    }
+
+    #[test]
+    fn decomposition_slivers_tolerated() {
+        // An L of two overlapping min-width wires: the canonical
+        // decomposition may create a sliver at the joint; it must not be
+        // reported because its neighbourhood spans full width.
+        let tech = Technology::generic_1um();
+        let mut c = Cell::new("l");
+        c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 1_500));
+        c.add_rect(Layer::Metal1, Rect::from_wh(8_500, 0, 1_500, 10_000));
+        let v = check(&flat_of(c), &tech);
+        assert!(
+            v.iter().all(|x| x.rule != DrcRule::MinWidth),
+            "{v:?}"
+        );
+    }
+}

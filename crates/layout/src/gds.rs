@@ -1,0 +1,620 @@
+//! GDSII stream format reader and writer.
+//!
+//! A from-scratch implementation of the subset of GDSII needed to
+//! exchange flattened-or-hierarchical mask layouts: `BOUNDARY` polygons,
+//! `SREF` instances with orthogonal transforms, and `TEXT` labels.
+//! Record framing, the excess-64 base-16 8-byte real and big-endian
+//! integer encodings follow the Calma GDSII Stream Format manual.
+//!
+//! ```
+//! use layout::{Cell, Layer, Library};
+//! use layout::gds;
+//! use geom::Rect;
+//!
+//! let mut lib = Library::new("demo");
+//! let mut cell = Cell::new("top");
+//! cell.add_rect(Layer::Metal1, Rect::new(0, 0, 1000, 500));
+//! lib.add_cell(cell);
+//! let bytes = gds::write_library(&lib)?;
+//! let back = gds::read_library(&bytes)?;
+//! assert_eq!(back.cell("top").unwrap().shapes(Layer::Metal1).len(), 1);
+//! # Ok::<(), layout::gds::GdsError>(())
+//! ```
+
+use crate::cell::{Cell, Instance, Library, Orientation};
+use crate::layer::Layer;
+use geom::{Point, Polygon, Vector};
+
+// Record types (record-type byte << 8 | data-type byte).
+const HEADER: u16 = 0x0002;
+const BGNLIB: u16 = 0x0102;
+const LIBNAME: u16 = 0x0206;
+const UNITS: u16 = 0x0305;
+const ENDLIB: u16 = 0x0400;
+const BGNSTR: u16 = 0x0502;
+const STRNAME: u16 = 0x0606;
+const ENDSTR: u16 = 0x0700;
+const BOUNDARY: u16 = 0x0800;
+const SREF: u16 = 0x0A00;
+const TEXT: u16 = 0x0C00;
+const LAYER_REC: u16 = 0x0D02;
+const DATATYPE: u16 = 0x0E02;
+const XY: u16 = 0x1003;
+const ENDEL: u16 = 0x1100;
+const SNAME: u16 = 0x1206;
+const TEXTTYPE: u16 = 0x1602;
+const PRESENTATION: u16 = 0x1701;
+const STRING: u16 = 0x1906;
+const STRANS: u16 = 0x1A01;
+const MAG: u16 = 0x1B05;
+const ANGLE: u16 = 0x1C05;
+
+/// Errors produced by the GDSII codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GdsError {
+    /// Stream ended in the middle of a record.
+    Truncated,
+    /// First record was not `HEADER`.
+    NotGds,
+    /// A record carried an unexpected length or payload.
+    Malformed(String),
+    /// The stream references a GDS layer number we do not model.
+    UnknownLayer(i16),
+    /// Structure nesting was inconsistent (e.g. element outside a
+    /// structure).
+    Structure(String),
+    /// A non-orthogonal transform (angle not a multiple of 90°, or
+    /// magnification ≠ 1) was encountered.
+    UnsupportedTransform(String),
+}
+
+impl core::fmt::Display for GdsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            GdsError::Truncated => write!(f, "truncated GDSII stream"),
+            GdsError::NotGds => write!(f, "stream does not begin with a GDSII HEADER record"),
+            GdsError::Malformed(m) => write!(f, "malformed GDSII record: {m}"),
+            GdsError::UnknownLayer(n) => write!(f, "unknown GDS layer number {n}"),
+            GdsError::Structure(m) => write!(f, "inconsistent GDSII structure: {m}"),
+            GdsError::UnsupportedTransform(m) => write!(f, "unsupported transform: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GdsError {}
+
+// ---------------------------------------------------------------------
+// 8-byte GDS real (excess-64, base-16)
+// ---------------------------------------------------------------------
+
+/// Encodes an `f64` as the GDSII 8-byte real.
+fn encode_real8(value: f64) -> [u8; 8] {
+    if value == 0.0 {
+        return [0; 8];
+    }
+    let sign: u8 = if value < 0.0 { 0x80 } else { 0 };
+    let mut v = value.abs();
+    // Normalise so that mantissa ∈ [1/16, 1).
+    let mut exp: i32 = 64;
+    while v >= 1.0 {
+        v /= 16.0;
+        exp += 1;
+    }
+    while v < 1.0 / 16.0 {
+        v *= 16.0;
+        exp -= 1;
+    }
+    let mantissa = (v * 2f64.powi(56)) as u64;
+    let mut out = [0u8; 8];
+    out[0] = sign | (exp as u8 & 0x7F);
+    out[1..8].copy_from_slice(&mantissa.to_be_bytes()[1..8]);
+    out
+}
+
+/// Decodes the GDSII 8-byte real.
+fn decode_real8(b: &[u8]) -> f64 {
+    let sign = if b[0] & 0x80 != 0 { -1.0 } else { 1.0 };
+    let exp = (b[0] & 0x7F) as i32 - 64;
+    let mut mant_bytes = [0u8; 8];
+    mant_bytes[1..8].copy_from_slice(&b[1..8]);
+    let mantissa = u64::from_be_bytes(mant_bytes) as f64 / 2f64.powi(56);
+    sign * mantissa * 16f64.powi(exp)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+struct Writer {
+    out: Vec<u8>,
+}
+
+impl Writer {
+    fn record(&mut self, tag: u16, payload: &[u8]) {
+        let len = 4 + payload.len();
+        assert!(len <= u16::MAX as usize, "GDS record too long");
+        assert!(payload.len() % 2 == 0, "GDS payload must be even-sized");
+        self.out.extend_from_slice(&(len as u16).to_be_bytes());
+        self.out.extend_from_slice(&tag.to_be_bytes());
+        self.out.extend_from_slice(payload);
+    }
+
+    fn int16s(&mut self, tag: u16, values: &[i16]) {
+        let mut p = Vec::with_capacity(values.len() * 2);
+        for v in values {
+            p.extend_from_slice(&v.to_be_bytes());
+        }
+        self.record(tag, &p);
+    }
+
+    fn int32s(&mut self, tag: u16, values: &[i32]) {
+        let mut p = Vec::with_capacity(values.len() * 4);
+        for v in values {
+            p.extend_from_slice(&v.to_be_bytes());
+        }
+        self.record(tag, &p);
+    }
+
+    fn ascii(&mut self, tag: u16, s: &str) {
+        let mut p = s.as_bytes().to_vec();
+        if p.len() % 2 == 1 {
+            p.push(0);
+        }
+        self.record(tag, &p);
+    }
+
+    fn real8s(&mut self, tag: u16, values: &[f64]) {
+        let mut p = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            p.extend_from_slice(&encode_real8(*v));
+        }
+        self.record(tag, &p);
+    }
+}
+
+fn orientation_to_strans(o: Orientation) -> (bool, f64) {
+    match o {
+        Orientation::R0 => (false, 0.0),
+        Orientation::R90 => (false, 90.0),
+        Orientation::R180 => (false, 180.0),
+        Orientation::R270 => (false, 270.0),
+        Orientation::MX => (true, 0.0),
+        Orientation::MX90 => (true, 90.0),
+        Orientation::MX180 => (true, 180.0),
+        Orientation::MX270 => (true, 270.0),
+    }
+}
+
+fn strans_to_orientation(mirror: bool, angle: f64) -> Result<Orientation, GdsError> {
+    let quarter = (angle / 90.0).round();
+    if (angle - quarter * 90.0).abs() > 1e-6 {
+        return Err(GdsError::UnsupportedTransform(format!(
+            "angle {angle} is not a multiple of 90°"
+        )));
+    }
+    let q = quarter.rem_euclid(4.0) as u8;
+    Ok(match (mirror, q) {
+        (false, 0) => Orientation::R0,
+        (false, 1) => Orientation::R90,
+        (false, 2) => Orientation::R180,
+        (false, 3) => Orientation::R270,
+        (true, 0) => Orientation::MX,
+        (true, 1) => Orientation::MX90,
+        (true, 2) => Orientation::MX180,
+        (true, 3) => Orientation::MX270,
+        _ => unreachable!(),
+    })
+}
+
+/// Serialises a [`Library`] to GDSII bytes.
+///
+/// Units are 1 nm database units, 1 µm user units — the convention of the
+/// whole workspace.
+///
+/// # Errors
+/// Currently infallible in practice; the `Result` covers future
+/// validation (e.g. record-length overflow surfaces as a panic today).
+pub fn write_library(lib: &Library) -> Result<Vec<u8>, GdsError> {
+    let mut w = Writer { out: Vec::new() };
+    let ts = [1995i16, 3, 6, 0, 0, 0, 1995, 3, 6, 0, 0, 0];
+    w.int16s(HEADER, &[600]);
+    w.int16s(BGNLIB, &ts);
+    w.ascii(LIBNAME, lib.name());
+    // user units per db unit (µm per nm), metres per db unit.
+    w.real8s(UNITS, &[1e-3, 1e-9]);
+    for cell in lib.cells() {
+        w.int16s(BGNSTR, &ts);
+        w.ascii(STRNAME, cell.name());
+        for layer in cell.used_layers() {
+            for r in cell.shapes(layer) {
+                w.record(BOUNDARY, &[]);
+                w.int16s(LAYER_REC, &[layer.gds_number()]);
+                w.int16s(DATATYPE, &[0]);
+                let pts = [
+                    (r.x0(), r.y0()),
+                    (r.x1(), r.y0()),
+                    (r.x1(), r.y1()),
+                    (r.x0(), r.y1()),
+                    (r.x0(), r.y0()),
+                ];
+                let xy: Vec<i32> = pts
+                    .iter()
+                    .flat_map(|&(x, y)| [x as i32, y as i32])
+                    .collect();
+                w.int32s(XY, &xy);
+                w.record(ENDEL, &[]);
+            }
+        }
+        for label in cell.labels() {
+            w.record(TEXT, &[]);
+            w.int16s(LAYER_REC, &[label.layer.gds_number()]);
+            w.int16s(TEXTTYPE, &[0]);
+            w.int32s(XY, &[label.at.x as i32, label.at.y as i32]);
+            w.ascii(STRING, &label.text);
+            w.record(ENDEL, &[]);
+        }
+        for inst in cell.instances() {
+            w.record(SREF, &[]);
+            w.ascii(SNAME, &inst.cell);
+            let (mirror, angle) = orientation_to_strans(inst.orientation);
+            if mirror || angle != 0.0 {
+                let bits: u16 = if mirror { 0x8000 } else { 0 };
+                w.record(STRANS, &bits.to_be_bytes());
+                if angle != 0.0 {
+                    w.real8s(ANGLE, &[angle]);
+                }
+            }
+            w.int32s(XY, &[inst.at.dx as i32, inst.at.dy as i32]);
+            w.record(ENDEL, &[]);
+        }
+        w.record(ENDSTR, &[]);
+    }
+    w.record(ENDLIB, &[]);
+    Ok(w.out)
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+struct Record<'a> {
+    tag: u16,
+    payload: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn next(&mut self) -> Result<Record<'a>, GdsError> {
+        if self.pos + 4 > self.buf.len() {
+            return Err(GdsError::Truncated);
+        }
+        let len = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]) as usize;
+        if len < 4 || self.pos + len > self.buf.len() {
+            return Err(GdsError::Truncated);
+        }
+        let tag = u16::from_be_bytes([self.buf[self.pos + 2], self.buf[self.pos + 3]]);
+        let payload = &self.buf[self.pos + 4..self.pos + len];
+        self.pos += len;
+        Ok(Record { tag, payload })
+    }
+}
+
+fn payload_i16(p: &[u8]) -> Result<i16, GdsError> {
+    if p.len() < 2 {
+        return Err(GdsError::Malformed("expected int16 payload".into()));
+    }
+    Ok(i16::from_be_bytes([p[0], p[1]]))
+}
+
+fn payload_string(p: &[u8]) -> String {
+    let end = p.iter().position(|&b| b == 0).unwrap_or(p.len());
+    String::from_utf8_lossy(&p[..end]).into_owned()
+}
+
+fn payload_points(p: &[u8]) -> Result<Vec<Point>, GdsError> {
+    if p.len() % 8 != 0 {
+        return Err(GdsError::Malformed("XY payload not 8-byte aligned".into()));
+    }
+    Ok(p.chunks(8)
+        .map(|c| {
+            Point::new(
+                i32::from_be_bytes([c[0], c[1], c[2], c[3]]) as i64,
+                i32::from_be_bytes([c[4], c[5], c[6], c[7]]) as i64,
+            )
+        })
+        .collect())
+}
+
+/// Parses GDSII bytes into a [`Library`].
+///
+/// # Errors
+/// Returns a [`GdsError`] for truncated streams, non-GDS input, unknown
+/// layer numbers or non-orthogonal instance transforms.
+pub fn read_library(bytes: &[u8]) -> Result<Library, GdsError> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    let first = r.next()?;
+    if first.tag != HEADER {
+        return Err(GdsError::NotGds);
+    }
+    let mut lib = Library::new("unnamed");
+    let mut current: Option<Cell> = None;
+
+    loop {
+        let rec = r.next()?;
+        match rec.tag {
+            BGNLIB | UNITS => {}
+            LIBNAME => lib = Library::new(payload_string(rec.payload)),
+            BGNSTR => {
+                if current.is_some() {
+                    return Err(GdsError::Structure("nested BGNSTR".into()));
+                }
+                current = Some(Cell::new("unnamed"));
+            }
+            STRNAME => {
+                let c = current
+                    .take()
+                    .ok_or_else(|| GdsError::Structure("STRNAME outside structure".into()))?;
+                // Rebuild with proper name keeping content (content is
+                // empty at this point in well-formed streams).
+                let mut named = Cell::new(payload_string(rec.payload));
+                for layer in c.used_layers() {
+                    for rect in c.shapes(layer) {
+                        named.add_rect(layer, *rect);
+                    }
+                }
+                current = Some(named);
+            }
+            ENDSTR => {
+                let c = current
+                    .take()
+                    .ok_or_else(|| GdsError::Structure("ENDSTR outside structure".into()))?;
+                lib.add_cell(c);
+            }
+            BOUNDARY => {
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| GdsError::Structure("BOUNDARY outside structure".into()))?;
+                read_boundary(&mut r, cell)?;
+            }
+            TEXT => {
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| GdsError::Structure("TEXT outside structure".into()))?;
+                read_text(&mut r, cell)?;
+            }
+            SREF => {
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| GdsError::Structure("SREF outside structure".into()))?;
+                read_sref(&mut r, cell)?;
+            }
+            ENDLIB => return Ok(lib),
+            _ => {} // skip records we do not model (PATH width etc.)
+        }
+    }
+}
+
+fn read_boundary(r: &mut Reader<'_>, cell: &mut Cell) -> Result<(), GdsError> {
+    let mut layer: Option<Layer> = None;
+    let mut points: Vec<Point> = Vec::new();
+    loop {
+        let rec = r.next()?;
+        match rec.tag {
+            LAYER_REC => {
+                let n = payload_i16(rec.payload)?;
+                layer = Some(Layer::from_gds_number(n).ok_or(GdsError::UnknownLayer(n))?);
+            }
+            DATATYPE => {}
+            XY => points = payload_points(rec.payload)?,
+            ENDEL => break,
+            _ => {}
+        }
+    }
+    let layer = layer.ok_or_else(|| GdsError::Malformed("BOUNDARY without LAYER".into()))?;
+    let poly = Polygon::new(points)
+        .map_err(|e| GdsError::Malformed(format!("bad BOUNDARY outline: {e}")))?;
+    cell.add_polygon(layer, &poly);
+    Ok(())
+}
+
+fn read_text(r: &mut Reader<'_>, cell: &mut Cell) -> Result<(), GdsError> {
+    let mut layer: Option<Layer> = None;
+    let mut at: Option<Point> = None;
+    let mut text = String::new();
+    loop {
+        let rec = r.next()?;
+        match rec.tag {
+            LAYER_REC => {
+                let n = payload_i16(rec.payload)?;
+                layer = Some(Layer::from_gds_number(n).ok_or(GdsError::UnknownLayer(n))?);
+            }
+            TEXTTYPE | PRESENTATION | STRANS | MAG | ANGLE => {}
+            XY => at = payload_points(rec.payload)?.first().copied(),
+            STRING => text = payload_string(rec.payload),
+            ENDEL => break,
+            _ => {}
+        }
+    }
+    let layer = layer.ok_or_else(|| GdsError::Malformed("TEXT without LAYER".into()))?;
+    let at = at.ok_or_else(|| GdsError::Malformed("TEXT without XY".into()))?;
+    cell.add_label(layer, at, text);
+    Ok(())
+}
+
+fn read_sref(r: &mut Reader<'_>, cell: &mut Cell) -> Result<(), GdsError> {
+    let mut name = String::new();
+    let mut at = Vector::new(0, 0);
+    let mut mirror = false;
+    let mut angle = 0.0f64;
+    loop {
+        let rec = r.next()?;
+        match rec.tag {
+            SNAME => name = payload_string(rec.payload),
+            STRANS => {
+                if rec.payload.len() >= 2 {
+                    mirror = rec.payload[0] & 0x80 != 0;
+                }
+            }
+            ANGLE => {
+                if rec.payload.len() >= 8 {
+                    angle = decode_real8(&rec.payload[..8]);
+                }
+            }
+            MAG => {
+                if rec.payload.len() >= 8 {
+                    let m = decode_real8(&rec.payload[..8]);
+                    if (m - 1.0).abs() > 1e-9 {
+                        return Err(GdsError::UnsupportedTransform(format!(
+                            "magnification {m} ≠ 1"
+                        )));
+                    }
+                }
+            }
+            XY => {
+                if let Some(p) = payload_points(rec.payload)?.first() {
+                    at = Vector::new(p.x, p.y);
+                }
+            }
+            ENDEL => break,
+            _ => {}
+        }
+    }
+    if name.is_empty() {
+        return Err(GdsError::Malformed("SREF without SNAME".into()));
+    }
+    cell.add_instance(Instance {
+        cell: name,
+        at,
+        orientation: strans_to_orientation(mirror, angle)?,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Rect;
+
+    #[test]
+    fn real8_round_trip() {
+        for v in [0.0, 1.0, -1.0, 1e-3, 1e-9, 90.0, 270.0, 0.6672, 12345.678] {
+            let enc = encode_real8(v);
+            let dec = decode_real8(&enc);
+            let err = (dec - v).abs();
+            assert!(
+                err <= v.abs() * 1e-12 + 1e-300,
+                "round trip {v} -> {dec} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn library_round_trip_shapes_labels_instances() {
+        let mut lib = Library::new("testlib");
+        let mut leaf = Cell::new("leaf");
+        leaf.add_rect(Layer::Poly, Rect::new(0, 0, 500, 2_000));
+        leaf.add_rect(Layer::Metal1, Rect::new(-100, -100, 400, 300));
+        leaf.add_label(Layer::Metal1, Point::new(10, 10), "out");
+        lib.add_cell(leaf);
+        let mut top = Cell::new("top");
+        top.add_instance(Instance {
+            cell: "leaf".into(),
+            at: Vector::new(5_000, 0),
+            orientation: Orientation::R270,
+        });
+        top.add_instance(Instance {
+            cell: "leaf".into(),
+            at: Vector::new(0, 5_000),
+            orientation: Orientation::MX,
+        });
+        lib.add_cell(top);
+
+        let bytes = write_library(&lib).unwrap();
+        let back = read_library(&bytes).unwrap();
+        assert_eq!(back.name(), "testlib");
+        let leaf2 = back.cell("leaf").unwrap();
+        assert_eq!(leaf2.shapes(Layer::Poly), lib.cell("leaf").unwrap().shapes(Layer::Poly));
+        assert_eq!(leaf2.labels().len(), 1);
+        assert_eq!(leaf2.labels()[0].text, "out");
+        let top2 = back.cell("top").unwrap();
+        assert_eq!(top2.instances().len(), 2);
+        assert_eq!(top2.instances()[0].orientation, Orientation::R270);
+        assert_eq!(top2.instances()[1].orientation, Orientation::MX);
+        // Flattened geometry identical.
+        let f1 = lib.flatten("top").unwrap();
+        let f2 = back.flatten("top").unwrap();
+        assert_eq!(f1.shapes(Layer::Poly).len(), f2.shapes(Layer::Poly).len());
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error() {
+        let mut lib = Library::new("l");
+        lib.add_cell(Cell::new("c"));
+        let bytes = write_library(&lib).unwrap();
+        for cut in [1usize, 3, bytes.len() / 2, bytes.len() - 1] {
+            let res = read_library(&bytes[..cut]);
+            assert!(res.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn non_gds_input_rejected() {
+        // Well-framed record whose tag is BGNLIB, not HEADER.
+        let not_header = [0x00, 0x06, 0x01, 0x02, 0x00, 0x00];
+        assert_eq!(read_library(&not_header), Err(GdsError::NotGds));
+        // Garbage whose implied record length overruns the buffer.
+        assert_eq!(
+            read_library(b"hello world, this is not gds "),
+            Err(GdsError::Truncated)
+        );
+        assert_eq!(read_library(&[]), Err(GdsError::Truncated));
+    }
+
+    #[test]
+    fn l_shaped_boundary_is_decomposed() {
+        // Hand-craft a stream with an L-shaped BOUNDARY.
+        let mut w = Writer { out: Vec::new() };
+        w.int16s(HEADER, &[600]);
+        w.int16s(BGNLIB, &[0; 12]);
+        w.ascii(LIBNAME, "lib");
+        w.real8s(UNITS, &[1e-3, 1e-9]);
+        w.int16s(BGNSTR, &[0; 12]);
+        w.ascii(STRNAME, "lshape");
+        w.record(BOUNDARY, &[]);
+        w.int16s(LAYER_REC, &[Layer::Metal1.gds_number()]);
+        w.int16s(DATATYPE, &[0]);
+        let pts = [(0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30), (0, 0)];
+        let xy: Vec<i32> = pts.iter().flat_map(|&(x, y)| [x, y]).collect();
+        w.int32s(XY, &xy);
+        w.record(ENDEL, &[]);
+        w.record(ENDSTR, &[]);
+        w.record(ENDLIB, &[]);
+
+        let lib = read_library(&w.out).unwrap();
+        let cell = lib.cell("lshape").unwrap();
+        let area: i128 = cell.shapes(Layer::Metal1).iter().map(|r| r.area()).sum();
+        assert_eq!(area, 500);
+        assert!(cell.shapes(Layer::Metal1).len() >= 2);
+    }
+
+    #[test]
+    fn unknown_layer_number_rejected() {
+        let mut w = Writer { out: Vec::new() };
+        w.int16s(HEADER, &[600]);
+        w.ascii(LIBNAME, "lib");
+        w.int16s(BGNSTR, &[0; 12]);
+        w.ascii(STRNAME, "c");
+        w.record(BOUNDARY, &[]);
+        w.int16s(LAYER_REC, &[42]);
+        w.int16s(DATATYPE, &[0]);
+        w.int32s(XY, &[0, 0, 1, 0, 1, 1, 0, 1, 0, 0]);
+        w.record(ENDEL, &[]);
+        w.record(ENDSTR, &[]);
+        w.record(ENDLIB, &[]);
+        assert_eq!(read_library(&w.out), Err(GdsError::UnknownLayer(42)));
+    }
+}

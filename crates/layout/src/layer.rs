@@ -1,0 +1,143 @@
+//! Mask layers of the single-poly, double-metal CMOS process.
+
+/// A mask layer.
+///
+/// The set matches the technology of the paper's VCO (single poly,
+/// double metal CMOS) plus the well needed to distinguish device
+/// polarity. GDSII layer numbers follow a conventional assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// N-well: PMOS devices sit in it. Not a routing conductor.
+    Nwell,
+    /// Active (diffusion) area: transistor sources/drains and channels.
+    Active,
+    /// Polysilicon: gates and short local interconnect.
+    Poly,
+    /// Contact cut: connects Metal1 down to Poly or Active.
+    Contact,
+    /// First-level metal.
+    Metal1,
+    /// Via cut: connects Metal1 and Metal2.
+    Via1,
+    /// Second-level metal.
+    Metal2,
+}
+
+impl Layer {
+    /// All layers, in process order.
+    pub const ALL: [Layer; 7] = [
+        Layer::Nwell,
+        Layer::Active,
+        Layer::Poly,
+        Layer::Contact,
+        Layer::Metal1,
+        Layer::Via1,
+        Layer::Metal2,
+    ];
+
+    /// Layers that carry signal nets (participate in connectivity
+    /// extraction as conductors).
+    pub const CONDUCTORS: [Layer; 4] = [Layer::Active, Layer::Poly, Layer::Metal1, Layer::Metal2];
+
+    /// Cut layers: they do not form nets themselves but join the
+    /// conductors they touch.
+    pub const CUTS: [Layer; 2] = [Layer::Contact, Layer::Via1];
+
+    /// True for layers that carry nets.
+    pub fn is_conductor(&self) -> bool {
+        matches!(
+            self,
+            Layer::Active | Layer::Poly | Layer::Metal1 | Layer::Metal2
+        )
+    }
+
+    /// True for contact/via cut layers.
+    pub fn is_cut(&self) -> bool {
+        matches!(self, Layer::Contact | Layer::Via1)
+    }
+
+    /// The conductor layers a cut can join: `(upper, lower candidates)`.
+    /// Returns `None` for non-cut layers.
+    pub fn cut_connects(&self) -> Option<(Layer, &'static [Layer])> {
+        match self {
+            Layer::Contact => Some((Layer::Metal1, &[Layer::Poly, Layer::Active])),
+            Layer::Via1 => Some((Layer::Metal2, &[Layer::Metal1])),
+            _ => None,
+        }
+    }
+
+    /// Conventional GDSII `LAYER` number.
+    pub fn gds_number(&self) -> i16 {
+        match self {
+            Layer::Nwell => 1,
+            Layer::Active => 2,
+            Layer::Poly => 3,
+            Layer::Contact => 4,
+            Layer::Metal1 => 5,
+            Layer::Via1 => 6,
+            Layer::Metal2 => 7,
+        }
+    }
+
+    /// Reverse of [`Layer::gds_number`].
+    pub fn from_gds_number(n: i16) -> Option<Layer> {
+        Layer::ALL.iter().copied().find(|l| l.gds_number() == n)
+    }
+
+    /// Short lowercase name used in fault identifiers
+    /// (e.g. `metal1_short`, matching the paper's Fig. 4 labels).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Layer::Nwell => "nwell",
+            Layer::Active => "diff",
+            Layer::Poly => "poly",
+            Layer::Contact => "cont",
+            Layer::Metal1 => "metal1",
+            Layer::Via1 => "via",
+            Layer::Metal2 => "metal2",
+        }
+    }
+}
+
+impl core::fmt::Display for Layer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gds_numbers_round_trip() {
+        for l in Layer::ALL {
+            assert_eq!(Layer::from_gds_number(l.gds_number()), Some(l));
+        }
+        assert_eq!(Layer::from_gds_number(99), None);
+    }
+
+    #[test]
+    fn conductor_cut_partition() {
+        for l in Layer::ALL {
+            assert!(!(l.is_conductor() && l.is_cut()));
+        }
+        assert!(Layer::Metal1.is_conductor());
+        assert!(Layer::Contact.is_cut());
+        assert!(!Layer::Nwell.is_conductor());
+    }
+
+    #[test]
+    fn cut_connectivity_declared() {
+        let (upper, lowers) = Layer::Contact.cut_connects().unwrap();
+        assert_eq!(upper, Layer::Metal1);
+        assert!(lowers.contains(&Layer::Poly) && lowers.contains(&Layer::Active));
+        assert!(Layer::Poly.cut_connects().is_none());
+    }
+
+    #[test]
+    fn display_matches_paper_nomenclature() {
+        assert_eq!(Layer::Metal1.to_string(), "metal1");
+        assert_eq!(Layer::Active.to_string(), "diff");
+    }
+}

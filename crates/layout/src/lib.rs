@@ -1,0 +1,37 @@
+//! # layout — IC layout database, technology description and GDSII I/O
+//!
+//! This crate models everything LIFT needs from a physical design:
+//!
+//! * [`Layer`] — the mask layers of a single-poly, double-metal CMOS
+//!   process (the technology of the paper's VCO test chip);
+//! * [`Technology`] — feature size, design rules (minimum widths and
+//!   spacings that determine critical areas) and layer connectivity;
+//! * [`Cell`], [`Library`], [`Instance`] — hierarchical layout with
+//!   orthogonal transforms, plus [`FlatLayout`] produced by flattening;
+//! * [`gds`] — a from-scratch GDSII stream reader/writer so layouts can
+//!   be exchanged with standard EDA tools;
+//! * [`builder`] — parameterised generators (MOSFET, wires, contact
+//!   stacks) used to construct the VCO layout programmatically.
+//!
+//! ```
+//! use layout::{Cell, Layer, Technology};
+//! use geom::Rect;
+//!
+//! let tech = Technology::generic_1um();
+//! let mut cell = Cell::new("top");
+//! cell.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10 * tech.lambda(), 3 * tech.lambda()));
+//! assert_eq!(cell.shapes(Layer::Metal1).len(), 1);
+//! ```
+
+pub mod builder;
+pub mod cell;
+pub mod drc;
+pub mod gds;
+pub mod layer;
+pub mod tech;
+
+pub use builder::{CellBuilder, MosParams, MosStyle};
+pub use drc::{check as drc_check, DrcRule, DrcViolation};
+pub use cell::{Cell, FlatLayout, Instance, Label, Library, Orientation};
+pub use layer::Layer;
+pub use tech::{DesignRules, Technology};

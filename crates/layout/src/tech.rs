@@ -1,0 +1,196 @@
+//! Technology description: feature size, design rules, layer stack.
+//!
+//! Minimum widths and spacings are the quantities that determine defect
+//! critical areas: a spot defect shorts two wires when its diameter
+//! exceeds their spacing, and opens a wire when it exceeds the width.
+
+use crate::layer::Layer;
+use geom::Coord;
+use std::collections::BTreeMap;
+
+/// Width/spacing design rules for one layer, in nanometres.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DesignRules {
+    /// Minimum drawn width.
+    pub min_width: Coord,
+    /// Minimum same-layer spacing.
+    pub min_spacing: Coord,
+}
+
+/// A process technology: lambda (half feature size), per-layer rules and
+/// a handful of named inter-layer rules.
+///
+/// [`Technology::generic_1um`] models the paper's fabrication process: a
+/// single-poly, double-metal CMOS line with roughly 1 µm features,
+/// expressed in MOSIS-style scalable rules with λ = 500 nm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Technology {
+    name: String,
+    lambda: Coord,
+    rules: BTreeMap<Layer, DesignRules>,
+    /// Cut (contact/via) square size.
+    cut_size: Coord,
+    /// Required conductor overlap around a cut.
+    cut_surround: Coord,
+    /// Poly gate extension beyond active.
+    gate_extension: Coord,
+    /// Active (source/drain) extension beyond the gate.
+    sd_extension: Coord,
+    /// N-well surround of PMOS active.
+    nwell_surround: Coord,
+}
+
+impl Technology {
+    /// The generic single-poly double-metal 1 µm CMOS process used by the
+    /// whole reproduction (λ = 500 nm).
+    pub fn generic_1um() -> Self {
+        let l = 500; // lambda in nm
+        let mut rules = BTreeMap::new();
+        rules.insert(
+            Layer::Nwell,
+            DesignRules {
+                min_width: 10 * l,
+                min_spacing: 10 * l,
+            },
+        );
+        rules.insert(
+            Layer::Active,
+            DesignRules {
+                min_width: 3 * l,
+                min_spacing: 3 * l,
+            },
+        );
+        rules.insert(
+            Layer::Poly,
+            DesignRules {
+                min_width: 2 * l,
+                min_spacing: 2 * l,
+            },
+        );
+        rules.insert(
+            Layer::Contact,
+            DesignRules {
+                min_width: 2 * l,
+                min_spacing: 2 * l,
+            },
+        );
+        rules.insert(
+            Layer::Metal1,
+            DesignRules {
+                min_width: 3 * l,
+                min_spacing: 3 * l,
+            },
+        );
+        rules.insert(
+            Layer::Via1,
+            DesignRules {
+                min_width: 2 * l,
+                min_spacing: 3 * l,
+            },
+        );
+        rules.insert(
+            Layer::Metal2,
+            DesignRules {
+                min_width: 3 * l,
+                min_spacing: 4 * l,
+            },
+        );
+        Technology {
+            name: "generic-1um-2m1p".to_string(),
+            lambda: l,
+            rules,
+            cut_size: 2 * l,
+            cut_surround: l,
+            gate_extension: 2 * l,
+            // 1λ gate-to-contact + 2λ contact + 1λ active overlap.
+            sd_extension: 4 * l,
+            nwell_surround: 5 * l,
+        }
+    }
+
+    /// Technology name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// λ in nanometres.
+    pub fn lambda(&self) -> Coord {
+        self.lambda
+    }
+
+    /// Design rules for `layer`.
+    ///
+    /// # Panics
+    /// Panics if the layer has no rules (all layers of
+    /// [`Technology::generic_1um`] do).
+    pub fn rules(&self, layer: Layer) -> DesignRules {
+        self.rules[&layer]
+    }
+
+    /// Contact/via square edge length.
+    pub fn cut_size(&self) -> Coord {
+        self.cut_size
+    }
+
+    /// Conductor overlap required around a cut.
+    pub fn cut_surround(&self) -> Coord {
+        self.cut_surround
+    }
+
+    /// Poly gate extension beyond the channel.
+    pub fn gate_extension(&self) -> Coord {
+        self.gate_extension
+    }
+
+    /// Source/drain diffusion extension beyond the gate edge.
+    pub fn sd_extension(&self) -> Coord {
+        self.sd_extension
+    }
+
+    /// N-well surround of PMOS active.
+    pub fn nwell_surround(&self) -> Coord {
+        self.nwell_surround
+    }
+
+    /// Database units per user micron (nm per µm).
+    pub fn db_per_um(&self) -> Coord {
+        geom::NM_PER_UM
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::generic_1um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_tech_has_rules_for_all_layers() {
+        let t = Technology::generic_1um();
+        for l in Layer::ALL {
+            let r = t.rules(l);
+            assert!(r.min_width > 0 && r.min_spacing > 0, "{l} rules missing");
+        }
+    }
+
+    #[test]
+    fn metal2_spacing_wider_than_metal1() {
+        // Upper metals are thicker and need more spacing — this asymmetry
+        // matters for the Tab.1 defect densities (metal2 shorts are the
+        // densest mechanism).
+        let t = Technology::generic_1um();
+        assert!(t.rules(Layer::Metal2).min_spacing > t.rules(Layer::Metal1).min_spacing);
+    }
+
+    #[test]
+    fn lambda_consistency() {
+        let t = Technology::generic_1um();
+        assert_eq!(t.lambda(), 500);
+        assert_eq!(t.rules(Layer::Poly).min_width, 2 * t.lambda());
+        assert_eq!(t.cut_size(), 2 * t.lambda());
+    }
+}

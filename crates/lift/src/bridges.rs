@@ -1,0 +1,275 @@
+//! Bridging-fault extraction.
+//!
+//! For every conductor layer carrying a short mechanism, every pair of
+//! different-net shapes within the maximum defect diameter contributes
+//! critical area. Contributions accumulate per net pair; the dominant
+//! mechanism names the fault (`metal1_short`, `poly_short`, …), with
+//! the special case of a source/drain bridge across a channel named
+//! `n_ds_short`/`p_ds_short` as in the paper's Fig. 4.
+
+use crate::{make_fault, LiftFault, LiftFaultClass, LiftOptions};
+use anafault::FaultEffect;
+use defect::{weighted_bridge_area, Mechanism};
+use extract::{ExtractedNetlist, NetId, Polarity};
+use geom::{edge_separation, GridIndex};
+use layout::Layer;
+use std::collections::HashMap;
+
+/// Accumulated bridge candidate between two nets.
+struct BridgeAccum {
+    /// Total probability over all shape pairs and mechanisms.
+    probability: f64,
+    /// Per-mechanism contribution, to pick the dominant one.
+    by_mechanism: HashMap<Mechanism, f64>,
+}
+
+pub(crate) fn extract_bridges(
+    netlist: &ExtractedNetlist,
+    options: &LiftOptions,
+    out: &mut Vec<LiftFault>,
+    next_id: &mut usize,
+) {
+    let x_max = options.size_dist.x_max() as i64;
+    let mut accum: HashMap<(NetId, NetId), BridgeAccum> = HashMap::new();
+
+    for layer in Layer::CONDUCTORS {
+        let mechanism = Mechanism::Bridge(layer);
+        let density = options.mechanisms.absolute_density(mechanism);
+        if density <= 0.0 {
+            continue;
+        }
+        // Gather all rects on this layer with their nets.
+        let mut rects = Vec::new();
+        for f in &netlist.fragments {
+            if f.layer != layer {
+                continue;
+            }
+            for r in f.region.rects() {
+                rects.push((*r, f.net));
+            }
+        }
+        let mut index = GridIndex::new(x_max.max(1));
+        for (i, (r, _)) in rects.iter().enumerate() {
+            index.insert(i, *r);
+        }
+        // Pairwise within reach.
+        for (i, (ri, net_i)) in rects.iter().enumerate() {
+            let window = ri.expanded(x_max);
+            for (j, rj) in index.query_entries(&window) {
+                if j <= i {
+                    continue;
+                }
+                let net_j = rects[j].1;
+                if net_j == *net_i {
+                    continue;
+                }
+                let sep = edge_separation(ri, &rj);
+                if sep.spacing as f64 >= options.size_dist.x_max() {
+                    continue;
+                }
+                let area = weighted_bridge_area(
+                    sep.parallel_length as f64,
+                    sep.spacing as f64,
+                    &options.size_dist,
+                );
+                if area <= 0.0 {
+                    continue;
+                }
+                let p = density * area;
+                let key = (net_i.min(&net_j).to_owned(), *net_i.max(&net_j));
+                let e = accum.entry(key).or_insert_with(|| BridgeAccum {
+                    probability: 0.0,
+                    by_mechanism: HashMap::new(),
+                });
+                e.probability += p;
+                *e.by_mechanism.entry(mechanism).or_insert(0.0) += p;
+            }
+        }
+    }
+
+    // Emit one fault per net pair, deterministically ordered.
+    let mut pairs: Vec<((NetId, NetId), BridgeAccum)> = accum.into_iter().collect();
+    pairs.sort_by_key(|(k, _)| *k);
+    for ((a, b), acc) in pairs {
+        let dominant = acc
+            .by_mechanism
+            .iter()
+            .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite"))
+            .map(|(m, _)| *m)
+            .expect("at least one mechanism contributed");
+        let (name, local) = classify_bridge(netlist, a, b, dominant);
+        let mut na = netlist.nets[a].name.clone();
+        let mut nb = netlist.nets[b].name.clone();
+        // Present node pairs in natural order (numeric nets first, by
+        // value) — matching the paper's `1->5` style labels.
+        if natural_cmp(&na, &nb) == core::cmp::Ordering::Greater {
+            core::mem::swap(&mut na, &mut nb);
+        }
+        let fault = make_fault(
+            *next_id,
+            LiftFaultClass::Bridge,
+            local,
+            dominant,
+            &name,
+            acc.probability,
+            &format!("{na}->{nb}"),
+            FaultEffect::Short { a: na, b: nb },
+        );
+        *next_id += 1;
+        out.push(fault);
+    }
+}
+
+/// Numeric-aware name ordering: `"1" < "5" < "11" < "ctrl"`.
+fn natural_cmp(a: &str, b: &str) -> core::cmp::Ordering {
+    match (a.parse::<u64>(), b.parse::<u64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        (Ok(_), Err(_)) => core::cmp::Ordering::Less,
+        (Err(_), Ok(_)) => core::cmp::Ordering::Greater,
+        (Err(_), Err(_)) => a.cmp(b),
+    }
+}
+
+/// Names the bridge and decides local (device-internal) vs global.
+fn classify_bridge(
+    netlist: &ExtractedNetlist,
+    a: NetId,
+    b: NetId,
+    dominant: Mechanism,
+) -> (String, bool) {
+    // Drain-source bridge of one transistor: the paper's `n_ds_short`.
+    for m in &netlist.mosfets {
+        let sd = [m.source, m.drain];
+        if sd.contains(&a) && sd.contains(&b) && a != b {
+            let prefix = match m.polarity {
+                Polarity::Nmos => "n",
+                Polarity::Pmos => "p",
+            };
+            return (format!("{prefix}_ds_short"), true);
+        }
+        // Other same-device terminal pairs are local too (g-d, g-s).
+        let all = [m.gate, m.source, m.drain];
+        if all.contains(&a) && all.contains(&b) {
+            return (dominant.id(), true);
+        }
+    }
+    for c in &netlist.capacitors {
+        let t = [c.bottom, c.top];
+        if t.contains(&a) && t.contains(&b) {
+            return (dominant.id(), true);
+        }
+    }
+    (dominant.id(), false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract::{connectivity::extract, ExtractOptions};
+    use geom::Point;
+    use layout::{CellBuilder, Library, MosParams, MosStyle, Technology};
+
+    fn run_lift(cell: layout::Cell) -> Vec<LiftFault> {
+        let t = Technology::generic_1um();
+        let mut lib = Library::new("t");
+        let name = cell.name().to_string();
+        lib.add_cell(cell);
+        let flat = lib.flatten(&name).unwrap();
+        let netlist = extract(&flat, &t, &ExtractOptions::default()).unwrap();
+        let mut out = Vec::new();
+        let mut id = 1;
+        extract_bridges(&netlist, &LiftOptions::default(), &mut out, &mut id);
+        out
+    }
+
+    #[test]
+    fn adjacent_wires_bridge_distant_do_not() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("w", &t);
+        // Two wires 1.5 µm apart (bridgeable), a third 50 µm away
+        // (beyond x_max = 20 µm).
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
+        b.wire(Layer::Metal1, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
+        b.wire(Layer::Metal1, &[Point::new(0, 60_000), Point::new(30_000, 60_000)], 1_500);
+        let faults = run_lift(b.finish());
+        assert_eq!(faults.len(), 1, "{faults:?}");
+        assert_eq!(faults[0].class, LiftFaultClass::Bridge);
+        assert!(!faults[0].local);
+        assert!(faults[0].fault.label.contains("metal1_short"));
+        assert!(faults[0].probability > 0.0);
+    }
+
+    #[test]
+    fn closer_pair_ranks_higher() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("w", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
+        b.wire(Layer::Metal1, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
+        // Third wire, farther from the middle one.
+        b.wire(Layer::Metal1, &[Point::new(0, 12_000), Point::new(30_000, 12_000)], 1_500);
+        let faults = run_lift(b.finish());
+        // near pair (0,1), far pairs (1,2) and maybe (0,2).
+        let p_near = faults
+            .iter()
+            .find(|f| f.fault.label.contains("n0->n1"))
+            .unwrap()
+            .probability;
+        let p_far = faults
+            .iter()
+            .find(|f| f.fault.label.contains("n1->n2"))
+            .unwrap()
+            .probability;
+        assert!(p_near > p_far * 3.0, "near {p_near} far {p_far}");
+    }
+
+    #[test]
+    fn ds_short_is_named_and_local() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("m", &t);
+        b.mosfet(
+            Point::new(0, 0),
+            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+        );
+        let faults = run_lift(b.finish());
+        let ds = faults
+            .iter()
+            .find(|f| f.fault.label.contains("n_ds_short"))
+            .expect("drain-source bridge extracted");
+        assert!(ds.local);
+        // The 1 µm channel gap makes this the most likely bridge.
+        let max_p = faults
+            .iter()
+            .map(|f| f.probability)
+            .fold(0.0f64, f64::max);
+        assert_eq!(ds.probability, max_p);
+    }
+
+    #[test]
+    fn pmos_ds_short_prefix() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("m", &t);
+        b.mosfet(
+            Point::new(0, 0),
+            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Pmos },
+        );
+        let faults = run_lift(b.finish());
+        assert!(faults.iter().any(|f| f.fault.label.contains("p_ds_short")));
+    }
+
+    #[test]
+    fn metal2_bridges_use_their_own_density() {
+        let t = Technology::generic_1um();
+        let build = |layer| {
+            let mut b = CellBuilder::new("w", &t);
+            b.wire(layer, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
+            b.wire(layer, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
+            run_lift(b.finish())
+        };
+        let m1 = build(Layer::Metal1);
+        let m2 = build(Layer::Metal2);
+        // Same geometry; metal2's relative density is 1.5× metal1's.
+        let ratio = m2[0].probability / m1[0].probability;
+        assert!((ratio - 1.5).abs() < 1e-9, "ratio {ratio}");
+        assert!(m2[0].fault.label.contains("metal2_short"));
+    }
+}

@@ -1,0 +1,333 @@
+//! Per-net connectivity graphs for open-fault effect analysis.
+//!
+//! A net's geometry is a graph: nodes are the canonical rectangles of
+//! its fragments ("sites"), edges are same-layer contact between sites
+//! plus contact/via cuts. Device terminals and labelled ports attach to
+//! specific sites. Removing a site (line open) or a cut edge (contact
+//! open) partitions the graph; the resulting grouping of terminals *is*
+//! the electrical effect of the open.
+
+use extract::{ExtractedNetlist, NetId};
+use geom::Rect;
+use std::collections::HashMap;
+
+/// A terminal attached to a net site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Attachment {
+    /// A device terminal `(element name, terminal index)` using the
+    /// simulation circuit's terminal numbering (M: d=0, g=1, s=2; C:
+    /// 0/1).
+    Terminal(String, usize),
+    /// A labelled port (testbench connection).
+    Port(String),
+}
+
+impl Attachment {
+    /// True for ports.
+    pub fn is_port(&self) -> bool {
+        matches!(self, Attachment::Port(_))
+    }
+}
+
+/// One graph edge between two sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// First site.
+    pub a: usize,
+    /// Second site.
+    pub b: usize,
+    /// `Some(cut index)` for contact/via edges, `None` for same-layer
+    /// contact. Doubled contacts produce *parallel* edges with distinct
+    /// cut indices — removing one cut must leave the other intact.
+    pub cut: Option<usize>,
+}
+
+/// The connectivity graph of one net.
+#[derive(Debug, Clone)]
+pub struct NetGraph {
+    /// The net.
+    pub net: NetId,
+    /// Site geometry: `(fragment index, rect)` per site.
+    pub sites: Vec<(usize, Rect)>,
+    /// All edges (same-layer contact and cuts).
+    pub edges: Vec<Edge>,
+    /// Terminal/port attachments per site.
+    pub attachments: Vec<(usize, Attachment)>,
+}
+
+impl NetGraph {
+    /// Builds the graph for `net`.
+    pub fn build(netlist: &ExtractedNetlist, net: NetId) -> NetGraph {
+        let mut sites: Vec<(usize, Rect)> = Vec::new();
+        let mut site_of: HashMap<(usize, usize), usize> = HashMap::new();
+        for &fi in &netlist.nets[net].fragments {
+            for (ri, r) in netlist.fragments[fi].region.rects().iter().enumerate() {
+                site_of.insert((fi, ri), sites.len());
+                sites.push((fi, *r));
+            }
+        }
+        let mut edges: Vec<Edge> = Vec::new();
+        // Same-fragment contact.
+        for i in 0..sites.len() {
+            for j in (i + 1)..sites.len() {
+                if sites[i].0 == sites[j].0 && sites[i].1.touches(&sites[j].1) {
+                    edges.push(Edge { a: i, b: j, cut: None });
+                }
+            }
+        }
+        // Cut edges.
+        for (ci, cut) in netlist.cuts.iter().enumerate() {
+            if cut.net != net {
+                continue;
+            }
+            let find_site = |fragment: usize| {
+                netlist.fragments[fragment]
+                    .region
+                    .rects()
+                    .iter()
+                    .enumerate()
+                    .find(|(_, r)| r.overlaps(&cut.rect) || r.touches(&cut.rect))
+                    .and_then(|(ri, _)| site_of.get(&(fragment, ri)).copied())
+            };
+            if let (Some(a), Some(b)) = (find_site(cut.upper_fragment), find_site(cut.lower_fragment))
+            {
+                edges.push(Edge { a, b, cut: Some(ci) });
+            }
+        }
+
+        // Attachments: device terminals.
+        let mut attachments: Vec<(usize, Attachment)> = Vec::new();
+        let attach = |site: Option<usize>, a: Attachment, attachments: &mut Vec<(usize, Attachment)>| {
+            if let Some(s) = site {
+                attachments.push((s, a));
+            }
+        };
+        for m in &netlist.mosfets {
+            // Gate: poly site overlapping the channel.
+            if m.gate == net {
+                let site = sites.iter().position(|&(fi, r)| {
+                    netlist.fragments[fi].layer == layout::Layer::Poly && r.overlaps(&m.channel)
+                });
+                attach(site, Attachment::Terminal(m.name.clone(), 1), &mut attachments);
+            }
+            // Source/drain: active sites touching the channel.
+            for (net_id, term) in [(m.source, 2usize), (m.drain, 0usize)] {
+                if net_id == net {
+                    let site = sites.iter().position(|&(fi, r)| {
+                        netlist.fragments[fi].layer == layout::Layer::Active
+                            && netlist.fragments[fi].net == net_id
+                            && r.touches(&m.channel)
+                    });
+                    attach(site, Attachment::Terminal(m.name.clone(), term), &mut attachments);
+                }
+            }
+        }
+        for c in &netlist.capacitors {
+            for (net_id, term, layer) in [
+                (c.bottom, 0usize, layout::Layer::Metal1),
+                (c.top, 1usize, layout::Layer::Metal2),
+            ] {
+                if net_id == net {
+                    let site = sites.iter().position(|&(fi, r)| {
+                        netlist.fragments[fi].layer == layer && r.overlaps(&c.plate)
+                    });
+                    attach(site, Attachment::Terminal(c.name.clone(), term), &mut attachments);
+                }
+            }
+        }
+        for p in &netlist.ports {
+            if netlist.fragments[p.fragment].net != net {
+                continue;
+            }
+            let site = sites
+                .iter()
+                .position(|&(fi, r)| fi == p.fragment && r.contains_point(p.at));
+            attach(site, Attachment::Port(p.name.clone()), &mut attachments);
+        }
+
+        NetGraph {
+            net,
+            sites,
+            edges,
+            attachments,
+        }
+    }
+
+    /// All attachments on the net.
+    pub fn attachment_count(&self) -> usize {
+        self.attachments.len()
+    }
+
+    /// Cut indices that appear as graph edges, with their endpoint
+    /// sites.
+    pub fn cut_edges(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        self.edges
+            .iter()
+            .filter_map(|e| e.cut.map(|ci| (ci, e.a, e.b)))
+    }
+
+    /// Splits attachments into connected groups after removing site
+    /// `removed_site` (pass `usize::MAX` to remove nothing) and/or the
+    /// cut edge `removed_cut` (by cut index). A doubled contact — two
+    /// cuts joining the same fragments — survives single-cut removal
+    /// because only the edge with the matching cut index disappears.
+    /// Returns the groups of attachments, one per connected component
+    /// that has any.
+    pub fn partition_after_removal(
+        &self,
+        removed_site: usize,
+        removed_cut: Option<usize>,
+    ) -> Vec<Vec<Attachment>> {
+        let n = self.sites.len();
+        // Surviving adjacency.
+        let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            if e.a == removed_site || e.b == removed_site {
+                continue;
+            }
+            if removed_cut.is_some() && e.cut == removed_cut {
+                continue;
+            }
+            adjacency[e.a].push(e.b);
+            adjacency[e.b].push(e.a);
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut next_comp = 0;
+        for start in 0..n {
+            if start == removed_site || comp[start] != usize::MAX {
+                continue;
+            }
+            let mut queue = vec![start];
+            comp[start] = next_comp;
+            while let Some(u) = queue.pop() {
+                for &v in &adjacency[u] {
+                    if comp[v] != usize::MAX {
+                        continue;
+                    }
+                    comp[v] = next_comp;
+                    queue.push(v);
+                }
+            }
+            next_comp += 1;
+        }
+        let mut groups: HashMap<usize, Vec<Attachment>> = HashMap::new();
+        for (site, a) in &self.attachments {
+            if *site == removed_site {
+                // Attachment sits exactly on the destroyed segment: the
+                // terminal dangles — treat as its own group.
+                groups
+                    .entry(usize::MAX - 1)
+                    .or_default()
+                    .push(a.clone());
+                continue;
+            }
+            groups.entry(comp[*site]).or_default().push(a.clone());
+        }
+        let mut out: Vec<Vec<Attachment>> = groups.into_values().collect();
+        for g in &mut out {
+            g.sort();
+        }
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract::{connectivity::extract, ExtractOptions};
+    use geom::Point;
+    use layout::{CellBuilder, Layer, Library, MosParams, MosStyle, Technology};
+
+    fn netlist_for(cell: layout::Cell) -> ExtractedNetlist {
+        let t = Technology::generic_1um();
+        let mut lib = Library::new("t");
+        let name = cell.name().to_string();
+        lib.add_cell(cell);
+        let flat = lib.flatten(&name).unwrap();
+        extract(&flat, &t, &ExtractOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn straight_wire_with_two_ports() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("w", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(40_000, 0)], 1_500);
+        b.label(Layer::Metal1, Point::new(1_000, 0), "a");
+        // Second label has to be a different port on the same net: allowed
+        // only when names agree, so reuse the same name.
+        b.label(Layer::Metal1, Point::new(39_000, 0), "a");
+        let n = netlist_for(b.finish());
+        let g = NetGraph::build(&n, 0);
+        assert_eq!(g.attachment_count(), 2);
+        // Removing nothing: one group with both ports.
+        let whole = g.partition_after_removal(usize::MAX, None);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 2);
+    }
+
+    #[test]
+    fn cut_edge_removal_partitions_terminals() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("v", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(20_000, 0)], 1_500);
+        b.wire(Layer::Metal2, &[Point::new(20_000, 0), Point::new(20_000, 20_000)], 1_500);
+        b.via(Point::new(20_000, 0));
+        b.label(Layer::Metal1, Point::new(1_000, 0), "x");
+        b.label(Layer::Metal2, Point::new(20_000, 19_000), "x");
+        let n = netlist_for(b.finish());
+        assert_eq!(n.net_count(), 1);
+        let g = NetGraph::build(&n, 0);
+        let cuts: Vec<_> = g.cut_edges().collect();
+        assert_eq!(cuts.len(), 1);
+        let parts = g.partition_after_removal(usize::MAX, Some(cuts[0].0));
+        // The two ports end up in different groups.
+        assert_eq!(parts.len(), 2, "{parts:?}");
+    }
+
+    #[test]
+    fn doubled_cut_survives_single_removal() {
+        // Two vias joining the same m1/m2 fragments: removing either one
+        // must NOT partition the net.
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("v2", &t);
+        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(20_000, 0)], 2_000);
+        b.wire(Layer::Metal2, &[Point::new(14_000, 0), Point::new(14_000, 20_000)], 2_000);
+        b.via(Point::new(14_000, 0));
+        b.via(Point::new(17_000, 0));
+        b.wire(Layer::Metal2, &[Point::new(14_000, 0), Point::new(17_000, 0)], 2_000);
+        b.label(Layer::Metal1, Point::new(1_000, 0), "x");
+        b.label(Layer::Metal2, Point::new(14_000, 19_000), "x");
+        let n = netlist_for(b.finish());
+        assert_eq!(n.net_count(), 1);
+        let g = NetGraph::build(&n, 0);
+        let cuts: Vec<_> = g.cut_edges().collect();
+        assert_eq!(cuts.len(), 2);
+        for (ci, _, _) in cuts {
+            let parts = g.partition_after_removal(usize::MAX, Some(ci));
+            assert_eq!(parts.len(), 1, "cut {ci} must not partition");
+        }
+    }
+
+    #[test]
+    fn mos_terminals_attach() {
+        let t = Technology::generic_1um();
+        let mut b = CellBuilder::new("m", &t);
+        let _g = b.mosfet(
+            Point::new(0, 0),
+            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+        );
+        let n = netlist_for(b.finish());
+        let m = &n.mosfets[0];
+        let gate_graph = NetGraph::build(&n, m.gate);
+        assert!(gate_graph
+            .attachments
+            .iter()
+            .any(|(_, a)| *a == Attachment::Terminal("M1".into(), 1)));
+        let source_graph = NetGraph::build(&n, m.source);
+        assert!(source_graph
+            .attachments
+            .iter()
+            .any(|(_, a)| *a == Attachment::Terminal("M1".into(), 2)));
+    }
+}

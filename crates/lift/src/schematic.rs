@@ -1,0 +1,182 @@
+//! The complete schematic-assumed fault list.
+//!
+//! Before any layout information exists, the conservative assumption is
+//! "every terminal of every component can open, every terminal pair can
+//! short" (paper §III: "the complete set of possible hard faults
+//! irrespective whether or not the assumptions are realistic"). This
+//! module enumerates that set; for the paper's VCO it must come out as
+//! 78 + 1 opens and 73 shorts (§VI).
+
+use anafault::{Fault, FaultEffect};
+use spice::{Circuit, ElementKind};
+
+/// The complete schematic fault list, opens and shorts separated.
+#[derive(Debug, Clone)]
+pub struct SchematicFaults {
+    /// Single open faults (one per component terminal; capacitors get
+    /// one open total — opening either plate is equivalent).
+    pub opens: Vec<Fault>,
+    /// Single short faults (one per distinct-node terminal pair).
+    pub shorts: Vec<Fault>,
+    /// Designed-short pairs skipped (e.g. diode-connected gate-drain
+    /// transistors).
+    pub skipped_designed_shorts: usize,
+}
+
+impl SchematicFaults {
+    /// All faults, opens first.
+    pub fn all(&self) -> Vec<Fault> {
+        let mut v = self.opens.clone();
+        v.extend(self.shorts.iter().cloned());
+        v
+    }
+
+    /// Total fault count.
+    pub fn total(&self) -> usize {
+        self.opens.len() + self.shorts.len()
+    }
+}
+
+/// Enumerates the complete single-hard-fault set of a circuit's devices
+/// (MOSFETs and capacitors; testbench sources and fault-model resistors
+/// are not fault sites).
+pub fn schematic_faults(ckt: &Circuit) -> SchematicFaults {
+    let mut opens = Vec::new();
+    let mut shorts = Vec::new();
+    let mut skipped = 0usize;
+    let mut id = 1usize;
+
+    for e in ckt.elements() {
+        match &e.kind {
+            ElementKind::Mosfet { .. } => {
+                // Opens on d, g, s (bulk is the well/substrate plane —
+                // not a line that opens).
+                for (term, letter) in [(0usize, 'd'), (1, 'g'), (2, 's')] {
+                    opens.push(
+                        Fault::new(
+                            id,
+                            format!("OPN {}.{letter}", e.name),
+                            FaultEffect::OpenTerminal {
+                                element: e.name.clone(),
+                                terminal: term,
+                            },
+                        ),
+                    );
+                    id += 1;
+                }
+                // Shorts on terminal pairs with distinct nodes.
+                for (t1, t2, tag) in [(1usize, 0usize, "gd"), (1, 2, "gs"), (0, 2, "ds")] {
+                    if e.nodes[t1] == e.nodes[t2] {
+                        skipped += 1; // designed short (diode-connected)
+                        continue;
+                    }
+                    shorts.push(
+                        Fault::new(
+                            id,
+                            format!("BRI {}.{tag}", e.name),
+                            FaultEffect::ElementShort {
+                                element: e.name.clone(),
+                                t1,
+                                t2,
+                            },
+                        ),
+                    );
+                    id += 1;
+                }
+            }
+            ElementKind::Capacitor { .. } => {
+                opens.push(
+                    Fault::new(
+                        id,
+                        format!("OPN {}", e.name),
+                        FaultEffect::OpenTerminal {
+                            element: e.name.clone(),
+                            terminal: 0,
+                        },
+                    ),
+                );
+                id += 1;
+                if e.nodes[0] != e.nodes[1] {
+                    shorts.push(
+                        Fault::new(
+                            id,
+                            format!("BRI {}", e.name),
+                            FaultEffect::ElementShort {
+                                element: e.name.clone(),
+                                t1: 0,
+                                t2: 1,
+                            },
+                        ),
+                    );
+                    id += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    SchematicFaults {
+        opens,
+        shorts,
+        skipped_designed_shorts: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice::{MosModel, Waveform};
+
+    /// A miniature circuit with one diode-connected transistor.
+    fn mini() -> Circuit {
+        let mut c = Circuit::new("mini");
+        c.add_model(MosModel::default_nmos("n"));
+        let vdd = c.node("vdd");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add("V1", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+        // Diode-connected: gate == drain == a.
+        c.add("M1", vec![a, a, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet { model: "n".into(), w: 10e-6, l: 1e-6 });
+        c.add("M2", vec![b, a, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet { model: "n".into(), w: 10e-6, l: 1e-6 });
+        c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-12, ic: None });
+        c
+    }
+
+    #[test]
+    fn counts_follow_the_identities() {
+        let f = schematic_faults(&mini());
+        // Opens: 3 per transistor × 2 + 1 capacitor = 7.
+        assert_eq!(f.opens.len(), 7);
+        // Shorts: 3 per transistor × 2 − 1 designed (M1 g-d) − M2 g-s?
+        // M2: g=a, s=0 — distinct; M2 d=b, s=0 distinct; so 3+2=5, plus
+        // capacitor short (b vs 0 distinct) = 6.
+        assert_eq!(f.shorts.len(), 6);
+        assert_eq!(f.skipped_designed_shorts, 1);
+        assert_eq!(f.total(), 13);
+    }
+
+    #[test]
+    fn sources_are_not_fault_sites() {
+        let f = schematic_faults(&mini());
+        assert!(f.all().iter().all(|fault| !fault.label.contains("V1")));
+    }
+
+    #[test]
+    fn labels_follow_convention() {
+        let f = schematic_faults(&mini());
+        assert!(f.opens.iter().any(|x| x.label == "OPN M1.d"));
+        assert!(f.shorts.iter().any(|x| x.label == "BRI M2.gd"));
+        assert!(f.opens.iter().any(|x| x.label == "OPN C1"));
+    }
+
+    #[test]
+    fn ids_unique_and_dense() {
+        let f = schematic_faults(&mini());
+        let mut ids: Vec<usize> = f.all().iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), f.total());
+    }
+}

@@ -1,0 +1,247 @@
+//! Newton–Raphson nonlinear solve and the DC operating point.
+//!
+//! The operating point tries plain Newton first, then gmin stepping
+//! (sweeping a node-shunt conductance down in decades), then source
+//! stepping (ramping all independent sources from zero) — the classic
+//! SPICE fallback ladder.
+
+use crate::devices::{stamp_all, StampParams, UnknownMap};
+use crate::mna::MnaSystem;
+use crate::netlist::Circuit;
+use crate::SpiceError;
+
+/// Newton iteration controls.
+#[derive(Debug, Clone)]
+pub struct NewtonOpts {
+    /// Maximum iterations per solve.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance (V).
+    pub vabstol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Maximum voltage change applied per iteration (damping clamp).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOpts {
+    fn default() -> Self {
+        NewtonOpts {
+            max_iter: 200,
+            vabstol: 1e-6,
+            reltol: 1e-3,
+            max_step: 1.0,
+        }
+    }
+}
+
+/// Runs damped Newton–Raphson from the initial guess `x0`. Returns the
+/// solution together with the number of iterations spent (the kernel
+/// work measure the runtime experiments report).
+///
+/// # Errors
+/// [`SpiceError::NoConvergence`] after `max_iter` iterations,
+/// [`SpiceError::Singular`] when the Jacobian factorisation fails.
+pub fn solve_newton(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    x0: &[f64],
+    params: &StampParams<'_>,
+    opts: &NewtonOpts,
+    analysis: &str,
+) -> Result<(Vec<f64>, usize), SpiceError> {
+    let mut x = x0.to_vec();
+    let mut sys = MnaSystem::new(map.dim());
+    for iter in 0..opts.max_iter {
+        stamp_all(ckt, map, &x, &mut sys, params)?;
+        let x_new = sys.solve(analysis)?;
+        let mut converged = true;
+        let mut x_next = vec![0.0; x.len()];
+        for i in 0..x.len() {
+            let dx = x_new[i] - x[i];
+            let limited = dx.clamp(-opts.max_step, opts.max_step);
+            x_next[i] = x[i] + limited;
+            if dx.abs() > opts.reltol * x_new[i].abs() + opts.vabstol {
+                converged = false;
+            }
+        }
+        let done = converged;
+        x = x_next;
+        if done {
+            return Ok((x, iter + 1));
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis: analysis.to_string(),
+        detail: format!("no convergence in {} iterations", opts.max_iter),
+    })
+}
+
+/// Computes the DC operating point (capacitors open, sources at their
+/// DC values).
+///
+/// # Errors
+/// Propagates the last failure when plain Newton, gmin stepping and
+/// source stepping all fail.
+pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
+    let map = UnknownMap::new(ckt);
+    let opts = NewtonOpts::default();
+    let zeros = vec![0.0; map.dim()];
+
+    // 1. Plain Newton from zero.
+    let base = StampParams::default();
+    if let Ok((x, _)) = solve_newton(ckt, &map, &zeros, &base, &opts, "dc op") {
+        return Ok(x);
+    }
+
+    // 2. gmin stepping: strong shunts make the circuit nearly linear;
+    //    relax them decade by decade, carrying the solution.
+    let mut x = zeros.clone();
+    let mut ok = true;
+    let mut gshunt = 1e-2;
+    while gshunt >= 1e-12 {
+        let params = StampParams {
+            gshunt,
+            ..StampParams::default()
+        };
+        match solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin stepping)") {
+            Ok((next, _)) => x = next,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+        gshunt /= 10.0;
+    }
+    if ok {
+        let params = StampParams::default();
+        if let Ok((final_x, _)) = solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin final)") {
+            return Ok(final_x);
+        }
+    }
+
+    // 3. Source stepping: ramp the supplies from 10 % to 100 %.
+    let mut x = zeros;
+    for pct in 1..=10 {
+        let params = StampParams {
+            source_scale: pct as f64 / 10.0,
+            ..StampParams::default()
+        };
+        x = solve_newton(ckt, &map, &x, &params, &opts, "dc op (source stepping)")?.0;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{ElementKind, MosModel, Waveform};
+
+    #[test]
+    fn linear_divider_op() {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(10.0) });
+        c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
+        c.add("R2", vec![b, Circuit::GROUND], ElementKind::Resistor { r: 3e3 });
+        let x = dc_operating_point(&c).unwrap();
+        let map = UnknownMap::new(&c);
+        assert!((map.voltage(&x, b) - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        // NMOS with resistive pull-up: input low -> out high; input high
+        // -> out pulled low.
+        let build = |vin: f64| {
+            let mut c = Circuit::new("inv");
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_model(MosModel::default_nmos("n1"));
+            c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+            c.add("Vin", vec![inp, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(vin) });
+            c.add("RL", vec![vdd, out], ElementKind::Resistor { r: 10e3 });
+            c.add(
+                "M1",
+                vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+            );
+            c
+        };
+        let c_low = build(0.0);
+        let x = dc_operating_point(&c_low).unwrap();
+        let map = UnknownMap::new(&c_low);
+        let out = c_low.find_node("out").unwrap();
+        assert!((map.voltage(&x, out) - 5.0).abs() < 1e-3, "off transistor leaves out high");
+
+        let c_high = build(5.0);
+        let x = dc_operating_point(&c_high).unwrap();
+        let v_out = map.voltage(&x, out);
+        assert!(v_out < 0.5, "on transistor pulls out low, got {v_out}");
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let build = |vin: f64| {
+            let mut c = Circuit::new("cmosinv");
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_model(MosModel::default_nmos("n1"));
+            c.add_model(MosModel::default_pmos("p1"));
+            c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+            c.add("Vin", vec![inp, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(vin) });
+            c.add("Mn", vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 });
+            c.add("Mp", vec![out, inp, vdd, vdd],
+                ElementKind::Mosfet { model: "p1".into(), w: 25e-6, l: 1e-6 });
+            c
+        };
+        let c0 = build(0.0);
+        let map = UnknownMap::new(&c0);
+        let out = c0.find_node("out").unwrap();
+        let x = dc_operating_point(&c0).unwrap();
+        assert!(map.voltage(&x, out) > 4.9, "low in -> high out");
+        let c5 = build(5.0);
+        let x = dc_operating_point(&c5).unwrap();
+        assert!(map.voltage(&x, out) < 0.1, "high in -> low out");
+    }
+
+    #[test]
+    fn diode_connected_nmos_settles_near_vth() {
+        // Current source into a diode-connected NMOS: v ≈ vth + vov.
+        let mut c = Circuit::new("diode");
+        let d = c.node("d");
+        c.add_model(MosModel::default_nmos("n1"));
+        c.add(
+            "I1",
+            vec![Circuit::GROUND, d],
+            ElementKind::Isource { wave: Waveform::Dc(50e-6) },
+        );
+        c.add(
+            "M1",
+            vec![d, d, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+        );
+        let x = dc_operating_point(&c).unwrap();
+        let map = UnknownMap::new(&c);
+        let v = map.voltage(&x, d);
+        // vov = sqrt(2 I / beta) ≈ sqrt(2*50µ/800µ) ≈ 0.35 V, vth = 0.8.
+        assert!(v > 0.9 && v < 1.5, "diode voltage {v}");
+    }
+
+    #[test]
+    fn floating_node_handled_by_gshunt() {
+        // A node connected only through a capacitor would be singular
+        // without the gshunt.
+        let mut c = Circuit::new("float");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(1.0) });
+        c.add("C1", vec![a, b], ElementKind::Capacitor { c: 1e-12, ic: None });
+        let x = dc_operating_point(&c).unwrap();
+        let map = UnknownMap::new(&c);
+        assert!(map.voltage(&x, b).abs() < 1.0, "floating node pulled to ground");
+    }
+}

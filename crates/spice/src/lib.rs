@@ -1,0 +1,96 @@
+//! # spice — the kernel analogue circuit simulator
+//!
+//! AnaFAULT (the fault simulator crate) needs a SPICE-class kernel it
+//! can call repeatedly on topology-modified netlists. The paper used
+//! ELDO; this crate is the in-tree substitute: a modified-nodal-analysis
+//! simulator with
+//!
+//! * a circuit data model designed for *in-memory topology editing*
+//!   ([`Circuit`], [`Element`]) — the capability the paper points out is
+//!   missing from stock simulators;
+//! * a SPICE-netlist text parser ([`parser`]);
+//! * Newton–Raphson DC operating point with gmin and source stepping
+//!   ([`dcop`]);
+//! * backward-Euler / trapezoidal transient analysis ([`tran`]);
+//! * device models: resistor, capacitor, independent V/I sources
+//!   (DC/PULSE/SIN/PWL) and the Shichman–Hodges MOS level-1 model with
+//!   body effect and channel-length modulation ([`devices`]);
+//! * waveform storage and measurement utilities ([`waveform`]).
+//!
+//! The linear core is a dense LU with partial pivoting: the circuits of
+//! interest (tens of nodes) are far below the size where sparsity wins,
+//! and dense pivoting is the most robust choice for fault-perturbed
+//! matrices.
+//!
+//! ```
+//! use spice::parser::parse_netlist;
+//! use spice::tran::{tran, TranSpec};
+//!
+//! let ckt = parse_netlist(r#"rc divider
+//! v1 in 0 dc 5
+//! r1 in out 1k
+//! r2 out 0 1k
+//! .end
+//! "#)?;
+//! let res = tran(&ckt, &TranSpec::new(1e-6, 1e-5))?;
+//! let v_out = res.wave("out").unwrap().last_value();
+//! assert!((v_out - 2.5).abs() < 1e-6);
+//! # Ok::<(), spice::SpiceError>(())
+//! ```
+
+pub mod dcop;
+pub mod devices;
+pub mod mna;
+pub mod netlist;
+pub mod parser;
+pub mod tran;
+pub mod waveform;
+
+pub use netlist::{Circuit, Element, ElementKind, MosModel, MosPolarity, NodeId, Waveform};
+pub use tran::{tran, TranResult, TranSpec};
+pub use waveform::Wave;
+
+/// Errors surfaced by parsing or simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Text netlist could not be parsed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The circuit references an undefined model or node.
+    Elaboration(String),
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Which analysis failed.
+        analysis: String,
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// The MNA matrix became singular.
+    Singular {
+        /// Which analysis hit the singularity.
+        analysis: String,
+    },
+}
+
+impl core::fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SpiceError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            SpiceError::Elaboration(m) => write!(f, "elaboration error: {m}"),
+            SpiceError::NoConvergence { analysis, detail } => {
+                write!(f, "{analysis} failed to converge: {detail}")
+            }
+            SpiceError::Singular { analysis } => {
+                write!(f, "singular matrix during {analysis}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpiceError {}

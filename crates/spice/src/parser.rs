@@ -1,0 +1,520 @@
+//! SPICE netlist text parser.
+//!
+//! Accepts the classic card format: title line, `R`/`C`/`V`/`I`/`M`
+//! elements, `.model`, `.ic`, `.tran`, `.end`, `*` comments and `+`
+//! continuations. Engineering suffixes (`f p n u m k meg g t`) are
+//! understood. This is the same dialect [`crate::netlist::Circuit::to_netlist`]
+//! emits, so circuits round-trip.
+
+use crate::netlist::{Circuit, ElementKind, MosModel, MosPolarity, Waveform};
+use crate::tran::TranSpec;
+use crate::SpiceError;
+
+/// A parsed deck: the circuit plus any `.tran` card found.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// `.tran tstep tstop [uic]` when present.
+    pub tran: Option<TranSpec>,
+}
+
+/// Parses netlist text into a [`Circuit`], ignoring analysis cards.
+///
+/// # Errors
+/// [`SpiceError::Parse`] with the offending line number.
+pub fn parse_netlist(text: &str) -> Result<Circuit, SpiceError> {
+    parse_deck(text).map(|d| d.circuit)
+}
+
+/// Parses netlist text into a [`Deck`] (circuit + analysis cards).
+///
+/// # Errors
+/// [`SpiceError::Parse`] with the offending line number.
+pub fn parse_deck(text: &str) -> Result<Deck, SpiceError> {
+    // Join continuation lines, remembering original line numbers.
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('+') {
+            match logical.last_mut() {
+                Some((_, prev)) => {
+                    prev.push(' ');
+                    prev.push_str(rest.trim());
+                }
+                None => {
+                    return Err(SpiceError::Parse {
+                        line: i + 1,
+                        message: "continuation line with nothing to continue".into(),
+                    })
+                }
+            }
+        } else {
+            logical.push((i + 1, trimmed.to_string()));
+        }
+    }
+
+    if logical.is_empty() {
+        return Err(SpiceError::Parse {
+            line: 1,
+            message: "empty netlist".into(),
+        });
+    }
+
+    // First logical line is the title.
+    let (_, title) = logical.remove(0);
+    let mut ckt = Circuit::new(title);
+    let mut tran = None;
+
+    for (line_no, line) in logical {
+        let lower = line.to_ascii_lowercase();
+        let tokens: Vec<&str> = lower.split_whitespace().collect();
+        let first = tokens[0];
+        let result = if let Some(card) = first.strip_prefix('.') {
+            match card {
+                "end" => break,
+                "model" => parse_model(&tokens, &mut ckt),
+                "ic" => parse_ic(&line, &mut ckt),
+                "tran" => {
+                    tran = Some(parse_tran(&tokens)?);
+                    Ok(())
+                }
+                "op" | "options" | "print" | "plot" | "probe" => Ok(()), // tolerated
+                other => Err(format!("unsupported card `.{other}`")),
+            }
+        } else {
+            match first.chars().next().unwrap() {
+                'r' => parse_resistor(&tokens, &mut ckt),
+                'c' => parse_capacitor(&tokens, &mut ckt),
+                'v' => parse_source(&tokens, &mut ckt, true),
+                'i' => parse_source(&tokens, &mut ckt, false),
+                'm' => parse_mosfet(&tokens, &mut ckt),
+                other => Err(format!("unsupported element letter `{other}`")),
+            }
+        };
+        result.map_err(|message| SpiceError::Parse {
+            line: line_no,
+            message,
+        })?;
+    }
+
+    Ok(Deck { circuit: ckt, tran })
+}
+
+fn strip_comment(line: &str) -> &str {
+    let line = if line.trim_start().starts_with('*') {
+        ""
+    } else {
+        line
+    };
+    match line.find([';', '$']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Parses a SPICE number with engineering suffix, e.g. `4.7k`, `0.1u`,
+/// `2meg`, `100e-9`, `10n`.
+pub fn parse_value(tok: &str) -> Result<f64, String> {
+    let t = tok.trim().to_ascii_lowercase();
+    // Split numeric prefix from alphabetic suffix.
+    let split = t
+        .find(|c: char| c.is_ascii_alphabetic() && c != 'e')
+        .or_else(|| {
+            // handle cases like '1e3k'? take first alpha that isn't part
+            // of the exponent
+            None
+        });
+    let (num_str, suffix) = match split {
+        Some(i) => {
+            // Guard against splitting inside an exponent like `1e-3`.
+            t.split_at(i)
+        }
+        None => (t.as_str(), ""),
+    };
+    let base: f64 = num_str
+        .parse()
+        .map_err(|_| format!("bad numeric value `{tok}`"))?;
+    let mult = match suffix {
+        "" => 1.0,
+        "t" => 1e12,
+        "g" => 1e9,
+        "meg" => 1e6,
+        "k" => 1e3,
+        "m" => 1e-3,
+        "u" => 1e-6,
+        "n" => 1e-9,
+        "p" => 1e-12,
+        "f" => 1e-15,
+        s => {
+            // Tolerate unit tails like `5v`, `2k2`? Only plain unit
+            // letters after a known multiplier: `kohm`, `uf`, `ns`, …
+            let known: [(&str, f64); 9] = [
+                ("t", 1e12),
+                ("g", 1e9),
+                ("meg", 1e6),
+                ("k", 1e3),
+                ("m", 1e-3),
+                ("u", 1e-6),
+                ("n", 1e-9),
+                ("p", 1e-12),
+                ("f", 1e-15),
+            ];
+            let hit = known.iter().find(|(p, _)| s.starts_with(p));
+            match hit {
+                Some((_, m)) => *m,
+                None if s.chars().all(|c| c.is_ascii_alphabetic()) => 1.0, // `5v`, `3a`
+                _ => return Err(format!("bad value suffix `{s}` in `{tok}`")),
+            }
+        }
+    };
+    Ok(base * mult)
+}
+
+fn parse_resistor(tokens: &[&str], ckt: &mut Circuit) -> Result<(), String> {
+    if tokens.len() < 4 {
+        return Err("resistor needs: Rxxx n1 n2 value".into());
+    }
+    let a = ckt.node(tokens[1]);
+    let b = ckt.node(tokens[2]);
+    let r = parse_value(tokens[3])?;
+    if r == 0.0 {
+        return Err("resistance must be non-zero".into());
+    }
+    ckt.add(tokens[0].to_uppercase(), vec![a, b], ElementKind::Resistor { r });
+    Ok(())
+}
+
+fn parse_capacitor(tokens: &[&str], ckt: &mut Circuit) -> Result<(), String> {
+    if tokens.len() < 4 {
+        return Err("capacitor needs: Cxxx n1 n2 value [ic=v]".into());
+    }
+    let a = ckt.node(tokens[1]);
+    let b = ckt.node(tokens[2]);
+    let c = parse_value(tokens[3])?;
+    let mut ic = None;
+    for t in &tokens[4..] {
+        if let Some(v) = t.strip_prefix("ic=") {
+            ic = Some(parse_value(v)?);
+        }
+    }
+    ckt.add(
+        tokens[0].to_uppercase(),
+        vec![a, b],
+        ElementKind::Capacitor { c, ic },
+    );
+    Ok(())
+}
+
+fn parse_source(tokens: &[&str], ckt: &mut Circuit, voltage: bool) -> Result<(), String> {
+    if tokens.len() < 4 {
+        return Err("source needs: Xxxx n+ n- spec".into());
+    }
+    let p = ckt.node(tokens[1]);
+    let n = ckt.node(tokens[2]);
+    let spec = tokens[3..].join(" ");
+    let wave = parse_waveform(&spec)?;
+    let kind = if voltage {
+        ElementKind::Vsource { wave }
+    } else {
+        ElementKind::Isource { wave }
+    };
+    ckt.add(tokens[0].to_uppercase(), vec![p, n], kind);
+    Ok(())
+}
+
+/// Parses a source specification: `dc 5`, `5`, `pulse(...)`, `sin(...)`,
+/// `pwl(...)`.
+fn parse_waveform(spec: &str) -> Result<Waveform, String> {
+    let s = spec.trim();
+    if let Some(rest) = s.strip_prefix("dc") {
+        let v = parse_value(rest.trim())?;
+        return Ok(Waveform::Dc(v));
+    }
+    if let Some(args) = extract_call(s, "pulse") {
+        let v = parse_args(&args)?;
+        if v.len() < 2 {
+            return Err("pulse needs at least v1 v2".into());
+        }
+        let get = |i: usize, d: f64| v.get(i).copied().unwrap_or(d);
+        return Ok(Waveform::Pulse {
+            v1: v[0],
+            v2: v[1],
+            td: get(2, 0.0),
+            tr: get(3, 1e-9),
+            tf: get(4, 1e-9),
+            pw: get(5, f64::INFINITY),
+            period: get(6, f64::INFINITY),
+        });
+    }
+    if let Some(args) = extract_call(s, "sin") {
+        let v = parse_args(&args)?;
+        if v.len() < 3 {
+            return Err("sin needs vo va freq".into());
+        }
+        let get = |i: usize, d: f64| v.get(i).copied().unwrap_or(d);
+        return Ok(Waveform::Sin {
+            vo: v[0],
+            va: v[1],
+            freq: v[2],
+            td: get(3, 0.0),
+            theta: get(4, 0.0),
+        });
+    }
+    if let Some(args) = extract_call(s, "pwl") {
+        let v = parse_args(&args)?;
+        if v.len() % 2 != 0 || v.is_empty() {
+            return Err("pwl needs time/value pairs".into());
+        }
+        let pts = v.chunks(2).map(|c| (c[0], c[1])).collect();
+        return Ok(Waveform::Pwl(pts));
+    }
+    // Bare value == DC.
+    let v = parse_value(s)?;
+    Ok(Waveform::Dc(v))
+}
+
+/// Extracts `name(...)` argument text, tolerating `name (` spacing.
+fn extract_call(s: &str, name: &str) -> Option<String> {
+    let rest = s.strip_prefix(name)?;
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.rfind(')')?;
+    Some(inner[..close].to_string())
+}
+
+fn parse_args(s: &str) -> Result<Vec<f64>, String> {
+    s.split([' ', ','])
+        .filter(|t| !t.is_empty())
+        .map(parse_value)
+        .collect()
+}
+
+fn parse_mosfet(tokens: &[&str], ckt: &mut Circuit) -> Result<(), String> {
+    if tokens.len() < 6 {
+        return Err("mosfet needs: Mxxx d g s b model [w=..] [l=..]".into());
+    }
+    let d = ckt.node(tokens[1]);
+    let g = ckt.node(tokens[2]);
+    let s = ckt.node(tokens[3]);
+    let b = ckt.node(tokens[4]);
+    let model = tokens[5].to_string();
+    let mut w = 10e-6;
+    let mut l = 1e-6;
+    for t in &tokens[6..] {
+        if let Some(v) = t.strip_prefix("w=") {
+            w = parse_value(v)?;
+        } else if let Some(v) = t.strip_prefix("l=") {
+            l = parse_value(v)?;
+        }
+    }
+    ckt.add(
+        tokens[0].to_uppercase(),
+        vec![d, g, s, b],
+        ElementKind::Mosfet { model, w, l },
+    );
+    Ok(())
+}
+
+fn parse_model(tokens: &[&str], ckt: &mut Circuit) -> Result<(), String> {
+    if tokens.len() < 3 {
+        return Err(".model needs: .model name nmos|pmos [params]".into());
+    }
+    let name = tokens[1];
+    let mut model = match tokens[2] {
+        "nmos" => MosModel::default_nmos(name),
+        "pmos" => MosModel::default_pmos(name),
+        other => return Err(format!("unsupported model type `{other}`")),
+    };
+    for t in &tokens[3..] {
+        let Some((k, v)) = t.split_once('=') else {
+            continue;
+        };
+        let v = parse_value(v)?;
+        match k {
+            "vto" => model.vto = v,
+            "kp" => model.kp = v,
+            "lambda" => model.lambda = v,
+            "gamma" => model.gamma = v,
+            "phi" => model.phi = v,
+            "cox" => model.cox = v,
+            _ => {} // unknown parameters tolerated
+        }
+    }
+    // Keep polarity consistent with vto sign conventions.
+    if model.polarity == MosPolarity::Pmos && model.vto > 0.0 {
+        model.vto = -model.vto;
+    }
+    ckt.add_model(model);
+    Ok(())
+}
+
+fn parse_ic(line: &str, ckt: &mut Circuit) -> Result<(), String> {
+    // .ic v(node)=value [v(node)=value ...]
+    let lower = line.to_ascii_lowercase();
+    for part in lower.split_whitespace().skip(1) {
+        let Some(rest) = part.strip_prefix("v(") else {
+            return Err(format!("bad .ic entry `{part}`"));
+        };
+        let Some((node, val)) = rest.split_once(")=") else {
+            return Err(format!("bad .ic entry `{part}`"));
+        };
+        let id = ckt.node(node);
+        let v = parse_value(val)?;
+        ckt.initial_conditions.push((id, v));
+    }
+    Ok(())
+}
+
+fn parse_tran(tokens: &[&str]) -> Result<TranSpec, SpiceError> {
+    let err = |m: &str| SpiceError::Parse {
+        line: 0,
+        message: m.to_string(),
+    };
+    if tokens.len() < 3 {
+        return Err(err(".tran needs: .tran tstep tstop [uic]"));
+    }
+    let tstep = parse_value(tokens[1]).map_err(|m| err(&m))?;
+    let tstop = parse_value(tokens[2]).map_err(|m| err(&m))?;
+    let mut spec = TranSpec::new(tstep, tstop);
+    if tokens.iter().any(|t| *t == "uic") {
+        spec = spec.with_uic();
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_suffixes() {
+        let close = |tok: &str, expect: f64| {
+            let v = parse_value(tok).unwrap();
+            assert!(
+                (v - expect).abs() <= expect.abs() * 1e-12,
+                "{tok}: {v} != {expect}"
+            );
+        };
+        close("1k", 1e3);
+        close("2meg", 2e6);
+        close("100n", 100e-9);
+        close("0.1u", 0.1e-6);
+        close("3", 3.0);
+        close("1e-9", 1e-9);
+        close("5v", 5.0);
+        close("4.7kohm", 4.7e3);
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_divider() {
+        let ckt = parse_netlist("divider\nV1 in 0 dc 5\nR1 in out 1k\nR2 out 0 1k\n.end\n").unwrap();
+        assert_eq!(ckt.title, "divider");
+        assert_eq!(ckt.elements().len(), 3);
+        assert_eq!(ckt.node_count(), 3);
+    }
+
+    #[test]
+    fn parses_mosfet_and_model() {
+        let ckt = parse_netlist(
+            "inv\nM1 out in 0 0 nch w=10u l=1u\n.model nch nmos vto=0.7 kp=100u\n.end\n",
+        )
+        .unwrap();
+        let e = &ckt.elements()[0];
+        assert_eq!(e.name, "M1");
+        match &e.kind {
+            ElementKind::Mosfet { model, w, l } => {
+                assert_eq!(model, "nch");
+                assert!((w - 10e-6).abs() < 1e-12);
+                assert!((l - 1e-6).abs() < 1e-12);
+            }
+            _ => panic!("expected mosfet"),
+        }
+        let m = &ckt.models["nch"];
+        assert_eq!(m.vto, 0.7);
+        assert!((m.kp - 100e-6).abs() < 1e-15);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn pmos_model_normalises_vto_sign() {
+        let ckt =
+            parse_netlist("p\n.model pch pmos vto=0.9\n.end\n").unwrap();
+        assert_eq!(ckt.models["pch"].vto, -0.9);
+    }
+
+    #[test]
+    fn parses_pulse_and_sin_sources() {
+        let ckt = parse_netlist(
+            "src\nV1 a 0 pulse(0 5 0 1n 1n 2u 4u)\nV2 b 0 sin(2.5 2.5 1meg)\nI1 0 c dc 1m\n.end\n",
+        )
+        .unwrap();
+        match &ckt.elements()[0].kind {
+            ElementKind::Vsource { wave: Waveform::Pulse { v2, pw, period, .. } } => {
+                assert_eq!(*v2, 5.0);
+                assert_eq!(*pw, 2e-6);
+                assert_eq!(*period, 4e-6);
+            }
+            other => panic!("expected pulse, got {other:?}"),
+        }
+        match &ckt.elements()[1].kind {
+            ElementKind::Vsource { wave: Waveform::Sin { freq, .. } } => {
+                assert_eq!(*freq, 1e6);
+            }
+            other => panic!("expected sin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn continuation_and_comments() {
+        let ckt = parse_netlist(
+            "t\n* a comment\nR1 a 0\n+ 4.7k ; trailing\n.end\n",
+        )
+        .unwrap();
+        match ckt.elements()[0].kind {
+            ElementKind::Resistor { r } => assert!((r - 4700.0).abs() < 1e-9),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn tran_card_parsed() {
+        let deck = parse_deck("t\nR1 a 0 1k\n.tran 10n 4u uic\n.end\n").unwrap();
+        let tr = deck.tran.unwrap();
+        assert_eq!(tr.tstep, 10e-9);
+        assert_eq!(tr.tstop, 4e-6);
+        assert!(tr.uic);
+    }
+
+    #[test]
+    fn ic_card_parsed() {
+        let ckt = parse_netlist("t\nR1 a 0 1k\n.ic v(a)=2.5\n.end\n").unwrap();
+        assert_eq!(ckt.initial_conditions.len(), 1);
+        assert_eq!(ckt.initial_conditions[0].1, 2.5);
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let err = parse_netlist("t\nR1 a 0 zzz\n.end\n").unwrap_err();
+        match err {
+            SpiceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn netlist_round_trip() {
+        let src = "rt\nV1 a 0 dc 5\nR1 a b 1k\nC1 b 0 1n ic=0\nM1 b a 0 0 nch w=10u l=1u\n.model nch nmos vto=0.8 kp=80u lambda=0.05 gamma=0.4 phi=0.65\n.end\n";
+        let c1 = parse_netlist(src).unwrap();
+        let emitted = c1.to_netlist();
+        let c2 = parse_netlist(&emitted).unwrap();
+        assert_eq!(c1.elements().len(), c2.elements().len());
+        assert_eq!(c1.node_count(), c2.node_count());
+        assert_eq!(c1.models.len(), c2.models.len());
+    }
+}

@@ -1,0 +1,468 @@
+//! Transient analysis.
+//!
+//! Fixed-step backward-Euler by default (the paper ran a 400-step
+//! transient), with a trapezoidal option and automatic local step
+//! halving when Newton fails at a switching event.
+
+use crate::dcop::{dc_operating_point, solve_newton, NewtonOpts};
+use crate::devices::{CapCompanion, StampParams, UnknownMap};
+use crate::netlist::{Circuit, ElementKind, NodeId};
+use crate::waveform::Wave;
+use crate::SpiceError;
+
+/// Numerical integration method for capacitors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Backward Euler: L-stable, damps ringing; the default (matches the
+    /// robustness-first choice fault simulation needs).
+    #[default]
+    BackwardEuler,
+    /// Trapezoidal: second-order accurate, can ring on hard switching.
+    Trapezoidal,
+}
+
+/// Transient analysis specification.
+#[derive(Debug, Clone)]
+pub struct TranSpec {
+    /// Output/time step (s).
+    pub tstep: f64,
+    /// Stop time (s).
+    pub tstop: f64,
+    /// Skip the DC operating point and start from `.ic`/element `ic=`
+    /// values (SPICE `UIC`).
+    pub uic: bool,
+    /// Integration method.
+    pub integrator: Integrator,
+    /// Newton controls.
+    pub newton: NewtonOpts,
+    /// Maximum depth of step halving when a timestep fails to converge
+    /// (each level halves dt; 12 levels ≈ 4096× refinement).
+    pub max_halvings: u32,
+}
+
+impl TranSpec {
+    /// A spec with the given step and stop time and default options.
+    pub fn new(tstep: f64, tstop: f64) -> Self {
+        TranSpec {
+            tstep,
+            tstop,
+            uic: false,
+            integrator: Integrator::default(),
+            newton: NewtonOpts::default(),
+            max_halvings: 12,
+        }
+    }
+
+    /// Same spec but starting from initial conditions (UIC).
+    pub fn with_uic(mut self) -> Self {
+        self.uic = true;
+        self
+    }
+
+    /// Same spec with trapezoidal integration.
+    pub fn with_trapezoidal(mut self) -> Self {
+        self.integrator = Integrator::Trapezoidal;
+        self
+    }
+}
+
+/// Result of a transient run: one [`Wave`] per non-ground node.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    names: Vec<String>,
+    data: Vec<Vec<f64>>, // indexed [node-1][sample]
+    /// Newton iterations consumed over the whole run (a work measure —
+    /// the paper compares fault-model runtimes via such counters).
+    pub newton_iterations: u64,
+}
+
+impl TranResult {
+    /// Sample time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Names of recorded nodes.
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The waveform of a node by name (`None` when unknown).
+    pub fn wave(&self, node: &str) -> Option<Wave> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(node))?;
+        Some(Wave::new(self.times.clone(), self.data[idx].clone()))
+    }
+}
+
+/// One integrable capacitance: an explicit capacitor element or a MOS
+/// gate capacitance (Meyer-style constant partition: Cgs = ⅔·Cox·W·L,
+/// Cgd = ⅓·Cox·W·L). Gate caps both smooth switching edges physically
+/// and give the Newton iteration a continuation path through
+/// regenerative transitions (Schmitt triggers, latches).
+struct CapInstance {
+    a: NodeId,
+    b: NodeId,
+    c: f64,
+    /// Initial condition (UIC), explicit capacitors only.
+    ic: Option<f64>,
+}
+
+/// Integration state per capacitance instance.
+struct CapState {
+    v_prev: f64,
+    i_prev: f64,
+}
+
+/// Collects all capacitance instances of the circuit.
+fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
+    let mut out = Vec::new();
+    for e in ckt.elements() {
+        match &e.kind {
+            ElementKind::Capacitor { c, ic } => out.push(CapInstance {
+                a: e.nodes[0],
+                b: e.nodes[1],
+                c: *c,
+                ic: *ic,
+            }),
+            ElementKind::Mosfet { model, w, l } => {
+                let Some(m) = ckt.models.get(&model.to_ascii_lowercase()) else {
+                    continue;
+                };
+                if m.cox <= 0.0 {
+                    continue;
+                }
+                let c_total = m.cox * w * l;
+                let (d, g, s) = (e.nodes[0], e.nodes[1], e.nodes[2]);
+                out.push(CapInstance { a: g, b: s, c: c_total * 2.0 / 3.0, ic: None });
+                out.push(CapInstance { a: g, b: d, c: c_total / 3.0, ic: None });
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Runs a transient analysis.
+///
+/// # Errors
+/// Returns the underlying Newton/matrix failure when the circuit cannot
+/// be solved even after step halving.
+pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
+    ckt.validate().map_err(SpiceError::Elaboration)?;
+    let map = UnknownMap::new(ckt);
+    let dim = map.dim();
+
+    let instances = cap_instances(ckt);
+
+    // Initial solution.
+    let mut x = if spec.uic {
+        let mut x0 = vec![0.0; dim];
+        for &(node, v) in &ckt.initial_conditions {
+            if let Some(i) = map.node_var(node) {
+                x0[i] = v;
+            }
+        }
+        // Element-level ic= on capacitors: force the first terminal's
+        // node voltage difference when one side is grounded.
+        for inst in &instances {
+            if let Some(v) = inst.ic {
+                if inst.b == Circuit::GROUND {
+                    if let Some(i) = map.node_var(inst.a) {
+                        x0[i] = v;
+                    }
+                } else if inst.a == Circuit::GROUND {
+                    if let Some(i) = map.node_var(inst.b) {
+                        x0[i] = -v;
+                    }
+                }
+            }
+        }
+        x0
+    } else {
+        dc_operating_point(ckt)?
+    };
+
+    // Capacitance states from the initial solution.
+    let mut caps: Vec<CapState> = instances
+        .iter()
+        .map(|inst| CapState {
+            v_prev: map.voltage(&x, inst.a) - map.voltage(&x, inst.b),
+            i_prev: 0.0,
+        })
+        .collect();
+
+    let n_nodes = ckt.node_count() - 1;
+    let mut times = vec![0.0];
+    let mut data: Vec<Vec<f64>> = (0..n_nodes).map(|i| vec![x[i]]).collect();
+    let mut newton_iterations: u64 = 0;
+
+    let steps = (spec.tstop / spec.tstep).round() as usize;
+    let mut t = 0.0;
+    for step in 0..steps {
+        let t_next = t + spec.tstep;
+        // The very first step always integrates with backward Euler: the
+        // trapezoidal companion needs a valid previous current, which is
+        // unknown at t = 0 (standard SPICE start-up behaviour).
+        let integ = if step == 0 {
+            Integrator::BackwardEuler
+        } else {
+            spec.integrator
+        };
+        advance(
+            ckt, &map, spec, integ, &instances, &mut x, &mut caps, t, t_next, 0,
+            &mut newton_iterations,
+        )?;
+        t = t_next;
+        times.push(t);
+        for (i, column) in data.iter_mut().enumerate() {
+            column.push(x[i]);
+        }
+    }
+
+    let names = (1..ckt.node_count())
+        .map(|n| ckt.node_name(n).to_string())
+        .collect();
+    Ok(TranResult {
+        times,
+        names,
+        data,
+        newton_iterations,
+    })
+}
+
+/// Advances the solution from `t0` to `t1`, recursively halving on
+/// Newton failure.
+#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments)]
+fn advance(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    spec: &TranSpec,
+    integrator: Integrator,
+    instances: &[CapInstance],
+    x: &mut Vec<f64>,
+    caps: &mut Vec<CapState>,
+    t0: f64,
+    t1: f64,
+    depth: u32,
+    newton_iterations: &mut u64,
+) -> Result<(), SpiceError> {
+    let dt = t1 - t0;
+    // Build companions for this step.
+    let companions: Vec<CapCompanion> = instances
+        .iter()
+        .zip(caps.iter())
+        .map(|(inst, st)| {
+            let (geq, ieq) = match integrator {
+                Integrator::BackwardEuler => {
+                    let geq = inst.c / dt;
+                    (geq, -geq * st.v_prev)
+                }
+                Integrator::Trapezoidal => {
+                    let geq = 2.0 * inst.c / dt;
+                    (geq, -geq * st.v_prev - st.i_prev)
+                }
+            };
+            CapCompanion {
+                a: inst.a,
+                b: inst.b,
+                geq,
+                ieq,
+            }
+        })
+        .collect();
+    let params = StampParams {
+        time: t1,
+        cap_companions: Some(&companions),
+        ..StampParams::default()
+    };
+    // Newton ladder: the configured options first, then a heavily
+    // damped retry (regenerative switching points), then step halving.
+    let solved = solve_newton(ckt, map, x, &params, &spec.newton, "tran").or_else(|_| {
+        let damped = NewtonOpts {
+            max_iter: spec.newton.max_iter * 3,
+            max_step: 0.1,
+            ..spec.newton.clone()
+        };
+        solve_newton(ckt, map, x, &params, &damped, "tran (damped)")
+    });
+    match solved {
+        Ok((next, iters)) => {
+            *newton_iterations += iters as u64;
+            // Commit capacitance states.
+            for ((inst, st), cc) in instances.iter().zip(caps.iter_mut()).zip(&companions) {
+                let v_new = map.voltage(&next, inst.a) - map.voltage(&next, inst.b);
+                st.i_prev = cc.geq * v_new + cc.ieq;
+                st.v_prev = v_new;
+            }
+            *x = next;
+            Ok(())
+        }
+        Err(e) => {
+            if depth >= spec.max_halvings {
+                return Err(e);
+            }
+            let tm = 0.5 * (t0 + t1);
+            advance(
+                ckt, map, spec, integrator, instances, x, caps, t0, tm, depth + 1,
+                newton_iterations,
+            )?;
+            advance(
+                ckt, map, spec, integrator, instances, x, caps, tm, t1, depth + 1,
+                newton_iterations,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{ElementKind, MosModel, Waveform};
+
+    #[test]
+    fn rc_charging_curve() {
+        // R=1k, C=1µF, step to 1V: v(t) = 1 - exp(-t/RC), tau = 1 ms.
+        let mut c = Circuit::new("rc");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 1.0,
+                    td: 0.0,
+                    tr: 1e-9,
+                    tf: 1e-9,
+                    pw: 1.0,
+                    period: f64::INFINITY,
+                },
+            },
+        );
+        c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
+        c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(0.0) });
+        let spec = TranSpec::new(10e-6, 10e-3).with_uic();
+        let res = tran(&c, &spec).unwrap();
+        let w = res.wave("b").unwrap();
+        // After one tau: 63.2 %.
+        let v_tau = w.value_at(1e-3);
+        assert!((v_tau - 0.632).abs() < 0.02, "v(tau) = {v_tau}");
+        // Settles to 1.0 after 10 tau.
+        assert!((w.last_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn trapezoidal_is_more_accurate_on_rc() {
+        let build = || {
+            let mut c = Circuit::new("rc");
+            let a = c.node("a");
+            let b = c.node("b");
+            c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(1.0) });
+            c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
+            c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(0.0) });
+            c
+        };
+        let exact = 1.0 - (-1.0f64).exp(); // at t = tau
+        let coarse = 2e-4; // 5 steps per tau — a deliberately coarse grid
+        let be = tran(&build(), &TranSpec::new(coarse, 1e-3).with_uic()).unwrap();
+        let tr = tran(
+            &build(),
+            &TranSpec::new(coarse, 1e-3).with_uic().with_trapezoidal(),
+        )
+        .unwrap();
+        let be_err = (be.wave("b").unwrap().last_value() - exact).abs();
+        let tr_err = (tr.wave("b").unwrap().last_value() - exact).abs();
+        assert!(tr_err < be_err, "trap {tr_err} vs BE {be_err}");
+    }
+
+    #[test]
+    fn capacitor_conserves_dc_blocking() {
+        // Series capacitor blocks DC: steady-state current is zero, the
+        // output node returns to 0 through the resistor.
+        let mut c = Circuit::new("hp");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+        c.add("C1", vec![a, b], ElementKind::Capacitor { c: 1e-9, ic: None });
+        c.add("R1", vec![b, Circuit::GROUND], ElementKind::Resistor { r: 1e3 });
+        let res = tran(&c, &TranSpec::new(1e-8, 2e-5)).unwrap();
+        let w = res.wave("b").unwrap();
+        assert!(w.last_value().abs() < 1e-3);
+    }
+
+    #[test]
+    fn cmos_ring_oscillator_oscillates() {
+        // Three CMOS inverters in a loop with load caps: the canonical
+        // transient smoke test for the MOS model + integrator.
+        let mut c = Circuit::new("ring3");
+        c.add_model(MosModel::default_nmos("n1"));
+        c.add_model(MosModel::default_pmos("p1"));
+        let vdd = c.node("vdd");
+        c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource {
+            wave: Waveform::Pulse {
+                v1: 0.0, v2: 5.0, td: 0.0, tr: 1e-9, tf: 1e-9, pw: 1.0,
+                period: f64::INFINITY,
+            },
+        });
+        let n: Vec<_> = (0..3).map(|i| c.node(&format!("s{i}"))).collect();
+        for i in 0..3 {
+            let inp = n[i];
+            let out = n[(i + 1) % 3];
+            c.add(
+                format!("Mn{i}"),
+                vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+            );
+            c.add(
+                format!("Mp{i}"),
+                vec![out, inp, vdd, vdd],
+                ElementKind::Mosfet { model: "p1".into(), w: 25e-6, l: 1e-6 },
+            );
+            c.add(
+                format!("Cl{i}"),
+                vec![out, Circuit::GROUND],
+                // Load large enough that the ring period spans many
+                // timesteps (stage delay ≈ C·V/I ≈ 4 ns at 10 pF).
+                ElementKind::Capacitor { c: 10e-12, ic: None },
+            );
+        }
+        // Break symmetry via an initial condition.
+        let s0 = c.find_node("s0").unwrap();
+        c.initial_conditions.push((s0, 5.0));
+        let res = tran(&c, &TranSpec::new(1e-9, 400e-9).with_uic()).unwrap();
+        let w = res.wave("s1").unwrap();
+        assert!(w.amplitude() > 4.0, "ring amplitude {}", w.amplitude());
+        let f = w.frequency().expect("ring oscillates");
+        assert!(f > 1e6, "ring frequency {f}");
+    }
+
+    #[test]
+    fn uic_respects_initial_conditions() {
+        let mut c = Circuit::new("ic");
+        let a = c.node("a");
+        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1e3 });
+        c.add("C1", vec![a, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(3.0) });
+        let res = tran(&c, &TranSpec::new(1e-5, 1e-4).with_uic()).unwrap();
+        let w = res.wave("a").unwrap();
+        assert!((w.values()[0] - 3.0).abs() < 1e-9);
+        // Discharging exponential.
+        assert!(w.last_value() < 3.0 * 0.95);
+    }
+
+    #[test]
+    fn result_exposes_node_names() {
+        let mut c = Circuit::new("t");
+        let a = c.node("alpha");
+        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1.0 });
+        let res = tran(&c, &TranSpec::new(1e-6, 1e-5)).unwrap();
+        assert_eq!(res.node_names(), &["alpha".to_string()]);
+        assert!(res.wave("ALPHA").is_some(), "lookup is case-insensitive");
+        assert!(res.wave("nope").is_none());
+    }
+}

@@ -1,0 +1,281 @@
+//! Waveform storage and measurement utilities.
+//!
+//! AnaFAULT's detection criterion compares faulty and nominal waveforms
+//! within amplitude/time tolerances, and the VCO experiments measure
+//! oscillation frequency and amplitude — all of that lives here.
+
+/// A sampled waveform: strictly increasing times with one value each.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Wave {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Wave {
+    /// Builds a wave from parallel `times`/`values` vectors.
+    ///
+    /// # Panics
+    /// Panics when lengths differ or times are not strictly increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "times/values length mismatch");
+        assert!(
+            times.windows(2).all(|w| w[0] < w[1]),
+            "times must be strictly increasing"
+        );
+        Wave { times, values }
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the wave has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The final sample value.
+    ///
+    /// # Panics
+    /// Panics on an empty wave.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("empty waveform")
+    }
+
+    /// Linear interpolation at time `t`, clamped to the end values.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if self.times.is_empty() {
+            return 0.0;
+        }
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.values.last().unwrap();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self
+            .times
+            .partition_point(|&x| x < t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (v0, v1) = (self.values[idx - 1], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Minimum sampled value.
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Peak-to-peak amplitude.
+    pub fn amplitude(&self) -> f64 {
+        self.max() - self.min()
+    }
+
+    /// Times where the wave crosses `threshold` rising (linear
+    /// interpolation between samples).
+    pub fn rising_crossings(&self, threshold: f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.times.len() {
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            if v0 < threshold && v1 >= threshold {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let f = (threshold - v0) / (v1 - v0);
+                out.push(t0 + f * (t1 - t0));
+            }
+        }
+        out
+    }
+
+    /// Estimated oscillation period from rising crossings of the mid
+    /// level; `None` when fewer than two crossings exist.
+    pub fn period(&self) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let mid = (self.max() + self.min()) / 2.0;
+        let crossings = self.rising_crossings(mid);
+        if crossings.len() < 2 {
+            return None;
+        }
+        // Average of successive gaps is robust against a ragged first
+        // cycle after power-up.
+        let gaps: Vec<f64> = crossings.windows(2).map(|w| w[1] - w[0]).collect();
+        Some(gaps.iter().sum::<f64>() / gaps.len() as f64)
+    }
+
+    /// Estimated oscillation frequency (Hz); `None` when not periodic.
+    pub fn frequency(&self) -> Option<f64> {
+        self.period().map(|p| 1.0 / p)
+    }
+
+    /// Maximum absolute difference against `other`, sampled at *this*
+    /// wave's time points.
+    pub fn max_abs_diff(&self, other: &Wave) -> f64 {
+        self.times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| (v - other.value_at(t)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// First time at which this wave deviates from `nominal` by more
+    /// than `v_tol`, allowing the nominal to shift by up to `t_tol` in
+    /// time (the paper's Fig. 5 criterion: 2 V amplitude, 0.2 µs time
+    /// tolerance). Returns `None` when never detected.
+    ///
+    /// A deviation at time `t` only counts when **no** nominal value in
+    /// the window `[t − t_tol, t + t_tol]` lies within `v_tol` of the
+    /// faulty value: phase wobble inside the time tolerance is forgiven.
+    pub fn first_detection(&self, nominal: &Wave, v_tol: f64, t_tol: f64) -> Option<f64> {
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            if !nominal_window_contains(nominal, t, t_tol, v, v_tol) {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// True when some nominal value within `[t - t_tol, t + t_tol]` lies
+/// within `v_tol` of `v`.
+fn nominal_window_contains(nominal: &Wave, t: f64, t_tol: f64, v: f64, v_tol: f64) -> bool {
+    let (lo, hi) = (t - t_tol, t + t_tol);
+    // Check the window end-points (interpolated) …
+    if (nominal.value_at(lo) - v).abs() <= v_tol || (nominal.value_at(hi) - v).abs() <= v_tol {
+        return true;
+    }
+    // … every sample inside the window …
+    let start = nominal.times.partition_point(|&x| x < lo);
+    let mut i = start;
+    while i < nominal.times.len() && nominal.times[i] <= hi {
+        if (nominal.values[i] - v).abs() <= v_tol {
+            return true;
+        }
+        i += 1;
+    }
+    // … and segments crossing the level `v` at a time inside the window
+    // (the nominal passes exactly through `v` there).
+    for i in 1..nominal.times.len() {
+        let (t0, t1) = (nominal.times[i - 1], nominal.times[i]);
+        if t1 < lo {
+            continue;
+        }
+        if t0 > hi {
+            break;
+        }
+        let (v0, v1) = (nominal.values[i - 1], nominal.values[i]);
+        let brackets = ((v0 - v) <= 0.0) != ((v1 - v) <= 0.0) || v0 == v || v1 == v;
+        if brackets && v1 != v0 {
+            let tc = t0 + (t1 - t0) * (v - v0) / (v1 - v0);
+            if tc >= lo && tc <= hi {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Wave {
+        Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 10.0, 20.0, 30.0])
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(0.5), 5.0);
+        assert_eq!(w.value_at(99.0), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_panic() {
+        let _ = Wave::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn amplitude_and_extrema() {
+        let w = Wave::new(vec![0.0, 1.0, 2.0], vec![-2.0, 5.0, 1.0]);
+        assert_eq!(w.min(), -2.0);
+        assert_eq!(w.max(), 5.0);
+        assert_eq!(w.amplitude(), 7.0);
+    }
+
+    #[test]
+    fn period_of_square_wave() {
+        // 1 kHz square wave sampled at 10 kHz for 5 ms.
+        let mut times = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..50 {
+            let t = i as f64 * 1e-4;
+            times.push(t);
+            vals.push(if (t * 1e3) as i64 % 2 == 0 { 0.0 } else { 5.0 });
+        }
+        let w = Wave::new(times, vals);
+        let f = w.frequency().unwrap();
+        assert!((f - 500.0).abs() / 500.0 < 0.2, "got {f}");
+    }
+
+    #[test]
+    fn identical_waves_never_detect() {
+        let w = ramp();
+        assert_eq!(w.first_detection(&w, 0.1, 0.0), None);
+    }
+
+    #[test]
+    fn gross_deviation_detected_at_onset() {
+        let nominal = Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0, 0.0]);
+        let faulty = Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.0, 5.0, 5.0]);
+        let t = faulty.first_detection(&nominal, 2.0, 0.0).unwrap();
+        assert_eq!(t, 2.0);
+    }
+
+    #[test]
+    fn time_tolerance_forgives_phase_shift() {
+        // Same ramp shifted by 0.1 in time: inside t_tol there is always
+        // a matching nominal value.
+        let nominal = ramp();
+        // Final sample stays inside the nominal's range: a shifted wave
+        // that *exceeds* the nominal envelope at the end of the record
+        // is genuinely detectable.
+        let shifted = Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, 11.0, 21.0, 30.0]);
+        // Values differ by 1.0 > v_tol 0.5, but time shift 0.1 maps onto
+        // the nominal ramp (slope 10 => 0.1 time ≙ 1.0 value).
+        assert_eq!(shifted.first_detection(&nominal, 0.5, 0.15), None);
+        // Without time tolerance it is detected immediately.
+        assert!(shifted.first_detection(&nominal, 0.5, 0.0).is_some());
+    }
+
+    #[test]
+    fn max_abs_diff_measures_worst_case() {
+        let a = ramp();
+        let mut v = a.values().to_vec();
+        v[2] += 7.0;
+        let b = Wave::new(a.times().to_vec(), v);
+        assert_eq!(b.max_abs_diff(&a), 7.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Full-custom layout generator for the VCO.
+//!
+//! Floorplan (single-poly, double-metal CMOS, λ = 500 nm):
+//!
+//! ```text
+//!   y=90µ  ───────────── vdd rail (m1) ─────────────
+//!   y=70µ  [P] [ ] [P] [P] ... PMOS row (n-well)      ┌──────────┐
+//!   y=12…54µ ════ horizontal m1 routing tracks ═══════│  C1 m1/m2│
+//!   y=0    [ ] [N] [ ] [ ] ... NMOS row               └──────────┘
+//!   y=-15µ ───────────── gnd rail (m1) ─────────────
+//! ```
+//!
+//! Discipline: horizontal net routing in metal-1 tracks (one per net),
+//! vertical connections in metal-2 with vias, gates rise in poly to a
+//! contact on their net's track, supply connections drop straight to
+//! the rails in metal-1. Every net track carries a text label with the
+//! schematic node name, so the extracted netlist uses the same names as
+//! the schematic — LIFT's fault labels (`metal1_short 1->5`) then read
+//! exactly like the paper's.
+
+use crate::schematic::{C_TIMING, DEVICES};
+use geom::{Coord, Point, Rect};
+use layout::{Cell, CellBuilder, Layer, Library, MosParams, MosStyle, Technology};
+use std::collections::BTreeMap;
+
+/// Column pitch (nm).
+const PITCH: Coord = 14_000;
+/// NMOS row channel-centre y.
+const NMOS_Y: Coord = 0;
+/// PMOS row channel-centre y.
+const PMOS_Y: Coord = 70_000;
+/// Ground rail centre y.
+const GND_Y: Coord = -15_000;
+/// Supply rail centre y.
+const VDD_Y: Coord = 90_000;
+/// Rail width.
+const RAIL_W: Coord = 3_000;
+/// First routing track y.
+const TRACK0: Coord = 12_000;
+/// Routing track pitch.
+const TRACK_PITCH: Coord = 3_000;
+/// Routing wire width (m1 tracks, m2 verticals).
+const WIRE_W: Coord = 1_500;
+
+/// Track order, bottom to top. Net `1` (control) sits next to net `5`
+/// (discharge rail) so a metal-1 bridge `1->5` — the paper's fault
+/// #339 — is a realistic candidate.
+const TRACK_ORDER: [&str; 15] = [
+    "n1", "2", "3", "4", "1", "5", "6", "nsm", "psm", "9", "ctrl", "10", "11", "12", "13",
+];
+
+fn track_y(net: &str) -> Option<Coord> {
+    TRACK_ORDER
+        .iter()
+        .position(|n| *n == net)
+        .map(|i| TRACK0 + i as Coord * TRACK_PITCH)
+}
+
+/// Generates the VCO layout cell inside a fresh library.
+pub fn vco_library() -> (Library, Technology) {
+    let tech = Technology::generic_1um();
+    let cell = build_cell(&tech);
+    let mut lib = Library::new("vco_chip");
+    lib.add_cell(cell);
+    (lib, tech)
+}
+
+/// Convenience: the flattened VCO layout plus its technology.
+pub fn vco_layout() -> (layout::FlatLayout, Technology) {
+    let (lib, tech) = vco_library();
+    let flat = lib.flatten("vco").expect("vco cell exists");
+    (flat, tech)
+}
+
+/// Drops a metal-2 riser from `from` down/up to `y_to`, with **doubled
+/// vias** at both ends (second cut offset by `dir·2.5 µm` in x, tied in
+/// with a short m2 stub). A single open via can then never sever the
+/// connection — matching the doubled-contact discipline of the rest of
+/// the layout.
+fn riser(b: &mut CellBuilder<'_>, from: Point, y_to: Coord, dir: Coord) {
+    const WIRE_W: Coord = 1_500;
+    let off = dir.signum() * 2_000;
+    for y in [from.y, y_to] {
+        b.via(Point::new(from.x, y));
+        b.via(Point::new(from.x + off, y));
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(from.x, y), Point::new(from.x + off, y)],
+            WIRE_W,
+        );
+    }
+    b.wire(
+        Layer::Metal2,
+        &[Point::new(from.x, from.y), Point::new(from.x, y_to)],
+        WIRE_W,
+    );
+}
+
+fn build_cell(tech: &Technology) -> Cell {
+    let mut b = CellBuilder::new("vco", tech);
+    // Net -> x positions of vertical landings on its track.
+    let mut conn: BTreeMap<String, Vec<Coord>> = BTreeMap::new();
+
+    for (i, dev) in DEVICES.iter().enumerate() {
+        let x_c = i as Coord * PITCH;
+        let y_c = if dev.pmos { PMOS_Y } else { NMOS_Y };
+        let params = MosParams {
+            w: (dev.w_um * 1_000.0) as Coord,
+            l: (dev.l_um * 1_000.0) as Coord,
+            style: if dev.pmos { MosStyle::Pmos } else { MosStyle::Nmos },
+        };
+        let geo = b.mosfet(Point::new(x_c, y_c), &params);
+
+        // Gate routing. Short risers stay in poly with a doubled
+        // contact on the track; long ones (> 25 µm) contact the poly
+        // right at the device and continue in metal-2 — the practice
+        // that keeps polysilicon (the layer with the highest open
+        // density) out of long routes.
+        let y_t = track_y(dev.g).unwrap_or_else(|| panic!("gate net `{}` has no track", dev.g));
+        let y_edge = if dev.pmos {
+            geo.channel.y0() - tech.gate_extension()
+        } else {
+            geo.channel.y1() + tech.gate_extension()
+        };
+        if (y_t - y_edge).abs() <= 25_000 {
+            b.min_wire(Layer::Poly, &[Point::new(x_c, y_edge), Point::new(x_c, y_t)]);
+            b.contact(Point::new(x_c - 1_250, y_t), Layer::Poly);
+            b.contact(Point::new(x_c + 1_250, y_t), Layer::Poly);
+        } else {
+            let toward: Coord = if dev.pmos { -1 } else { 1 };
+            let c_y = y_edge + toward * 2_000;
+            // Poly stub past the contact pads.
+            b.min_wire(
+                Layer::Poly,
+                &[Point::new(x_c, y_edge), Point::new(x_c, c_y + toward * 1_500)],
+            );
+            // Doubled poly contacts bridged in metal-1.
+            b.contact(Point::new(x_c - 1_250, c_y), Layer::Poly);
+            b.contact(Point::new(x_c + 1_250, c_y), Layer::Poly);
+            // Doubled vias stacked along the riser, bridged in metal-1.
+            let v2_y = c_y + toward * 2_500;
+            b.via(Point::new(x_c, c_y));
+            b.via(Point::new(x_c, v2_y));
+            b.wire(Layer::Metal1, &[Point::new(x_c, c_y), Point::new(x_c, v2_y)], WIRE_W);
+            // Metal-2 riser to the track.
+            b.wire(Layer::Metal2, &[Point::new(x_c, c_y), Point::new(x_c, y_t)], WIRE_W);
+            b.via(Point::new(x_c, y_t));
+            // Second track-end via on whichever side has no m2 riser of
+            // another net passing the gate track's y.
+            let row_y = y_c;
+            let side_safe = |sd_net: &str| -> bool {
+                if sd_net == dev.g {
+                    return true; // same net (diode connection)
+                }
+                let sd_riser_span = match (sd_net, dev.pmos) {
+                    ("vdd", true) | ("0", false) => None, // metal-1 drop
+                    ("vdd", false) => Some((row_y.min(VDD_Y), row_y.max(VDD_Y))),
+                    ("0", true) => Some((GND_Y.min(row_y), GND_Y.max(row_y))),
+                    (net, _) => track_y(net).map(|ty| (row_y.min(ty), row_y.max(ty))),
+                };
+                match sd_riser_span {
+                    None => true,
+                    Some((lo, hi)) => y_t < lo - 2_000 || y_t > hi + 2_000,
+                }
+            };
+            let side: Option<Coord> = if side_safe(dev.d) {
+                Some(1)
+            } else if side_safe(dev.s) {
+                Some(-1)
+            } else {
+                None // single via (e.g. M11, hemmed in by both risers)
+            };
+            if let Some(s) = side {
+                b.via(Point::new(x_c + s * 2_000, y_t));
+                b.wire(
+                    Layer::Metal2,
+                    &[Point::new(x_c, y_t), Point::new(x_c + s * 2_000, y_t)],
+                    WIRE_W,
+                );
+            }
+        }
+        conn.entry(dev.g.to_string()).or_default().push(x_c);
+
+        // Source and drain pads. The second via of each doubled pair
+        // points away from the gate (source left, drain right) unless a
+        // long-channel device's pad sits too close to the neighbouring
+        // column — then it flips inward to keep clear of that column's
+        // gate riser.
+        let flip_guard = |px: Coord, d: Coord| -> Coord {
+            let stub_reach = px + d * 3_500;
+            let neighbour = x_c + d * PITCH;
+            if (neighbour - stub_reach).abs() < 2_500 || (neighbour - stub_reach) * d < 0 {
+                -d
+            } else {
+                d
+            }
+        };
+        let s_dir = flip_guard(geo.source_pad.center().x, -1);
+        let d_dir = flip_guard(geo.drain_pad.center().x, 1);
+        for (net, pad, dir) in [
+            (dev.s, geo.source_pad, s_dir),
+            (dev.d, geo.drain_pad, d_dir),
+        ] {
+            let px = pad.center().x;
+            let py = pad.center().y;
+            match (net, dev.pmos) {
+                ("vdd", true) => {
+                    // Straight metal-1 drop to the supply rail.
+                    b.wire(Layer::Metal1, &[Point::new(px, py), Point::new(px, VDD_Y)], WIRE_W);
+                }
+                ("0", false) => {
+                    b.wire(Layer::Metal1, &[Point::new(px, py), Point::new(px, GND_Y)], WIRE_W);
+                }
+                ("vdd", false) => {
+                    // NMOS terminal tied to vdd (Schmitt feedback M12):
+                    // metal-2 vertical across the whole stack.
+                    riser(&mut b, Point::new(px, py), VDD_Y, dir);
+                }
+                ("0", true) => {
+                    // PMOS terminal tied to ground (Schmitt feedback M15).
+                    riser(&mut b, Point::new(px, py), GND_Y, dir);
+                }
+                (net, _) => {
+                    let y_t = track_y(net)
+                        .unwrap_or_else(|| panic!("net `{net}` has no routing track"));
+                    riser(&mut b, Point::new(px, py), y_t, dir);
+                    conn.entry(net.to_string()).or_default().push(px);
+                }
+            }
+        }
+    }
+
+    // The control input routes in from the right-hand pad area: extend
+    // net 1's track so it runs parallel to net 5 — the adjacency behind
+    // the paper's example fault #339 (`BRI metal1_short 1->5`).
+    conn.entry("1".to_string()).or_default().push(
+        DEVICES.len() as Coord * PITCH - 4_000,
+    );
+
+    // One merged n-well strip under the whole PMOS row (the per-device
+    // wells the generator draws would violate well spacing; real
+    // layouts merge the row into a single well).
+    let well_half = 12_000 + tech.nwell_surround(); // max W/2 + surround
+    b.rect(
+        Layer::Nwell,
+        geom::Rect::new(
+            -6_000,
+            PMOS_Y - well_half,
+            DEVICES.len() as Coord * PITCH,
+            PMOS_Y + well_half,
+        ),
+    );
+
+    // Timing capacitor: metal-1 bottom plate on ground, metal-2 top
+    // plate on net 6, to the right of the device columns. Plate size
+    // from the schematic value at 1 fF/µm².
+    let cap_x0 = DEVICES.len() as Coord * PITCH + 12_000;
+    let cap_y0 = 8_000;
+    let top_side = ((C_TIMING / 1e-21).sqrt()) as Coord; // nm
+    let margin = 1_000;
+    let bottom = Rect::new(
+        cap_x0,
+        cap_y0,
+        cap_x0 + top_side + 2 * margin,
+        cap_y0 + top_side + 2 * margin,
+    );
+    let top = bottom.expanded(-margin);
+    b.rect(Layer::Metal1, bottom);
+    b.rect(Layer::Metal2, top);
+    // Bottom plate to ground rail.
+    let bx = bottom.center().x;
+    b.wire(Layer::Metal1, &[Point::new(bx, cap_y0), Point::new(bx, GND_Y)], WIRE_W);
+    // Top plate to net 6's track through a via just left of the plate.
+    let y6 = track_y("6").expect("net 6 has a track");
+    let via_x = cap_x0 - 4_000;
+    b.wire(Layer::Metal2, &[Point::new(top.x0(), y6), Point::new(via_x, y6)], WIRE_W);
+    b.via(Point::new(via_x, y6));
+    conn.entry("6".to_string()).or_default().push(via_x);
+
+    // Horizontal metal-1 tracks with net-name labels.
+    for net in TRACK_ORDER {
+        let Some(xs) = conn.get(net) else {
+            continue;
+        };
+        let y_t = track_y(net).expect("net is in track order");
+        let (min_x, max_x) = (
+            *xs.iter().min().expect("non-empty") - 2_000,
+            *xs.iter().max().expect("non-empty") + 2_000,
+        );
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(min_x, y_t), Point::new(max_x, y_t)],
+            WIRE_W,
+        );
+        b.label(Layer::Metal1, Point::new(min_x + 500, y_t), net);
+    }
+
+    // Supply rails spanning everything.
+    let x_left = -6_000;
+    let x_right = bottom.x1() + 6_000;
+    b.wire(Layer::Metal1, &[Point::new(x_left, GND_Y), Point::new(x_right, GND_Y)], RAIL_W);
+    b.wire(Layer::Metal1, &[Point::new(x_left, VDD_Y), Point::new(x_right, VDD_Y)], RAIL_W);
+    b.label(Layer::Metal1, Point::new(x_left + 1_000, GND_Y), "0");
+    b.label(Layer::Metal1, Point::new(x_left + 1_000, VDD_Y), "vdd");
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use extract::lvs::{compare, CanonNetlist};
+    use extract::{connectivity::extract, ExtractOptions};
+
+    #[test]
+    fn layout_extracts_26_transistors_and_the_cap() {
+        let (flat, tech) = vco_layout();
+        let netlist = extract(&flat, &tech, &ExtractOptions::default()).unwrap();
+        assert_eq!(netlist.mosfets.len(), 26, "warnings: {:?}", netlist.warnings);
+        assert_eq!(netlist.capacitors.len(), 1);
+        assert!(
+            netlist.warnings.is_empty(),
+            "extraction warnings: {:?}",
+            netlist.warnings
+        );
+    }
+
+    #[test]
+    fn layout_lvs_matches_schematic() {
+        let (flat, tech) = vco_layout();
+        let netlist = extract(&flat, &tech, &ExtractOptions::default()).unwrap();
+        let layout_canon = CanonNetlist::from_extracted(&netlist);
+        let schematic_canon = CanonNetlist::from_circuit(&crate::schematic::vco_schematic());
+        let report = compare(&layout_canon, &schematic_canon, &["vdd", "0", "1", "11"]);
+        assert!(report.matched, "LVS mismatches: {:?}", report.mismatches);
+    }
+
+    #[test]
+    fn net_names_match_schematic_nodes() {
+        let (flat, tech) = vco_layout();
+        let netlist = extract(&flat, &tech, &ExtractOptions::default()).unwrap();
+        for name in ["1", "5", "6", "9", "11", "vdd"] {
+            assert!(
+                netlist.net_by_name(name).is_some(),
+                "net `{name}` missing from extraction"
+            );
+        }
+        // Ground is net "0".
+        assert!(netlist.net_by_name("0").is_some());
+    }
+
+    #[test]
+    fn gds_round_trip_preserves_extraction() {
+        let (lib, tech) = vco_library();
+        let bytes = layout::gds::write_library(&lib).unwrap();
+        let back = layout::gds::read_library(&bytes).unwrap();
+        let flat = back.flatten("vco").unwrap();
+        let netlist = extract(&flat, &tech, &ExtractOptions::default()).unwrap();
+        assert_eq!(netlist.mosfets.len(), 26);
+        assert_eq!(netlist.capacitors.len(), 1);
+    }
+}

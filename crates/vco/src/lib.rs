@@ -1,0 +1,29 @@
+//! # vco — the paper's evaluation circuit
+//!
+//! A 26-transistor CMOS voltage-controlled oscillator matching the
+//! description in §VI and Fig. 3 of the paper: a V-to-I converter, an
+//! analogue switch, a Schmitt trigger, output buffers and one
+//! capacitor, fabricated (here: generated) in a single-poly,
+//! double-metal CMOS technology. Six transistors are diode-connected
+//! (designed gate–drain shorts), which is what makes the schematic
+//! short count come out at 73 instead of 79.
+//!
+//! * [`schematic`] — the transistor-level circuit and its testbench
+//!   (supply ramp + constant control voltage; the paper used no other
+//!   stimulus);
+//! * [`layout`] — a full-custom layout generator for the same circuit
+//!   (two device rows, metal-1 routing channel, metal-2 verticals, a
+//!   metal-1/metal-2 plate capacitor), whose extraction LVS-matches the
+//!   schematic.
+//!
+//! Node naming echoes the paper's figures: the observed output is
+//! `V(11)`, the control input is node `1`, the discharge rail and the
+//! capacitor node are `5` and `6` (the paper's example faults
+//! `#6 BRI n_ds_short 5->6` and `#339 BRI metal1_short 1->5` live
+//! there).
+
+pub mod layout;
+pub mod schematic;
+
+pub use layout::{vco_layout, vco_library};
+pub use schematic::{attach_sources, vco_schematic, vco_testbench, TestbenchParams, OBSERVED_NODE};

@@ -1,0 +1,281 @@
+//! The VCO schematic and testbench.
+//!
+//! Block structure (paper Fig. 3): V-to-I conversion (M1–M7), analogue
+//! switch (M8/M9), Schmitt trigger (M10–M15, M11 is the device the
+//! paper's Fig. 6 experiment bridges to ground), control inverter
+//! (M16/M17), output buffers (M18–M21), bias/trickle network
+//! (M22–M26) and the timing capacitor C1.
+//!
+//! Six devices are diode-connected (designed gate–drain shorts):
+//! M2, M3, M5, M22, M23, M24.
+
+use spice::{Circuit, ElementKind, MosModel, Waveform};
+
+/// The node the paper observes: `V(11)`, the buffered output.
+pub const OBSERVED_NODE: &str = "11";
+
+/// Model names shared with the extraction flow.
+pub const NMOS_MODEL: &str = "nmos1u";
+/// PMOS model name.
+pub const PMOS_MODEL: &str = "pmos1u";
+
+/// Testbench knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestbenchParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Supply ramp time (s) — "after the activation of the supply
+    /// voltage the simulation started".
+    pub ramp: f64,
+    /// Control voltage (V), held constant as in the paper.
+    pub vin: f64,
+    /// Supply source impedance (Ω). A real test setup's regulator,
+    /// probe and bond wires are not ideal; this is what makes
+    /// supply-bridging faults (the Fig. 6 sweep) observable.
+    pub r_supply: f64,
+}
+
+impl Default for TestbenchParams {
+    fn default() -> Self {
+        TestbenchParams {
+            vdd: 5.0,
+            ramp: 50e-9,
+            vin: 2.2,
+            r_supply: 25.0,
+        }
+    }
+}
+
+/// One device row of the design table.
+pub(crate) struct Dev {
+    pub(crate) name: &'static str,
+    pub(crate) pmos: bool,
+    /// d, g, s node names (bulk implied: NMOS→0, PMOS→vdd).
+    pub(crate) d: &'static str,
+    pub(crate) g: &'static str,
+    pub(crate) s: &'static str,
+    /// W and L in micrometres.
+    pub(crate) w_um: f64,
+    pub(crate) l_um: f64,
+}
+
+/// The 26-device design table. Node names echo the paper's figures
+/// (`1` = control input, `5` = discharge rail, `6` = capacitor node,
+/// `9` = Schmitt output, `11` = buffered output).
+pub(crate) const DEVICES: &[Dev] = &[
+    // --- V-to-I converter ---
+    Dev { name: "M1", pmos: false, d: "2", g: "1", s: "n1", w_um: 2.0, l_um: 2.0 },
+    Dev { name: "M2", pmos: false, d: "n1", g: "n1", s: "0", w_um: 8.0, l_um: 1.0 }, // diode
+    Dev { name: "M3", pmos: true, d: "2", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 }, // diode
+    Dev { name: "M4", pmos: true, d: "3", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 },
+    Dev { name: "M5", pmos: false, d: "3", g: "3", s: "0", w_um: 4.0, l_um: 2.0 }, // diode
+    Dev { name: "M6", pmos: true, d: "4", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 },
+    // Half-strength discharge sink: a permanent 5-6 switch short then
+    // *slows* the oscillation instead of stopping it (the paper's
+    // fault #6 changes the frequency).
+    Dev { name: "M7", pmos: false, d: "5", g: "3", s: "0", w_um: 2.0, l_um: 2.0 },
+    // --- analogue switch ---
+    Dev { name: "M8", pmos: true, d: "6", g: "ctrl", s: "4", w_um: 10.0, l_um: 1.0 },
+    Dev { name: "M9", pmos: false, d: "6", g: "ctrl", s: "5", w_um: 6.0, l_um: 1.0 },
+    // --- Schmitt trigger (input 6, output 9) ---
+    // M11 is the N-side feedback device whose drain ties to the supply
+    // — the transistor the paper's Fig. 6 experiment bridges to ground.
+    Dev { name: "M10", pmos: false, d: "nsm", g: "6", s: "0", w_um: 6.0, l_um: 1.0 },
+    Dev { name: "M11", pmos: false, d: "vdd", g: "9", s: "nsm", w_um: 12.0, l_um: 1.0 },
+    Dev { name: "M12", pmos: false, d: "9", g: "6", s: "nsm", w_um: 6.0, l_um: 1.0 },
+    Dev { name: "M13", pmos: true, d: "psm", g: "6", s: "vdd", w_um: 12.0, l_um: 1.0 },
+    Dev { name: "M14", pmos: true, d: "9", g: "6", s: "psm", w_um: 12.0, l_um: 1.0 },
+    Dev { name: "M15", pmos: true, d: "0", g: "9", s: "psm", w_um: 24.0, l_um: 1.0 },
+    // --- control inverter ---
+    Dev { name: "M16", pmos: true, d: "ctrl", g: "9", s: "vdd", w_um: 12.0, l_um: 1.0 },
+    Dev { name: "M17", pmos: false, d: "ctrl", g: "9", s: "0", w_um: 6.0, l_um: 1.0 },
+    // --- output buffers ---
+    Dev { name: "M18", pmos: true, d: "10", g: "9", s: "vdd", w_um: 12.0, l_um: 1.0 },
+    Dev { name: "M19", pmos: false, d: "10", g: "9", s: "0", w_um: 6.0, l_um: 1.0 },
+    Dev { name: "M20", pmos: true, d: "11", g: "10", s: "vdd", w_um: 16.0, l_um: 1.0 },
+    Dev { name: "M21", pmos: false, d: "11", g: "10", s: "0", w_um: 8.0, l_um: 1.0 },
+    // --- bias string and trickle sources ---
+    Dev { name: "M22", pmos: true, d: "12", g: "12", s: "vdd", w_um: 3.0, l_um: 4.0 }, // diode
+    Dev { name: "M23", pmos: false, d: "12", g: "12", s: "13", w_um: 3.0, l_um: 4.0 }, // diode
+    Dev { name: "M24", pmos: false, d: "13", g: "13", s: "0", w_um: 3.0, l_um: 4.0 }, // diode
+    Dev { name: "M25", pmos: true, d: "6", g: "12", s: "vdd", w_um: 2.0, l_um: 20.0 },
+    Dev { name: "M26", pmos: false, d: "6", g: "13", s: "0", w_um: 2.0, l_um: 24.0 },
+];
+
+/// Timing capacitor value (F).
+pub const C_TIMING: f64 = 2e-12;
+
+/// Names of the diode-connected devices (designed gate–drain shorts).
+pub const DIODE_CONNECTED: [&str; 6] = ["M2", "M3", "M5", "M22", "M23", "M24"];
+
+/// Builds the bare VCO circuit (no sources). Nodes: `vdd`, `0`, `1`
+/// (control in), internal nodes, `11` (output).
+pub fn vco_schematic() -> Circuit {
+    let mut c = Circuit::new("vco 26-transistor (Sebeke/Teixeira/Ohletz DATE'95)");
+    c.add_model(MosModel::default_nmos(NMOS_MODEL));
+    c.add_model(MosModel::default_pmos(PMOS_MODEL));
+    let vdd = c.node("vdd");
+    for dev in DEVICES {
+        let d = c.node(dev.d);
+        let g = c.node(dev.g);
+        let s = c.node(dev.s);
+        let (model, bulk) = if dev.pmos {
+            (PMOS_MODEL, vdd)
+        } else {
+            (NMOS_MODEL, Circuit::GROUND)
+        };
+        c.add(
+            dev.name,
+            vec![d, g, s, bulk],
+            ElementKind::Mosfet {
+                model: model.to_string(),
+                w: dev.w_um * 1e-6,
+                l: dev.l_um * 1e-6,
+            },
+        );
+    }
+    let n6 = c.node("6");
+    c.add(
+        "C1",
+        vec![n6, Circuit::GROUND],
+        ElementKind::Capacitor {
+            c: C_TIMING,
+            ic: Some(0.0),
+        },
+    );
+    c
+}
+
+/// Attaches the paper's stimulus to any circuit with `vdd` and `1`
+/// nodes (works for both the schematic and the layout-extracted
+/// netlist, which share node names): supply ramp on `vdd`, constant
+/// control voltage on node `1` — "an explicit test stimulus was not
+/// required and the VCO control voltage was held constant".
+pub fn attach_sources(c: &mut Circuit, params: &TestbenchParams) {
+    let vdd = c.node("vdd");
+    let vin = c.node("1");
+    let vdd_raw = c.node("vddraw");
+    c.add(
+        "VDD",
+        vec![vdd_raw, Circuit::GROUND],
+        ElementKind::Vsource {
+            wave: Waveform::Pulse {
+                v1: 0.0,
+                v2: params.vdd,
+                td: 0.0,
+                tr: params.ramp,
+                tf: params.ramp,
+                pw: f64::INFINITY,
+                period: f64::INFINITY,
+            },
+        },
+    );
+    c.add(
+        "RSUP",
+        vec![vdd_raw, vdd],
+        ElementKind::Resistor {
+            r: params.r_supply.max(1e-3),
+        },
+    );
+    c.add(
+        "VIN",
+        vec![vin, Circuit::GROUND],
+        ElementKind::Vsource {
+            wave: Waveform::Dc(params.vin),
+        },
+    );
+}
+
+/// The VCO with its testbench: supply ramp on `vdd`, constant control
+/// voltage on node `1`.
+pub fn vco_testbench(params: &TestbenchParams) -> Circuit {
+    let mut c = vco_schematic();
+    attach_sources(&mut c, params);
+    c
+}
+
+/// Device count helpers used by the experiment tables.
+pub fn transistor_count(c: &Circuit) -> usize {
+    c.elements()
+        .iter()
+        .filter(|e| matches!(e.kind, ElementKind::Mosfet { .. }))
+        .count()
+}
+
+/// Number of MOSFETs whose gate and drain share a node (designed
+/// shorts).
+pub fn diode_connected_count(c: &Circuit) -> usize {
+    c.elements()
+        .iter()
+        .filter(|e| matches!(e.kind, ElementKind::Mosfet { .. }) && e.nodes[0] == e.nodes[1])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spice::tran::{tran, TranSpec};
+
+    #[test]
+    fn paper_counts_match() {
+        let c = vco_schematic();
+        assert_eq!(transistor_count(&c), 26, "the paper's VCO has 26 transistors");
+        assert_eq!(diode_connected_count(&c), 6, "six designed gate-drain shorts");
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn oscillates_at_default_control_voltage() {
+        let c = vco_testbench(&TestbenchParams::default());
+        // The paper's run: 400-step transient over 4 µs.
+        let res = tran(&c, &TranSpec::new(10e-9, 4e-6).with_uic()).unwrap();
+        let out = res.wave(OBSERVED_NODE).unwrap();
+        assert!(
+            out.amplitude() > 4.0,
+            "output should swing rail to rail, got {}",
+            out.amplitude()
+        );
+        let f = out.frequency().expect("output oscillates");
+        assert!(
+            (0.3e6..20e6).contains(&f),
+            "oscillation frequency {f} out of expected range"
+        );
+    }
+
+    #[test]
+    fn frequency_increases_with_control_voltage() {
+        let freq_at = |vin: f64| {
+            let c = vco_testbench(&TestbenchParams { vin, ..Default::default() });
+            let res = tran(&c, &TranSpec::new(10e-9, 4e-6).with_uic()).unwrap();
+            res.wave(OBSERVED_NODE).unwrap().frequency()
+        };
+        let f_low = freq_at(1.8);
+        let f_high = freq_at(3.0);
+        match (f_low, f_high) {
+            (Some(lo), Some(hi)) => assert!(hi > lo * 1.2, "VCO gain: {lo} -> {hi}"),
+            (None, Some(_)) => {} // barely-started oscillation at low vin is acceptable
+            other => panic!("expected oscillation at high vin: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacitor_node_swings_between_thresholds() {
+        let c = vco_testbench(&TestbenchParams::default());
+        let res = tran(&c, &TranSpec::new(10e-9, 4e-6).with_uic()).unwrap();
+        let cap = res.wave("6").unwrap();
+        // The cap node must stay inside the rails and show a sawtooth of
+        // at least a few hundred millivolts (the Schmitt hysteresis).
+        assert!(cap.max() < 5.1 && cap.min() > -0.1);
+        // Ignore the power-up transient: measure after 1 µs.
+        let window: Vec<f64> = cap
+            .times()
+            .iter()
+            .zip(cap.values())
+            .filter(|(t, _)| **t > 1e-6)
+            .map(|(_, v)| *v)
+            .collect();
+        let max = window.iter().copied().fold(f64::MIN, f64::max);
+        let min = window.iter().copied().fold(f64::MAX, f64::min);
+        assert!(max - min > 0.3, "hysteresis swing {}", max - min);
+    }
+}

@@ -1,0 +1,70 @@
+//! The Fig. 6 exploration as an interactive-style example: how the
+//! chosen bridging resistance changes the faulty VCO waveform, and why
+//! the paper concludes the "optimal" modelling resistance depends on
+//! the fault location.
+//!
+//! Run with: `cargo run --release --example bridge_resistance_sweep`
+
+use anafault::{inject, Fault, FaultEffect, HardFaultModel};
+use spice::tran::tran;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (_, tb) = bench_setup()?;
+    let spec = spice::tran::TranSpec::new(10e-9, 4e-6).with_uic();
+
+    println!("bridge: Schmitt trigger M11 drain (supply rail) -> ground");
+    println!("{:>10} {:>14} {:>10}", "R [ohm]", "f [kHz]", "Vpp [V]");
+    println!("{}", "-".repeat(38));
+    for r in [10_000.0, 1_000.0, 300.0, 100.0, 41.0, 21.0, 5.0, 1.0] {
+        let fault = Fault::new(
+            1,
+            "BRI vdd->0",
+            FaultEffect::Short { a: "vdd".into(), b: "0".into() },
+        );
+        let model = HardFaultModel::Resistor { r_short: r, r_open: 100e6 };
+        let faulty = inject(&tb, &fault, model)?;
+        let wave = tran(&faulty, &spec)?
+            .wave(vco::OBSERVED_NODE)
+            .expect("output exists");
+        let f = wave
+            .frequency()
+            .map(|f| format!("{:.0}", f / 1e3))
+            .unwrap_or_else(|| "dead".into());
+        println!("{r:>10} {f:>14} {:>10.2}", wave.amplitude());
+    }
+    println!("\ncompare a *signal* node bridge, where even 1 kΩ is fatal:");
+    println!("{:>10} {:>14} {:>10}", "R [ohm]", "f [kHz]", "Vpp [V]");
+    println!("{}", "-".repeat(38));
+    for r in [100_000.0, 10_000.0, 1_000.0, 100.0] {
+        let fault = Fault::new(
+            2,
+            "BRI 9->0",
+            FaultEffect::Short { a: "9".into(), b: "0".into() },
+        );
+        let model = HardFaultModel::Resistor { r_short: r, r_open: 100e6 };
+        let faulty = inject(&tb, &fault, model)?;
+        let wave = tran(&faulty, &spec)?
+            .wave(vco::OBSERVED_NODE)
+            .expect("output exists");
+        let f = wave
+            .frequency()
+            .map(|f| format!("{:.0}", f / 1e3))
+            .unwrap_or_else(|| "dead".into());
+        println!("{r:>10} {f:>14} {:>10.2}", wave.amplitude());
+    }
+    Ok(())
+}
+
+/// Extract the VCO and attach the paper's sources.
+fn bench_setup() -> Result<(cat_core::CatSystem, spice::Circuit), Box<dyn std::error::Error>> {
+    let (flat, tech) = vco::vco_layout();
+    let sys = cat_core::CatSystem::from_layout(
+        &flat,
+        &tech,
+        &extract::ExtractOptions::default(),
+        &lift::LiftOptions::default(),
+    )?;
+    let mut tb = sys.circuit.clone();
+    vco::attach_sources(&mut tb, &vco::TestbenchParams::default());
+    Ok((sys, tb))
+}

@@ -1,0 +1,38 @@
+//! Inductive fault analysis the original way: throw random spot
+//! defects at two parallel wires and compare the Monte Carlo bridge
+//! probability against LIFT's analytic critical-area integral.
+//!
+//! Run with: `cargo run --example defect_monte_carlo`
+
+use defect::critical::{weighted_bridge_area, weighted_bridge_area_exact};
+use defect::montecarlo::mc_bridge_area;
+use defect::SizeDistribution;
+use geom::{Rect, Region};
+use rand::SeedableRng;
+
+fn main() {
+    let dist = SizeDistribution::new(1_000, 20_000);
+    println!("two 30 µm wires, sweeping the spacing; size pdf 2x0²/x³, x0 = 1 µm\n");
+    println!(
+        "{:>10} {:>16} {:>16} {:>16}",
+        "spacing", "closed form", "exact integral", "Monte Carlo"
+    );
+    println!("{}", "-".repeat(62));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1995);
+    for spacing in [1_500i64, 2_000, 3_000, 5_000, 8_000, 12_000] {
+        let a = Region::from_rects([Rect::new(0, 0, 30_000, 1_500)]);
+        let b = Region::from_rects([Rect::new(0, 1_500 + spacing, 30_000, 3_000 + spacing)]);
+        let closed = weighted_bridge_area(30_000.0, spacing as f64, &dist);
+        let exact = weighted_bridge_area_exact(&a, &b, &dist, 200);
+        let window = Rect::new(-15_000, -15_000, 45_000, 20_000 + spacing);
+        let mc = mc_bridge_area(&mut rng, &a, &b, &window, &dist, 300_000);
+        println!(
+            "{:>8} nm {:>13.0} nm² {:>13.0} nm² {:>13.0} nm²",
+            spacing, closed, exact, mc
+        );
+    }
+    println!("\nthe closed form ignores wrap-around at wire ends, so the exact");
+    println!("integral sits slightly above it; Monte Carlo agrees with the");
+    println!("exact construction within sampling noise. Multiply by the Tab. 1");
+    println!("defect density to get the fault probability p_j LIFT reports.");
+}

@@ -1,0 +1,55 @@
+//! The paper's headline experiment end to end: generate the VCO
+//! layout, write/read it through GDSII, extract, run LIFT, simulate
+//! the full realistic fault list and print the coverage plot.
+//!
+//! Run with: `cargo run --release --example vco_fault_campaign`
+
+use anafault::report::{coverage_plot, protocol_table};
+use anafault::{DetectionSpec, HardFaultModel};
+use cat_core::CatSystem;
+use extract::ExtractOptions;
+use spice::tran::TranSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Layout -> GDSII -> layout: prove the interchange format works.
+    let (lib, tech) = vco::vco_library();
+    let gds = layout::gds::write_library(&lib)?;
+    println!("VCO layout: {} bytes of GDSII", gds.len());
+    let lib = layout::gds::read_library(&gds)?;
+    let flat = lib.flatten("vco")?;
+
+    // Extraction + LIFT with the paper's defect statistics.
+    let lift_options = lift::LiftOptions {
+        ports: vec!["vdd".into(), "0".into(), "1".into(), "11".into()],
+        size_dist: defect::SizeDistribution::new(1_000, 10_000),
+        p_min: 3e-8,
+        ..lift::LiftOptions::default()
+    };
+    let sys = CatSystem::from_layout(&flat, &tech, &ExtractOptions::default(), &lift_options)?;
+    println!(
+        "extracted {} transistors / {} nets; LIFT kept {} of {} candidates",
+        sys.netlist.mosfets.len(),
+        sys.netlist.net_count(),
+        sys.lift.stats.total(),
+        sys.lift.stats.candidates,
+    );
+
+    // The paper's stimulus: supply ramp, constant control voltage.
+    let mut tb = sys.circuit.clone();
+    vco::attach_sources(&mut tb, &vco::TestbenchParams::default());
+
+    let result = sys
+        .campaign(
+            tb,
+            TranSpec::new(10e-9, 4e-6).with_uic(),
+            vco::OBSERVED_NODE,
+            DetectionSpec::paper_fig5(),
+            HardFaultModel::paper_resistor(),
+        )
+        .run(&sys.fault_list())?;
+
+    println!("\n{}", protocol_table(&result));
+    let samples: Vec<f64> = (0..=100).map(|i| i as f64 * 4e-8).collect();
+    println!("{}", coverage_plot(&result.coverage_curve(&samples), 80, 14));
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # cat — the complete LIFT + AnaFAULT reproduction, one roof
+//!
+//! An umbrella crate re-exporting the whole Computer-Aided Test system
+//! of *"Automatic Fault Extraction and Simulation of Layout Realistic
+//! Faults for Integrated Analogue Circuits"* (Sebeke, Teixeira, Ohletz
+//! — DATE 1995):
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`geom`] | Manhattan geometry, boolean regions, spatial index |
+//! | [`layout`] | layers, technology rules, cells, GDSII |
+//! | [`extract`] | layout → transistor netlist, LVS |
+//! | [`defect`] | Tab. 1 mechanisms, defect sizes, critical areas |
+//! | [`spice`] | MNA kernel simulator (DC, transient, MOS level-1) |
+//! | [`lift`] | realistic fault extraction (GLRFM) |
+//! | [`anafault`] | fault models, injection, campaigns, coverage |
+//! | [`cat_core`] | the linked flow, Fig. 1 funnel, L²RFM |
+//! | [`vco`] | the paper's 26-transistor evaluation circuit |
+//!
+//! ```
+//! use cat::prelude::*;
+//!
+//! let (flat, tech) = cat::vco::vco_layout();
+//! let sys = CatSystem::from_layout(
+//!     &flat, &tech,
+//!     &ExtractOptions::default(),
+//!     &LiftOptions::default(),
+//! )?;
+//! assert_eq!(sys.netlist.mosfets.len(), 26);
+//! # Ok::<(), cat::cat_core::CatError>(())
+//! ```
+
+pub use anafault;
+pub use cat_core;
+pub use defect;
+pub use extract;
+pub use geom;
+pub use layout;
+pub use lift;
+pub use spice;
+pub use vco;
+
+/// The names most flows need.
+pub mod prelude {
+    pub use anafault::{Campaign, DetectionSpec, Fault, FaultEffect, HardFaultModel};
+    pub use cat_core::{CatSystem, FaultFunnel};
+    pub use defect::{MechanismTable, SizeDistribution};
+    pub use extract::ExtractOptions;
+    pub use layout::{Cell, CellBuilder, Layer, Library, Technology};
+    pub use lift::{LiftOptions, LiftResult};
+    pub use spice::tran::{tran, TranSpec};
+    pub use spice::{Circuit, Wave};
+}

@@ -1,0 +1,131 @@
+//! End-to-end integration: the full paper flow from generated layout
+//! through GDSII, extraction, LVS, LIFT and a fault-simulation
+//! campaign, asserting the paper's §VI numbers (within documented
+//! tolerances — see EXPERIMENTS.md).
+
+use cat::prelude::*;
+use extract::lvs::{compare, CanonNetlist};
+use lift::schematic::schematic_faults;
+
+#[test]
+fn paper_section_vi_fault_counts() {
+    let sch = schematic_faults(&vco::vco_schematic());
+    // "From the schematic 78 possible single open faults can be assumed
+    //  on the transistors and one open fault on the capacitor."
+    assert_eq!(sch.opens.len(), 79);
+    // "Thus, the number of shorts is 73, including the short on the
+    //  capacitor."
+    assert_eq!(sch.shorts.len(), 73);
+    assert_eq!(sch.skipped_designed_shorts, 6);
+    assert_eq!(sch.total(), 152);
+}
+
+#[test]
+fn lift_reduction_matches_paper_shape() {
+    let report = bench::lift_reduction();
+    let s = &report.lift.stats;
+    // Paper: 70 extracted failures, 53 % reduction. Exact counts depend
+    // on the layout; the shape requirement is a reduction around half
+    // with bridges as the largest class.
+    assert!(
+        (60..=85).contains(&s.total()),
+        "extracted {} faults",
+        s.total()
+    );
+    let red = report.reduction_percent();
+    assert!((44.0..=62.0).contains(&red), "reduction {red} %");
+    assert!(
+        s.bridges >= s.stuck_opens && s.bridges > s.line_opens,
+        "bridging must dominate: {s:?}"
+    );
+    // Every kept fault is at least as likely as the threshold.
+    for f in &report.lift.faults {
+        assert!(f.probability >= 3e-8);
+    }
+}
+
+#[test]
+fn gds_roundtrip_extraction_lvs() {
+    let (lib, tech) = vco::vco_library();
+    let bytes = layout::gds::write_library(&lib).expect("gds writes");
+    let lib2 = layout::gds::read_library(&bytes).expect("gds reads");
+    let flat = lib2.flatten("vco").expect("flattens");
+    let netlist =
+        extract::extract(&flat, &tech, &ExtractOptions::default()).expect("extracts");
+    assert_eq!(netlist.mosfets.len(), 26);
+    assert_eq!(netlist.capacitors.len(), 1);
+    let report = compare(
+        &CanonNetlist::from_extracted(&netlist),
+        &CanonNetlist::from_circuit(&vco::vco_schematic()),
+        &["vdd", "0", "1", "11"],
+    );
+    assert!(report.matched, "{:?}", report.mismatches);
+    // Name correspondence survives the flow (x-major extraction order
+    // matches the schematic's column order).
+    assert!(report.pairing.iter().any(|(l, s)| l == "M11" && s == "M11"));
+}
+
+#[test]
+fn campaign_on_top_faults_detects_most() {
+    let (sys, tb) = bench::vco_system();
+    let faults: Vec<Fault> = sys.fault_list().into_iter().take(12).collect();
+    let result = sys
+        .campaign(
+            tb,
+            bench::paper_tran(),
+            vco::OBSERVED_NODE,
+            DetectionSpec::paper_fig5(),
+            HardFaultModel::paper_resistor(),
+        )
+        .run(&faults)
+        .expect("nominal simulates");
+    assert_eq!(result.records.len(), 12);
+    assert!(
+        result.final_coverage() >= 75.0,
+        "top-probability faults are gross defects; coverage {}",
+        result.final_coverage()
+    );
+    assert!(result.failures().is_empty(), "{:?}", result.failures());
+}
+
+#[test]
+fn funnel_narrows_monotonically() {
+    let funnel = bench::fault_funnel();
+    let counts: Vec<usize> = funnel.stages.iter().map(|s| s.count).collect();
+    assert_eq!(counts.len(), 3);
+    assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
+    assert_eq!(counts[0], 152);
+    assert!(funnel.total_reduction_percent() > 40.0);
+}
+
+#[test]
+fn vco_layout_drc_classes_are_bounded() {
+    use layout::{DrcRule, Layer};
+    let (flat, tech) = vco::vco_layout();
+    let violations = layout::drc_check(&flat, &tech);
+    // Clean layers: no diffusion or well findings at all.
+    assert!(
+        violations
+            .iter()
+            .all(|v| v.layer != Layer::Active && v.layer != Layer::Nwell),
+        "diffusion/well must be clean"
+    );
+    // Cut-spacing findings only come from the intentional doubled pairs:
+    // their gap is exactly the cut surround (500 nm).
+    for v in &violations {
+        if v.layer.is_cut() && v.rule == DrcRule::MinSpacing {
+            assert!(
+                v.measured >= 450 && v.measured <= 1_100,
+                "unexpected cut gap: {v}"
+            );
+        }
+    }
+    // No metal wire is drawn under-width.
+    assert!(
+        violations
+            .iter()
+            .all(|v| !(v.rule == DrcRule::MinWidth
+                && (v.layer == Layer::Metal1 || v.layer == Layer::Metal2))),
+        "metal widths must be clean"
+    );
+}

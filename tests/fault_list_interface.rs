@@ -1,0 +1,97 @@
+//! The LIFT → AnaFAULT interface: the textual fault list must round
+//! trip and drive the simulator to identical outcomes ("the fault list
+//! obtained from LIFT is merged into the configuration file").
+
+use anafault::faultlist::{read_fault_list, write_fault_list};
+use anafault::{DetectionSpec, FaultOutcome, HardFaultModel};
+use cat::prelude::*;
+
+#[test]
+fn lift_list_round_trips_through_text() {
+    let (sys, _) = bench::vco_system();
+    let faults = sys.fault_list();
+    let text = write_fault_list(&faults);
+    let back = read_fault_list(&text).expect("parses");
+    assert_eq!(faults.len(), back.len());
+    for (a, b) in faults.iter().zip(&back) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.effect, b.effect);
+    }
+}
+
+#[test]
+fn campaign_outcomes_identical_through_the_file_format() {
+    let (sys, tb) = bench::vco_system();
+    let direct: Vec<Fault> = sys.fault_list().into_iter().take(8).collect();
+    let text = write_fault_list(&direct);
+    let reread = read_fault_list(&text).expect("parses");
+
+    let campaign = sys.campaign(
+        tb,
+        bench::paper_tran(),
+        vco::OBSERVED_NODE,
+        DetectionSpec::paper_fig5(),
+        HardFaultModel::paper_resistor(),
+    );
+    let r1 = campaign.run(&direct).expect("runs");
+    let r2 = campaign.run(&reread).expect("runs");
+    let o1: Vec<&FaultOutcome> = r1.records.iter().map(|r| &r.outcome).collect();
+    let o2: Vec<&FaultOutcome> = r2.records.iter().map(|r| &r.outcome).collect();
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn every_lift_fault_injects_into_the_extracted_circuit() {
+    let (sys, tb) = bench::vco_system();
+    for fault in sys.fault_list() {
+        let faulty = anafault::inject(&tb, &fault, HardFaultModel::paper_resistor());
+        assert!(faulty.is_ok(), "#{} {}: {:?}", fault.id, fault.label, faulty.err());
+        // Element/node bookkeeping stays consistent.
+        assert!(faulty.expect("injected").validate().is_ok());
+    }
+}
+
+#[test]
+fn split_node_orders_add_up() {
+    // Paper Fig. 2: a split node turns a node of order n into nodes of
+    // order k and n-k. Verify on every split-node fault LIFT emits.
+    let (sys, tb) = bench::vco_system();
+    let mut checked = 0;
+    for f in sys.fault_list() {
+        let FaultEffect::SplitNode { ref node, ref move_terminals } = f.effect else {
+            continue;
+        };
+        let node_id = tb.find_node(node).expect("node exists");
+        let n = tb.node_order(node_id);
+        let k = move_terminals.len();
+        assert!(k >= 1 && k < n, "split of order-{n} node moves {k}");
+        let faulty = anafault::inject(&tb, &f, HardFaultModel::paper_resistor()).expect("injects");
+        // After injection: old node keeps n-k attachments (+1 for the
+        // bridging open-model resistor), new node has k (+1).
+        let old_order = faulty.node_order(faulty.find_node(node).expect("kept"));
+        assert_eq!(old_order, n - k + 1);
+        checked += 1;
+    }
+    // The current LIFT list may keep zero split nodes above threshold;
+    // fall back to a constructed one so the invariant is always
+    // exercised.
+    if checked == 0 {
+        // In the extracted circuit C1's terminal 1 is the top plate on
+        // net 6 (terminal 0 is the grounded bottom plate).
+        let f = Fault::new(
+            999,
+            "OPN synthetic split 6",
+            FaultEffect::SplitNode {
+                node: "6".into(),
+                move_terminals: vec![("C1".into(), 1)],
+            },
+        );
+        let n = tb.node_order(tb.find_node("6").expect("node 6"));
+        let faulty = anafault::inject(&tb, &f, HardFaultModel::paper_resistor()).expect("injects");
+        assert_eq!(
+            faulty.node_order(faulty.find_node("6").expect("kept")),
+            n - 1 + 1
+        );
+    }
+}

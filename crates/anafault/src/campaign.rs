@@ -6,25 +6,73 @@
 //! nominal response and statistics). Faults run concurrently on worker
 //! threads — the reproduction of the paper's workstation-cluster
 //! parallel execution [21].
+//!
+//! # Quickstart
+//!
+//! A campaign is configured through [`CampaignBuilder`] — the only way
+//! to assemble one — and executed either blocking ([`Campaign::run`])
+//! or streaming, with one [`CampaignProgress`] event per completed
+//! fault ([`CampaignSession::run_with_progress`]):
+//!
+//! ```
+//! use anafault::{Campaign, DetectionSpec, Fault, FaultEffect};
+//! use spice::parser::parse_netlist;
+//! use spice::tran::TranSpec;
+//!
+//! let testbench = parse_netlist(
+//!     "rc\nV1 in 0 pulse(0 5 0 1u 1u 40u 100u)\nR1 in out 10k\nC1 out 0 1n ic=0\n.end\n",
+//! )?;
+//! let campaign = Campaign::builder()
+//!     .testbench(testbench)
+//!     .tran(TranSpec::new(0.5e-6, 50e-6).with_uic())
+//!     .observe("out")
+//!     .detection(DetectionSpec { v_tol: 1.0, t_tol: 1e-6 })
+//!     .early_stop(true) // drop each fault as soon as it is detected
+//!     .build()?;
+//!
+//! let faults = vec![Fault::new(
+//!     1,
+//!     "BRI in->out",
+//!     FaultEffect::Short { a: "in".into(), b: "out".into() },
+//! )];
+//! let mut events = 0;
+//! let result = campaign
+//!     .session(&faults)
+//!     .run_with_progress(|progress| {
+//!         events += 1;
+//!         assert_eq!(progress.total, 1);
+//!     })?;
+//! assert_eq!(events, result.records.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Several nodes may be observed at once (`.observe()` appends); a
+//! fault counts as detected when **any** observed node leaves the
+//! tolerance band — real test programs probe multiple pins, not just
+//! the paper's V(11).
 
 use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
 use crate::fault::Fault;
 use crate::inject::{inject, HardFaultModel};
-use spice::tran::{tran, TranSpec};
+use spice::tran::{tran, tran_with, TranSpec};
 use spice::{Circuit, SpiceError, Wave};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// What happened to one fault during the campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaultOutcome {
-    /// The faulty response left the tolerance band at time `at`.
+    /// The faulty response left the tolerance band at time `at` on
+    /// observed node `node`.
     Detected {
         /// Detection time (s).
         at: f64,
+        /// The observed node that detected the fault first.
+        node: String,
     },
-    /// The faulty response stayed within tolerance for the whole test.
+    /// The faulty response stayed within tolerance on every observed
+    /// node for the whole test.
     NotDetected,
     /// Fault injection failed (inconsistent fault list).
     InjectionFailed(String),
@@ -45,28 +93,199 @@ pub struct FaultRecord {
     pub newton_iterations: u64,
 }
 
-/// The campaign configuration.
+/// A configuration error from [`CampaignBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// No testbench circuit was provided.
+    MissingTestbench,
+    /// No transient specification was provided.
+    MissingTran,
+    /// No observed node was provided.
+    NoObservedNodes,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::MissingTestbench => {
+                f.write_str("campaign configuration lacks a testbench circuit")
+            }
+            ConfigError::MissingTran => {
+                f.write_str("campaign configuration lacks a transient specification")
+            }
+            ConfigError::NoObservedNodes => f.write_str("campaign configuration observes no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Chainable configuration for a [`Campaign`] — the only way to build
+/// one. Mandatory pieces: a testbench ([`CampaignBuilder::testbench`]),
+/// a transient ([`CampaignBuilder::tran`]) and at least one observed
+/// node ([`CampaignBuilder::observe`]). Everything else defaults to the
+/// paper's settings.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignBuilder {
+    circuit: Option<Circuit>,
+    tran: Option<TranSpec>,
+    observe: Vec<String>,
+    detection: DetectionSpec,
+    model: HardFaultModel,
+    threads: usize,
+    max_faults: Option<usize>,
+    early_stop: bool,
+}
+
+impl CampaignBuilder {
+    /// An empty builder with the paper's default detection, the
+    /// resistor fault model, one worker per core, no fault budget and
+    /// full-length simulations.
+    pub fn new() -> Self {
+        CampaignBuilder::default()
+    }
+
+    /// The fault-free circuit including the stimulus/testbench.
+    pub fn testbench(mut self, circuit: Circuit) -> Self {
+        self.circuit = Some(circuit);
+        self
+    }
+
+    /// Transient analysis to run for the nominal and every fault.
+    pub fn tran(mut self, spec: TranSpec) -> Self {
+        self.tran = Some(spec);
+        self
+    }
+
+    /// Adds one observed output node. May be called repeatedly: a fault
+    /// is detected when **any** observed node leaves the tolerance band
+    /// (the paper observes V(11) only; real test programs probe several
+    /// pins).
+    pub fn observe(mut self, node: impl Into<String>) -> Self {
+        self.observe.push(node.into());
+        self
+    }
+
+    /// Adds several observed nodes at once (any-detect semantics).
+    pub fn observe_nodes<I, S>(mut self, nodes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.observe.extend(nodes.into_iter().map(Into::into));
+        self
+    }
+
+    /// Detection tolerances (default: the paper's Fig. 5 band).
+    pub fn detection(mut self, spec: DetectionSpec) -> Self {
+        self.detection = spec;
+        self
+    }
+
+    /// Hard fault model (default: the paper's resistor model).
+    pub fn model(mut self, model: HardFaultModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Worker threads; 0 = one per available core (the default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Fault budget: at most this many faults from the head of the list
+    /// are simulated (the list arrives ranked by probability, so this
+    /// keeps the most likely defects).
+    pub fn max_faults(mut self, max: usize) -> Self {
+        self.max_faults = Some(max);
+        self
+    }
+
+    /// Fault dropping: when `true`, each faulty simulation is abandoned
+    /// the moment the fault is detected — the classic fault-simulation
+    /// speedup. Whenever the full-length simulation converges, outcomes
+    /// are identical; a fault that deviates and *then* fails to
+    /// converge is reported `Detected` here but `SimulationFailed` by
+    /// the full run (dropping never reaches the failing time step).
+    /// Default `false`, so runtime comparisons between fault models
+    /// stay meaningful.
+    pub fn early_stop(mut self, on: bool) -> Self {
+        self.early_stop = on;
+        self
+    }
+
+    /// Validates the configuration into a [`Campaign`].
+    ///
+    /// # Errors
+    /// [`ConfigError`] when the testbench, transient or observed nodes
+    /// are missing.
+    pub fn build(self) -> Result<Campaign, ConfigError> {
+        let circuit = self.circuit.ok_or(ConfigError::MissingTestbench)?;
+        let tran = self.tran.ok_or(ConfigError::MissingTran)?;
+        if self.observe.is_empty() {
+            return Err(ConfigError::NoObservedNodes);
+        }
+        Ok(Campaign {
+            circuit,
+            tran,
+            observe: self.observe,
+            detection: self.detection,
+            model: self.model,
+            threads: self.threads,
+            max_faults: self.max_faults,
+            early_stop: self.early_stop,
+        })
+    }
+}
+
+/// A validated campaign configuration. Construct with
+/// [`Campaign::builder`]; execute with [`Campaign::run`] or stream
+/// per-fault events through [`Campaign::session`].
 #[derive(Debug, Clone)]
 pub struct Campaign {
-    /// The fault-free circuit including the stimulus/testbench.
-    pub circuit: Circuit,
-    /// Transient analysis to run for nominal and every fault.
-    pub tran: TranSpec,
-    /// The observed output node (the paper observes V(11)).
-    pub observe: String,
-    /// Detection tolerances.
-    pub detection: DetectionSpec,
-    /// Hard fault model.
-    pub model: HardFaultModel,
-    /// Worker threads; 0 = one per available core.
-    pub threads: usize,
+    circuit: Circuit,
+    tran: TranSpec,
+    observe: Vec<String>,
+    detection: DetectionSpec,
+    model: HardFaultModel,
+    threads: usize,
+    max_faults: Option<usize>,
+    early_stop: bool,
+}
+
+/// One progress event: a fault finished simulating. Emitted exactly
+/// once per fault, in completion order (not input order — workers run
+/// concurrently).
+#[derive(Debug, Clone)]
+pub struct CampaignProgress {
+    /// Position of the fault in the campaign's input list.
+    pub index: usize,
+    /// Faults completed so far, including this one (1-based).
+    pub completed: usize,
+    /// Total faults this session will simulate.
+    pub total: usize,
+    /// The completed record.
+    pub record: FaultRecord,
+}
+
+/// One executable run of a campaign over a fault list: the session owns
+/// the fault-budget truncation and the streaming interface. The
+/// blocking [`CampaignSession::run`] is built on top of the streaming
+/// [`CampaignSession::run_with_progress`].
+#[derive(Debug)]
+pub struct CampaignSession<'c> {
+    campaign: &'c Campaign,
+    faults: &'c [Fault],
 }
 
 /// The campaign result: nominal response plus per-fault records.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
-    /// Nominal waveform at the observed node.
-    pub nominal: Wave,
+    /// The observed node names, in configuration order.
+    pub observed: Vec<String>,
+    /// Nominal waveform per observed node (parallel to `observed`).
+    pub nominals: Vec<Wave>,
     /// One record per fault, in input order.
     pub records: Vec<FaultRecord>,
     /// Seconds for the nominal simulation.
@@ -76,59 +295,62 @@ pub struct CampaignResult {
 }
 
 impl Campaign {
-    /// Runs the campaign on `faults`.
+    /// Starts configuring a campaign.
+    pub fn builder() -> CampaignBuilder {
+        CampaignBuilder::new()
+    }
+
+    /// The observed node names.
+    pub fn observed(&self) -> &[String] {
+        &self.observe
+    }
+
+    /// The transient specification.
+    pub fn tran_spec(&self) -> &TranSpec {
+        &self.tran
+    }
+
+    /// The detection tolerances.
+    pub fn detection(&self) -> DetectionSpec {
+        self.detection
+    }
+
+    /// The hard fault model.
+    pub fn model(&self) -> HardFaultModel {
+        self.model
+    }
+
+    /// The fault budget, when set.
+    pub fn max_faults(&self) -> Option<usize> {
+        self.max_faults
+    }
+
+    /// Whether fault dropping (early stop on detection) is enabled.
+    pub fn early_stop_enabled(&self) -> bool {
+        self.early_stop
+    }
+
+    /// Opens a session over `faults`, applying the fault budget.
+    pub fn session<'c>(&'c self, faults: &'c [Fault]) -> CampaignSession<'c> {
+        let n = self.max_faults.unwrap_or(faults.len()).min(faults.len());
+        CampaignSession {
+            campaign: self,
+            faults: &faults[..n],
+        }
+    }
+
+    /// Runs the campaign on `faults`, blocking until every fault is
+    /// simulated.
     ///
     /// # Errors
-    /// Fails only when the *nominal* simulation fails or the observed
+    /// Fails only when the *nominal* simulation fails or an observed
     /// node does not exist; per-fault problems are recorded in the
     /// result instead.
     pub fn run(&self, faults: &[Fault]) -> Result<CampaignResult, SpiceError> {
-        let t_start = Instant::now();
-        let t0 = Instant::now();
-        let nominal_res = tran(&self.circuit, &self.tran)?;
-        let nominal_seconds = t0.elapsed().as_secs_f64();
-        let nominal = nominal_res.wave(&self.observe).ok_or_else(|| {
-            SpiceError::Elaboration(format!("observed node `{}` not found", self.observe))
-        })?;
-
-        let n_threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-
-        let next = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<FaultRecord>>> = Mutex::new(vec![None; faults.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..n_threads.min(faults.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= faults.len() {
-                        break;
-                    }
-                    let record = self.simulate_one(&faults[i], &nominal);
-                    slots.lock().expect("no poisoned lock")[i] = Some(record);
-                });
-            }
-        });
-        let records: Vec<FaultRecord> = slots
-            .into_inner()
-            .expect("no poisoned lock")
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect();
-
-        Ok(CampaignResult {
-            nominal,
-            records,
-            nominal_seconds,
-            total_seconds: t_start.elapsed().as_secs_f64(),
-        })
+        self.session(faults).run()
     }
 
-    fn simulate_one(&self, fault: &Fault, nominal: &Wave) -> FaultRecord {
+    fn simulate_one(&self, fault: &Fault, nominals: &[Wave]) -> FaultRecord {
         let t0 = Instant::now();
         let faulty = match inject(&self.circuit, fault, self.model) {
             Ok(c) => c,
@@ -141,42 +363,226 @@ impl Campaign {
                 }
             }
         };
-        match tran(&faulty, &self.tran) {
-            Ok(res) => {
-                let outcome = match res.wave(&self.observe) {
-                    Some(w) => match self.detection.first_detection(&w, nominal) {
-                        Some(at) => FaultOutcome::Detected { at },
-                        None => FaultOutcome::NotDetected,
-                    },
-                    None => FaultOutcome::SimulationFailed(format!(
-                        "observed node `{}` missing in faulty circuit",
-                        self.observe
-                    )),
-                };
-                FaultRecord {
-                    fault: fault.clone(),
-                    outcome,
-                    sim_seconds: t0.elapsed().as_secs_f64(),
-                    newton_iterations: res.newton_iterations,
-                }
-            }
+        let (outcome, newton_iterations) = if self.early_stop {
+            self.simulate_dropping(&faulty, nominals)
+        } else {
+            self.simulate_full(&faulty, nominals)
+        };
+        match outcome {
+            Ok(outcome) => FaultRecord {
+                fault: fault.clone(),
+                outcome,
+                sim_seconds: t0.elapsed().as_secs_f64(),
+                newton_iterations,
+            },
             Err(e) => FaultRecord {
                 fault: fault.clone(),
                 outcome: FaultOutcome::SimulationFailed(e.to_string()),
                 sim_seconds: t0.elapsed().as_secs_f64(),
-                newton_iterations: 0,
+                newton_iterations,
             },
+        }
+    }
+
+    /// Full-length simulation, then per-node detection; any-detect =
+    /// earliest detection across observed nodes (ties keep
+    /// configuration order).
+    fn simulate_full(
+        &self,
+        faulty: &Circuit,
+        nominals: &[Wave],
+    ) -> (Result<FaultOutcome, SpiceError>, u64) {
+        let res = match tran(faulty, &self.tran) {
+            Ok(res) => res,
+            Err(e) => return (Err(e), 0),
+        };
+        let iterations = res.newton_iterations;
+        let mut first: Option<(f64, usize)> = None;
+        for (k, (name, nominal)) in self.observe.iter().zip(nominals).enumerate() {
+            let Some(wave) = res.wave(name) else {
+                return (Ok(missing_observed(name)), iterations);
+            };
+            if let Some(at) = self.detection.first_detection(&wave, nominal) {
+                if first.is_none_or(|(best, _)| at < best) {
+                    first = Some((at, k));
+                }
+            }
+        }
+        let outcome = match first {
+            Some((at, k)) => FaultOutcome::Detected {
+                at,
+                node: self.observe[k].clone(),
+            },
+            None => FaultOutcome::NotDetected,
+        };
+        (Ok(outcome), iterations)
+    }
+
+    /// Streaming simulation with fault dropping: evaluates the same
+    /// per-sample predicate as [`Wave::first_detection`] while the
+    /// kernel integrates, and abandons the remaining simulation time at
+    /// the first deviating sample. Outcomes are bit-identical to
+    /// [`Campaign::simulate_full`] whenever the full run converges; a
+    /// deviation followed by a convergence failure is `Detected` here
+    /// (the failing step is never reached) but `SimulationFailed`
+    /// there.
+    fn simulate_dropping(
+        &self,
+        faulty: &Circuit,
+        nominals: &[Wave],
+    ) -> (Result<FaultOutcome, SpiceError>, u64) {
+        // Resolve each observed node to its sample column up front; a
+        // fault cannot remove a node, but guard anyway.
+        let mut columns = Vec::with_capacity(self.observe.len());
+        for name in &self.observe {
+            match faulty.find_node(name) {
+                Some(id) if id != Circuit::GROUND => columns.push(id - 1),
+                _ => return (Ok(missing_observed(name)), 0),
+            }
+        }
+        let mut detected: Option<(f64, usize)> = None;
+        let res = tran_with(faulty, &self.tran, |t, x| {
+            for (k, (&col, nominal)) in columns.iter().zip(nominals).enumerate() {
+                if !nominal.tracks(t, x[col], self.detection.v_tol, self.detection.t_tol) {
+                    detected = Some((t, k));
+                    return false;
+                }
+            }
+            true
+        });
+        match res {
+            Ok(res) => {
+                let outcome = match detected {
+                    Some((at, k)) => FaultOutcome::Detected {
+                        at,
+                        node: self.observe[k].clone(),
+                    },
+                    None => FaultOutcome::NotDetected,
+                };
+                (Ok(outcome), res.newton_iterations)
+            }
+            Err(e) => (Err(e), 0),
         }
     }
 }
 
+/// The shared guard outcome for an observed node that vanished from
+/// the faulty circuit (kept in one place so the full-length and
+/// dropping paths cannot drift apart).
+fn missing_observed(name: &str) -> FaultOutcome {
+    FaultOutcome::SimulationFailed(format!("observed node `{name}` missing in faulty circuit"))
+}
+
+impl CampaignSession<'_> {
+    /// The faults this session will simulate (after the budget cut).
+    pub fn faults(&self) -> &[Fault] {
+        self.faults
+    }
+
+    /// Runs the session, blocking until done. Equivalent to
+    /// [`CampaignSession::run_with_progress`] with an ignoring callback.
+    ///
+    /// # Errors
+    /// See [`Campaign::run`].
+    pub fn run(self) -> Result<CampaignResult, SpiceError> {
+        self.run_with_progress(|_| {})
+    }
+
+    /// Runs the session, invoking `on_event` once per completed fault
+    /// (in completion order). Worker threads hand records over an event
+    /// channel — result collection is lock-free, and the callback runs
+    /// on the calling thread, so it may freely update progress bars or
+    /// stream to a service front-end.
+    ///
+    /// # Errors
+    /// See [`Campaign::run`].
+    pub fn run_with_progress(
+        self,
+        mut on_event: impl FnMut(&CampaignProgress),
+    ) -> Result<CampaignResult, SpiceError> {
+        let campaign = self.campaign;
+        let t_start = Instant::now();
+        let t0 = Instant::now();
+        let nominal_res = tran(&campaign.circuit, &campaign.tran)?;
+        let nominal_seconds = t0.elapsed().as_secs_f64();
+        let mut nominals = Vec::with_capacity(campaign.observe.len());
+        for name in &campaign.observe {
+            let wave = nominal_res.wave(name).ok_or_else(|| {
+                SpiceError::Elaboration(format!("observed node `{name}` not found"))
+            })?;
+            nominals.push(wave);
+        }
+
+        let n_threads = if campaign.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            campaign.threads
+        };
+
+        let faults = self.faults;
+        let total = faults.len();
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<FaultRecord>> = vec![None; total];
+        let (tx, rx) = mpsc::channel::<(usize, FaultRecord)>();
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.min(total.max(1)) {
+                let tx = tx.clone();
+                let next = &next;
+                let nominals = &nominals;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let record = campaign.simulate_one(&faults[i], nominals);
+                    if tx.send((i, record)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            let mut completed = 0usize;
+            while let Ok((index, record)) = rx.recv() {
+                completed += 1;
+                let event = CampaignProgress {
+                    index,
+                    completed,
+                    total,
+                    record,
+                };
+                on_event(&event);
+                slots[index] = Some(event.record);
+            }
+        });
+        let records: Vec<FaultRecord> = slots
+            .into_iter()
+            .map(|r| r.expect("every fault reports exactly once"))
+            .collect();
+
+        Ok(CampaignResult {
+            observed: campaign.observe.clone(),
+            nominals,
+            records,
+            nominal_seconds,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
 impl CampaignResult {
+    /// The nominal waveform of the primary (first) observed node.
+    pub fn nominal(&self) -> &Wave {
+        &self.nominals[0]
+    }
+
     /// Detection times per fault (`None` for undetected or failed).
     pub fn detections(&self) -> Vec<Option<f64>> {
         self.records
             .iter()
             .map(|r| match r.outcome {
-                FaultOutcome::Detected { at } => Some(at),
+                FaultOutcome::Detected { at, .. } => Some(at),
                 _ => None,
             })
             .collect()
@@ -237,44 +643,141 @@ mod tests {
         .unwrap()
     }
 
+    fn campaign_builder() -> CampaignBuilder {
+        Campaign::builder()
+            .testbench(testbench())
+            .tran(TranSpec::new(0.5e-6, 50e-6).with_uic())
+            .observe("out")
+            .detection(DetectionSpec {
+                v_tol: 1.0,
+                t_tol: 1e-6,
+            })
+            .model(HardFaultModel::paper_resistor())
+            .threads(2)
+    }
+
     fn campaign() -> Campaign {
-        Campaign {
-            circuit: testbench(),
-            tran: TranSpec::new(0.5e-6, 50e-6).with_uic(),
-            observe: "out".into(),
-            detection: DetectionSpec { v_tol: 1.0, t_tol: 1e-6 },
-            model: HardFaultModel::paper_resistor(),
-            threads: 2,
-        }
+        campaign_builder().build().unwrap()
     }
 
     fn fault_set() -> Vec<Fault> {
         vec![
             // Hard short in->out: output follows input instantly — detected.
-            Fault::new(1, "BRI in->out", FaultEffect::Short { a: "in".into(), b: "out".into() }),
+            Fault::new(
+                1,
+                "BRI in->out",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "out".into(),
+                },
+            ),
             // Output shorted to ground — detected.
-            Fault::new(2, "BRI out->0", FaultEffect::Short { a: "out".into(), b: "0".into() }),
+            Fault::new(
+                2,
+                "BRI out->0",
+                FaultEffect::Short {
+                    a: "out".into(),
+                    b: "0".into(),
+                },
+            ),
             // R2 drifts 5 %: invisible at 1 V tolerance — not detected.
-            Fault::new(3, "SOFT R2 x1.05", FaultEffect::ParamDeviation { element: "R2".into(), factor: 1.05 }),
+            Fault::new(
+                3,
+                "SOFT R2 x1.05",
+                FaultEffect::ParamDeviation {
+                    element: "R2".into(),
+                    factor: 1.05,
+                },
+            ),
             // R1 open: output never charges — detected.
-            Fault::new(4, "OPN R1.0", FaultEffect::OpenTerminal { element: "R1".into(), terminal: 0 }),
+            Fault::new(
+                4,
+                "OPN R1.0",
+                FaultEffect::OpenTerminal {
+                    element: "R1".into(),
+                    terminal: 0,
+                },
+            ),
             // Bogus fault: injection failure recorded, campaign continues.
-            Fault::new(5, "BAD", FaultEffect::Short { a: "nope".into(), b: "out".into() }),
+            Fault::new(
+                5,
+                "BAD",
+                FaultEffect::Short {
+                    a: "nope".into(),
+                    b: "out".into(),
+                },
+            ),
         ]
+    }
+
+    #[test]
+    fn builder_rejects_incomplete_configuration() {
+        assert_eq!(
+            Campaign::builder().build().unwrap_err(),
+            ConfigError::MissingTestbench
+        );
+        assert_eq!(
+            Campaign::builder()
+                .testbench(testbench())
+                .build()
+                .unwrap_err(),
+            ConfigError::MissingTran
+        );
+        assert_eq!(
+            Campaign::builder()
+                .testbench(testbench())
+                .tran(TranSpec::new(1e-6, 1e-5))
+                .build()
+                .unwrap_err(),
+            ConfigError::NoObservedNodes
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_the_paper() {
+        let c = Campaign::builder()
+            .testbench(testbench())
+            .tran(TranSpec::new(1e-6, 1e-5))
+            .observe("out")
+            .build()
+            .unwrap();
+        assert_eq!(c.detection(), DetectionSpec::paper_fig5());
+        assert_eq!(c.model(), HardFaultModel::paper_resistor());
+        assert_eq!(c.observed(), ["out".to_string()]);
+        assert_eq!(c.max_faults(), None);
+        assert!(!c.early_stop_enabled());
     }
 
     #[test]
     fn campaign_detects_expected_subset() {
         let result = campaign().run(&fault_set()).unwrap();
         assert_eq!(result.records.len(), 5);
-        assert!(matches!(result.records[0].outcome, FaultOutcome::Detected { .. }));
-        assert!(matches!(result.records[1].outcome, FaultOutcome::Detected { .. }));
+        assert!(matches!(
+            result.records[0].outcome,
+            FaultOutcome::Detected { .. }
+        ));
+        assert!(matches!(
+            result.records[1].outcome,
+            FaultOutcome::Detected { .. }
+        ));
         assert_eq!(result.records[2].outcome, FaultOutcome::NotDetected);
-        assert!(matches!(result.records[3].outcome, FaultOutcome::Detected { .. }));
-        assert!(matches!(result.records[4].outcome, FaultOutcome::InjectionFailed(_)));
+        assert!(matches!(
+            result.records[3].outcome,
+            FaultOutcome::Detected { .. }
+        ));
+        assert!(matches!(
+            result.records[4].outcome,
+            FaultOutcome::InjectionFailed(_)
+        ));
         // 3 of 5 detected.
         assert_eq!(result.final_coverage(), 60.0);
         assert_eq!(result.failures().len(), 1);
+        // Every detection names the observed node.
+        for r in &result.records {
+            if let FaultOutcome::Detected { node, .. } = &r.outcome {
+                assert_eq!(node, "out");
+            }
+        }
     }
 
     #[test]
@@ -290,10 +793,8 @@ mod tests {
 
     #[test]
     fn serial_and_parallel_agree() {
-        let mut serial = campaign();
-        serial.threads = 1;
-        let mut parallel = campaign();
-        parallel.threads = 4;
+        let serial = campaign_builder().threads(1).build().unwrap();
+        let parallel = campaign_builder().threads(4).build().unwrap();
         let faults = fault_set();
         let a = serial.run(&faults).unwrap();
         let b = parallel.run(&faults).unwrap();
@@ -304,17 +805,127 @@ mod tests {
 
     #[test]
     fn missing_observe_node_is_fatal() {
-        let mut c = campaign();
-        c.observe = "ghost".into();
+        let c = campaign_builder().observe("ghost").build().unwrap();
         assert!(c.run(&fault_set()).is_err());
     }
 
     #[test]
     fn source_model_campaign_runs() {
-        let mut c = campaign();
-        c.model = HardFaultModel::Source;
+        let c = campaign_builder()
+            .model(HardFaultModel::Source)
+            .build()
+            .unwrap();
         let result = c.run(&fault_set()).unwrap();
-        assert!(matches!(result.records[0].outcome, FaultOutcome::Detected { .. }));
+        assert!(matches!(
+            result.records[0].outcome,
+            FaultOutcome::Detected { .. }
+        ));
         assert_eq!(result.records[2].outcome, FaultOutcome::NotDetected);
+    }
+
+    /// Two independent RC branches: a fault on the second branch is
+    /// invisible at the first output.
+    fn two_branch_testbench() -> Circuit {
+        parse_netlist(
+            "two branches\n\
+             V1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n\
+             R1 in out1 10k\n\
+             C1 out1 0 1n ic=0\n\
+             R2 in out2 10k\n\
+             C2 out2 0 1n ic=0\n\
+             .end\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn any_detect_across_multiple_observed_nodes() {
+        let fault = vec![Fault::new(
+            1,
+            "BRI out2->0",
+            FaultEffect::Short {
+                a: "out2".into(),
+                b: "0".into(),
+            },
+        )];
+        let base = || {
+            Campaign::builder()
+                .testbench(two_branch_testbench())
+                .tran(TranSpec::new(0.5e-6, 50e-6).with_uic())
+                .detection(DetectionSpec {
+                    v_tol: 1.0,
+                    t_tol: 1e-6,
+                })
+                .threads(1)
+        };
+        // Observing only the healthy branch misses the fault …
+        let miss = base().observe("out1").build().unwrap();
+        let r = miss.run(&fault).unwrap();
+        assert_eq!(r.records[0].outcome, FaultOutcome::NotDetected);
+        // … observing both catches it, and names the detecting node.
+        let hit = base().observe("out1").observe("out2").build().unwrap();
+        let r = hit.run(&fault).unwrap();
+        match &r.records[0].outcome {
+            FaultOutcome::Detected { node, .. } => assert_eq!(node, "out2"),
+            other => panic!("expected detection, got {other:?}"),
+        }
+        assert_eq!(r.observed, ["out1".to_string(), "out2".to_string()]);
+        assert_eq!(r.nominals.len(), 2);
+    }
+
+    #[test]
+    fn early_stop_outcomes_match_full_length() {
+        let faults = fault_set();
+        let full = campaign_builder().build().unwrap().run(&faults).unwrap();
+        let dropped = campaign_builder()
+            .early_stop(true)
+            .build()
+            .unwrap()
+            .run(&faults)
+            .unwrap();
+        let oa: Vec<_> = full.records.iter().map(|r| r.outcome.clone()).collect();
+        let ob: Vec<_> = dropped.records.iter().map(|r| r.outcome.clone()).collect();
+        assert_eq!(oa, ob, "fault dropping must not change outcomes");
+        // Detected faults abandon the rest of the transient, so the
+        // kernel does strictly less work.
+        assert!(
+            dropped.total_newton_iterations() < full.total_newton_iterations(),
+            "dropped {} vs full {}",
+            dropped.total_newton_iterations(),
+            full.total_newton_iterations()
+        );
+    }
+
+    #[test]
+    fn progress_stream_emits_one_event_per_fault() {
+        let faults = fault_set();
+        let c = campaign_builder().threads(4).build().unwrap();
+        let mut events: Vec<(usize, usize, usize)> = Vec::new();
+        let result = c
+            .session(&faults)
+            .run_with_progress(|p| events.push((p.index, p.completed, p.total)))
+            .unwrap();
+        assert_eq!(events.len(), faults.len());
+        // `completed` counts arrivals 1..=n; `total` is constant.
+        for (n, &(_, completed, total)) in events.iter().enumerate() {
+            assert_eq!(completed, n + 1);
+            assert_eq!(total, faults.len());
+        }
+        // Every input index reports exactly once.
+        let mut indices: Vec<usize> = events.iter().map(|e| e.0).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..faults.len()).collect::<Vec<_>>());
+        assert_eq!(result.records.len(), faults.len());
+    }
+
+    #[test]
+    fn fault_budget_truncates_the_list() {
+        let faults = fault_set();
+        let c = campaign_builder().max_faults(2).build().unwrap();
+        assert_eq!(c.session(&faults).faults().len(), 2);
+        let result = c.run(&faults).unwrap();
+        assert_eq!(result.records.len(), 2);
+        assert_eq!(result.records[0].fault.id, 1);
+        assert_eq!(result.records[1].fault.id, 2);
     }
 }

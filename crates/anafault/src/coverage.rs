@@ -86,7 +86,10 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        assert_eq!(coverage_curve(&[], &[0.0, 1.0]), vec![(0.0, 0.0), (1.0, 0.0)]);
+        assert_eq!(
+            coverage_curve(&[], &[0.0, 1.0]),
+            vec![(0.0, 0.0), (1.0, 0.0)]
+        );
         assert_eq!(final_coverage(&[]), 0.0);
     }
 

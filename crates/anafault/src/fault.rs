@@ -99,7 +99,10 @@ pub enum FaultEffect {
 impl FaultEffect {
     /// Short classification helper: true for `Short`/`ElementShort`.
     pub fn is_short(&self) -> bool {
-        matches!(self, FaultEffect::Short { .. } | FaultEffect::ElementShort { .. })
+        matches!(
+            self,
+            FaultEffect::Short { .. } | FaultEffect::ElementShort { .. }
+        )
     }
 
     /// True for the open-class effects (`OpenTerminal`, `SplitNode`).
@@ -170,13 +173,25 @@ mod tests {
 
     #[test]
     fn classification_helpers() {
-        let s = FaultEffect::Short { a: "1".into(), b: "2".into() };
+        let s = FaultEffect::Short {
+            a: "1".into(),
+            b: "2".into(),
+        };
         assert!(s.is_short() && !s.is_open());
-        let o = FaultEffect::OpenTerminal { element: "M1".into(), terminal: 0 };
+        let o = FaultEffect::OpenTerminal {
+            element: "M1".into(),
+            terminal: 0,
+        };
         assert!(o.is_open() && !o.is_short());
-        let sn = FaultEffect::SplitNode { node: "5".into(), move_terminals: vec![] };
+        let sn = FaultEffect::SplitNode {
+            node: "5".into(),
+            move_terminals: vec![],
+        };
         assert!(sn.is_open());
-        let p = FaultEffect::ParamDeviation { element: "R1".into(), factor: 2.0 };
+        let p = FaultEffect::ParamDeviation {
+            element: "R1".into(),
+            factor: 2.0,
+        };
         assert!(!p.is_open() && !p.is_short());
     }
 
@@ -185,7 +200,10 @@ mod tests {
         let f = Fault::new(
             6,
             "BRI n_ds_short 5->6",
-            FaultEffect::Short { a: "5".into(), b: "6".into() },
+            FaultEffect::Short {
+                a: "5".into(),
+                b: "6".into(),
+            },
         );
         assert_eq!(f.to_string(), "#6 BRI n_ds_short 5->6");
     }

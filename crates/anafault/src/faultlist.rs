@@ -55,7 +55,10 @@ pub fn write_fault_list(faults: &[Fault]) -> String {
                 format!("deviate {element} {factor}")
             }
         };
-        out.push_str(&format!("{}\t{}\t{}\t{}\t{}\n", f.id, class, f.label, p, effect));
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            f.id, class, f.label, p, effect
+        ));
     }
     out
 }
@@ -146,11 +149,32 @@ mod tests {
 
     fn sample_faults() -> Vec<Fault> {
         vec![
-            Fault::new(6, "BRI n_ds_short 5->6", FaultEffect::Short { a: "5".into(), b: "6".into() })
-                .with_probability(3.2e-8),
-            Fault::new(339, "BRI metal1_short 1->5", FaultEffect::Short { a: "1".into(), b: "5".into() })
-                .with_probability(1.1e-8),
-            Fault::new(12, "SOP M7.d", FaultEffect::OpenTerminal { element: "M7".into(), terminal: 0 }),
+            Fault::new(
+                6,
+                "BRI n_ds_short 5->6",
+                FaultEffect::Short {
+                    a: "5".into(),
+                    b: "6".into(),
+                },
+            )
+            .with_probability(3.2e-8),
+            Fault::new(
+                339,
+                "BRI metal1_short 1->5",
+                FaultEffect::Short {
+                    a: "1".into(),
+                    b: "5".into(),
+                },
+            )
+            .with_probability(1.1e-8),
+            Fault::new(
+                12,
+                "SOP M7.d",
+                FaultEffect::OpenTerminal {
+                    element: "M7".into(),
+                    terminal: 0,
+                },
+            ),
             Fault::new(
                 17,
                 "OPN metal1_open n4",
@@ -160,7 +184,14 @@ mod tests {
                 },
             )
             .with_probability(2.0e-9),
-            Fault::new(99, "SOFT C1 x0.5", FaultEffect::ParamDeviation { element: "C1".into(), factor: 0.5 }),
+            Fault::new(
+                99,
+                "SOFT C1 x0.5",
+                FaultEffect::ParamDeviation {
+                    element: "C1".into(),
+                    factor: 0.5,
+                },
+            ),
         ]
     }
 
@@ -192,9 +223,17 @@ mod tests {
 
     #[test]
     fn malformed_lines_error_with_location() {
-        assert!(read_fault_list("not enough columns").unwrap_err().contains("line 1"));
-        assert!(read_fault_list("x\tBRI\tl\t-\tshort a b").unwrap_err().contains("bad id"));
-        assert!(read_fault_list("1\tBRI\tl\t-\tfrobnicate a b").unwrap_err().contains("unknown effect"));
-        assert!(read_fault_list("1\tOPN\tl\t-\tsplit n badattachment").unwrap_err().contains("bad split"));
+        assert!(read_fault_list("not enough columns")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(read_fault_list("x\tBRI\tl\t-\tshort a b")
+            .unwrap_err()
+            .contains("bad id"));
+        assert!(read_fault_list("1\tBRI\tl\t-\tfrobnicate a b")
+            .unwrap_err()
+            .contains("unknown effect"));
+        assert!(read_fault_list("1\tOPN\tl\t-\tsplit n badattachment")
+            .unwrap_err()
+            .contains("bad split"));
     }
 }

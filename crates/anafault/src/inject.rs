@@ -224,10 +224,8 @@ mod tests {
     use spice::tran::{tran, TranSpec};
 
     fn divider() -> Circuit {
-        parse_netlist(
-            "divider\nV1 in 0 dc 10\nR1 in mid 1k\nR2 mid out 1k\nR3 out 0 2k\n.end\n",
-        )
-        .unwrap()
+        parse_netlist("divider\nV1 in 0 dc 10\nR1 in mid 1k\nR2 mid out 1k\nR3 out 0 2k\n.end\n")
+            .unwrap()
     }
 
     fn v_at(ckt: &Circuit, node: &str) -> f64 {
@@ -245,7 +243,14 @@ mod tests {
 
     #[test]
     fn short_resistor_model_collapses_nodes() {
-        let f = Fault::new(1, "BRI mid->out", FaultEffect::Short { a: "mid".into(), b: "out".into() });
+        let f = Fault::new(
+            1,
+            "BRI mid->out",
+            FaultEffect::Short {
+                a: "mid".into(),
+                b: "out".into(),
+            },
+        );
         let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
         // R2 bypassed: divider becomes 1k over 2k -> out = mid ≈ 6.67 V.
         let v = v_at(&faulty, "out");
@@ -255,7 +260,14 @@ mod tests {
 
     #[test]
     fn short_source_model_matches_resistor_model() {
-        let f = Fault::new(1, "BRI mid->out", FaultEffect::Short { a: "mid".into(), b: "out".into() });
+        let f = Fault::new(
+            1,
+            "BRI mid->out",
+            FaultEffect::Short {
+                a: "mid".into(),
+                b: "out".into(),
+            },
+        );
         let r = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
         let s = inject(&divider(), &f, HardFaultModel::Source).unwrap();
         assert!((v_at(&r, "out") - v_at(&s, "out")).abs() < 1e-3);
@@ -268,7 +280,14 @@ mod tests {
         // 2k/(100M+2k) — effectively ground side cut, so out ≈ V_mid ·
         // tiny. The load disappears: mid-out chain carries (almost) no
         // current, so mid ≈ in = 10.
-        let f = Fault::new(2, "OPN R3.0", FaultEffect::OpenTerminal { element: "R3".into(), terminal: 0 });
+        let f = Fault::new(
+            2,
+            "OPN R3.0",
+            FaultEffect::OpenTerminal {
+                element: "R3".into(),
+                terminal: 0,
+            },
+        );
         let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
         let v_mid = v_at(&faulty, "mid");
         assert!((v_mid - 10.0).abs() < 0.01, "mid = {v_mid}");
@@ -276,7 +295,14 @@ mod tests {
 
     #[test]
     fn open_source_model_equivalent() {
-        let f = Fault::new(2, "OPN R3.0", FaultEffect::OpenTerminal { element: "R3".into(), terminal: 0 });
+        let f = Fault::new(
+            2,
+            "OPN R3.0",
+            FaultEffect::OpenTerminal {
+                element: "R3".into(),
+                terminal: 0,
+            },
+        );
         let s = inject(&divider(), &f, HardFaultModel::Source).unwrap();
         let v_mid = v_at(&s, "mid");
         assert!((v_mid - 10.0).abs() < 0.01, "mid = {v_mid}");
@@ -286,7 +312,15 @@ mod tests {
     fn element_short_uses_current_terminals() {
         // Short across R2 (its two terminals): same result as mid-out
         // node short.
-        let f = Fault::new(3, "BRI R2", FaultEffect::ElementShort { element: "R2".into(), t1: 0, t2: 1 });
+        let f = Fault::new(
+            3,
+            "BRI R2",
+            FaultEffect::ElementShort {
+                element: "R2".into(),
+                t1: 0,
+                t2: 1,
+            },
+        );
         let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
         assert!((v_at(&faulty, "out") - 10.0 * 2.0 / 3.0).abs() < 1e-3);
     }
@@ -330,7 +364,14 @@ mod tests {
 
     #[test]
     fn param_deviation_scales_resistance() {
-        let f = Fault::new(6, "SOFT R3 x2", FaultEffect::ParamDeviation { element: "R3".into(), factor: 2.0 });
+        let f = Fault::new(
+            6,
+            "SOFT R3 x2",
+            FaultEffect::ParamDeviation {
+                element: "R3".into(),
+                factor: 2.0,
+            },
+        );
         let faulty = inject(&divider(), &f, HardFaultModel::paper_resistor()).unwrap();
         // out = 10 * 4k/6k ≈ 6.67.
         assert!((v_at(&faulty, "out") - 10.0 * 4.0 / 6.0).abs() < 1e-3);
@@ -338,12 +379,26 @@ mod tests {
 
     #[test]
     fn unknown_references_error() {
-        let f = Fault::new(7, "bad", FaultEffect::Short { a: "zz".into(), b: "out".into() });
+        let f = Fault::new(
+            7,
+            "bad",
+            FaultEffect::Short {
+                a: "zz".into(),
+                b: "out".into(),
+            },
+        );
         assert!(matches!(
             inject(&divider(), &f, HardFaultModel::paper_resistor()),
             Err(InjectError::UnknownNode(_))
         ));
-        let f = Fault::new(8, "bad", FaultEffect::OpenTerminal { element: "R9".into(), terminal: 0 });
+        let f = Fault::new(
+            8,
+            "bad",
+            FaultEffect::OpenTerminal {
+                element: "R9".into(),
+                terminal: 0,
+            },
+        );
         assert!(matches!(
             inject(&divider(), &f, HardFaultModel::paper_resistor()),
             Err(InjectError::UnknownElement(_))
@@ -353,7 +408,14 @@ mod tests {
     #[test]
     fn base_circuit_is_untouched() {
         let base = divider();
-        let f = Fault::new(9, "BRI in->out", FaultEffect::Short { a: "in".into(), b: "out".into() });
+        let f = Fault::new(
+            9,
+            "BRI in->out",
+            FaultEffect::Short {
+                a: "in".into(),
+                b: "out".into(),
+            },
+        );
         let _ = inject(&base, &f, HardFaultModel::paper_resistor()).unwrap();
         assert_eq!(base.elements().len(), 4);
         assert!((v_at(&base, "out") - 5.0).abs() < 1e-6);

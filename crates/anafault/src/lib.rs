@@ -13,27 +13,43 @@
 //! * [`inject`] — rewrites a deep copy of the in-memory netlist per
 //!   fault, under either the **resistor model** (short = 0.01 Ω,
 //!   open = 100 MΩ) or the **source model** (ideal 0 V / 0 A sources);
-//! * [`campaign`] — the repetitive simulate–compare–log cycle: nominal
-//!   run first, then every fault on a pool of worker threads (the
-//!   paper's cluster-parallel execution, reproduced with threads);
+//! * [`campaign`] — the repetitive simulate–compare–log cycle as a
+//!   builder-configured session: [`CampaignBuilder`] is the only way to
+//!   assemble a [`Campaign`], and [`Campaign::session`] streams one
+//!   [`CampaignProgress`] event per completed fault from a pool of
+//!   worker threads (the paper's cluster-parallel execution, reproduced
+//!   with threads). Several nodes can be observed at once (any-detect),
+//!   a fault budget caps the list, and fault dropping abandons each
+//!   faulty transient at the moment of detection;
 //! * [`coverage`] — tolerance-band detection (2 V amplitude / 0.2 µs
 //!   time in the paper's Fig. 5) and fault-coverage-versus-time curves;
 //! * [`faultlist`] — the textual fault-list interface through which LIFT
 //!   hands over extracted faults;
 //! * [`soft`] — parametric (soft) fault generation, deterministic sweeps
-//!   and Monte Carlo deviations (the paper's §II soft-fault model);
+//!   and Monte Carlo deviations (the paper's §II soft-fault model), with
+//!   id offsets so mixed hard/soft campaigns keep unique fault ids;
 //! * [`report`] — tabular reports, protocol rows and ASCII coverage
-//!   plots.
+//!   plots;
+//! * [`protocol`] — the machine-readable JSON protocol file
+//!   ([`CampaignResult`] round-trips losslessly).
+//!
+//! See the [`campaign`] module for a runnable quickstart.
 
 pub mod campaign;
 pub mod coverage;
 pub mod fault;
 pub mod faultlist;
 pub mod inject;
+pub mod protocol;
 pub mod report;
 pub mod soft;
 
-pub use campaign::{Campaign, CampaignResult, FaultOutcome, FaultRecord};
+pub use campaign::{
+    Campaign, CampaignBuilder, CampaignProgress, CampaignResult, CampaignSession, ConfigError,
+    FaultOutcome, FaultRecord,
+};
 pub use coverage::{coverage_curve, DetectionSpec};
 pub use fault::{Fault, FaultEffect, MosTerminal};
 pub use inject::{inject, HardFaultModel, InjectError};
+pub use protocol::ProtocolError;
+pub use soft::{MonteCarloSpec, SweepSpec};

@@ -1,0 +1,822 @@
+//! Machine-readable protocol files.
+//!
+//! The paper's AnaFAULT writes a per-fault protocol file; this module
+//! is its machine-readable counterpart: [`CampaignResult`] (and every
+//! [`FaultRecord`] inside it) serializes to a self-contained JSON
+//! document and parses back without loss. Service front-ends and the
+//! bench binaries consume this instead of re-formatting records by
+//! hand. The writer/parser are hand-rolled (the build is offline — see
+//! `vendor/README.md`), covering exactly the subset of JSON the schema
+//! needs.
+
+use crate::campaign::{CampaignResult, FaultOutcome, FaultRecord};
+use crate::fault::{Fault, FaultEffect};
+use spice::Wave;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Schema version stamped into every protocol file.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// An error from [`from_json`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The text is not valid JSON.
+    Parse(String),
+    /// The JSON does not match the protocol schema.
+    Schema(String),
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::Parse(m) => write!(f, "protocol JSON parse error: {m}"),
+            ProtocolError::Schema(m) => write!(f, "protocol JSON schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Serializes a campaign result to the JSON protocol document.
+pub fn to_json(result: &CampaignResult) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"version\": {PROTOCOL_VERSION},");
+    let _ = writeln!(
+        s,
+        "  \"observed\": [{}],",
+        result
+            .observed
+            .iter()
+            .map(|n| quote(n))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"nominal_seconds\": {},", num(result.nominal_seconds));
+    let _ = writeln!(s, "  \"total_seconds\": {},", num(result.total_seconds));
+    s.push_str("  \"nominals\": [\n");
+    for (i, wave) in result.nominals.iter().enumerate() {
+        let comma = if i + 1 < result.nominals.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            s,
+            "    {{\"times\": {}, \"values\": {}}}{comma}",
+            num_array(wave.times()),
+            num_array(wave.values())
+        );
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"records\": [\n");
+    for (i, record) in result.records.iter().enumerate() {
+        let comma = if i + 1 < result.records.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "    {}{comma}", record_json(record));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn record_json(record: &FaultRecord) -> String {
+    format!(
+        "{{\"fault\": {}, \"outcome\": {}, \"sim_seconds\": {}, \"newton_iterations\": {}}}",
+        fault_json(&record.fault),
+        outcome_json(&record.outcome),
+        num(record.sim_seconds),
+        record.newton_iterations
+    )
+}
+
+fn fault_json(fault: &Fault) -> String {
+    let probability = match fault.probability {
+        Some(p) => num(p),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\": {}, \"label\": {}, \"probability\": {}, \"effect\": {}}}",
+        fault.id,
+        quote(&fault.label),
+        probability,
+        effect_json(&fault.effect)
+    )
+}
+
+fn effect_json(effect: &FaultEffect) -> String {
+    match effect {
+        FaultEffect::Short { a, b } => {
+            format!(
+                "{{\"kind\": \"short\", \"a\": {}, \"b\": {}}}",
+                quote(a),
+                quote(b)
+            )
+        }
+        FaultEffect::ElementShort { element, t1, t2 } => format!(
+            "{{\"kind\": \"element_short\", \"element\": {}, \"t1\": {t1}, \"t2\": {t2}}}",
+            quote(element)
+        ),
+        FaultEffect::OpenTerminal { element, terminal } => format!(
+            "{{\"kind\": \"open_terminal\", \"element\": {}, \"terminal\": {terminal}}}",
+            quote(element)
+        ),
+        FaultEffect::SplitNode {
+            node,
+            move_terminals,
+        } => {
+            let moves = move_terminals
+                .iter()
+                .map(|(e, t)| format!("[{}, {t}]", quote(e)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\"kind\": \"split_node\", \"node\": {}, \"move_terminals\": [{moves}]}}",
+                quote(node)
+            )
+        }
+        FaultEffect::ParamDeviation { element, factor } => format!(
+            "{{\"kind\": \"param_deviation\", \"element\": {}, \"factor\": {}}}",
+            quote(element),
+            num(*factor)
+        ),
+    }
+}
+
+fn outcome_json(outcome: &FaultOutcome) -> String {
+    match outcome {
+        FaultOutcome::Detected { at, node } => format!(
+            "{{\"status\": \"detected\", \"at\": {}, \"node\": {}}}",
+            num(*at),
+            quote(node)
+        ),
+        FaultOutcome::NotDetected => "{\"status\": \"not_detected\"}".to_string(),
+        FaultOutcome::InjectionFailed(m) => format!(
+            "{{\"status\": \"injection_failed\", \"message\": {}}}",
+            quote(m)
+        ),
+        FaultOutcome::SimulationFailed(m) => format!(
+            "{{\"status\": \"simulation_failed\", \"message\": {}}}",
+            quote(m)
+        ),
+    }
+}
+
+/// Formats a finite f64 so it parses back to the identical bits
+/// (Rust's shortest round-trip representation; JSON-compatible for all
+/// finite values, including `-0.0`). JSON has no NaN/Infinity, so
+/// non-finite values become `null` — the document stays parseable, and
+/// a required numeric field that was non-finite surfaces as an
+/// explicit [`ProtocolError::Schema`] on read instead of invalid JSON.
+fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    // `{:?}` may print an exponent Rust-style (`1e-7`); JSON accepts it.
+    format!("{x:?}")
+}
+
+fn num_array(xs: &[f64]) -> String {
+    let mut s = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&num(*x));
+    }
+    s.push(']');
+    s
+}
+
+fn quote(text: &str) -> String {
+    let mut s = String::with_capacity(text.len() + 2);
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value (internal; only what the schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(BTreeMap<String, Json>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: &str) -> ProtocolError {
+        ProtocolError::Parse(format!("{message} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ProtocolError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), ProtocolError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ProtocolError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => {
+                self.expect_literal("true")?;
+                Ok(Json::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_literal("false")?;
+                Ok(Json::Bool(false))
+            }
+            Some(b'n') => {
+                self.expect_literal("null")?;
+                Ok(Json::Null)
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(map));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ProtocolError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Consumes the 4 hex digits of a `\u` escape (the `\u` itself is
+    /// already consumed) and, for UTF-16 high surrogates, the mandatory
+    /// `\uXXXX` low-surrogate continuation — external writers such as
+    /// Python's `json.dumps` escape astral characters as surrogate
+    /// pairs.
+    fn unicode_escape(&mut self) -> Result<char, ProtocolError> {
+        let hi = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&hi) {
+            return Err(self.error("unpaired low surrogate"));
+        }
+        if (0xD800..=0xDBFF).contains(&hi) {
+            if self.peek() != Some(b'\\') || self.bytes.get(self.pos + 1) != Some(&b'u') {
+                return Err(self.error("unpaired high surrogate"));
+            }
+            self.pos += 2;
+            let lo = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&lo) {
+                return Err(self.error("unpaired high surrogate"));
+            }
+            let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(code).ok_or_else(|| self.error("bad \\u code point"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.error("bad \\u code point"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, ProtocolError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.error("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.error("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema mapping
+// ---------------------------------------------------------------------
+
+fn schema_err(message: impl Into<String>) -> ProtocolError {
+    ProtocolError::Schema(message.into())
+}
+
+impl Json {
+    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, ProtocolError> {
+        match self {
+            Json::Object(map) => map
+                .get(key)
+                .ok_or_else(|| schema_err(format!("missing field `{key}`"))),
+            _ => Err(schema_err(format!("expected object with field `{key}`"))),
+        }
+    }
+
+    fn as_f64(&self) -> Result<f64, ProtocolError> {
+        match self {
+            Json::Number(x) => Ok(*x),
+            _ => Err(schema_err("expected a number")),
+        }
+    }
+
+    fn as_usize(&self) -> Result<usize, ProtocolError> {
+        let x = self.as_f64()?;
+        if x >= 0.0 && x.fract() == 0.0 {
+            Ok(x as usize)
+        } else {
+            Err(schema_err("expected a non-negative integer"))
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, ProtocolError> {
+        match self {
+            Json::String(s) => Ok(s),
+            _ => Err(schema_err("expected a string")),
+        }
+    }
+
+    fn as_array(&self) -> Result<&[Json], ProtocolError> {
+        match self {
+            Json::Array(items) => Ok(items),
+            _ => Err(schema_err("expected an array")),
+        }
+    }
+
+    fn as_f64_array(&self) -> Result<Vec<f64>, ProtocolError> {
+        self.as_array()?.iter().map(Json::as_f64).collect()
+    }
+}
+
+/// Parses a JSON protocol document back into a [`CampaignResult`].
+///
+/// # Errors
+/// [`ProtocolError::Parse`] on malformed JSON, [`ProtocolError::Schema`]
+/// when the document does not match the protocol schema.
+pub fn from_json(text: &str) -> Result<CampaignResult, ProtocolError> {
+    let mut parser = Parser::new(text);
+    let doc = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data"));
+    }
+
+    let version = doc.field("version")?.as_usize()?;
+    if version as u64 != PROTOCOL_VERSION {
+        return Err(schema_err(format!(
+            "unsupported protocol version {version}"
+        )));
+    }
+    let observed: Vec<String> = doc
+        .field("observed")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Result<_, _>>()?;
+    let nominals: Vec<Wave> = doc
+        .field("nominals")?
+        .as_array()?
+        .iter()
+        .map(wave_from_json)
+        .collect::<Result<_, _>>()?;
+    if observed.is_empty() || observed.len() != nominals.len() {
+        return Err(schema_err("observed/nominals mismatch"));
+    }
+    let records: Vec<FaultRecord> = doc
+        .field("records")?
+        .as_array()?
+        .iter()
+        .map(record_from_json)
+        .collect::<Result<_, _>>()?;
+    Ok(CampaignResult {
+        observed,
+        nominals,
+        records,
+        nominal_seconds: doc.field("nominal_seconds")?.as_f64()?,
+        total_seconds: doc.field("total_seconds")?.as_f64()?,
+    })
+}
+
+fn wave_from_json(v: &Json) -> Result<Wave, ProtocolError> {
+    let times = v.field("times")?.as_f64_array()?;
+    let values = v.field("values")?.as_f64_array()?;
+    if times.len() != values.len() || !times.windows(2).all(|w| w[0] < w[1]) {
+        return Err(schema_err("malformed waveform"));
+    }
+    Ok(Wave::new(times, values))
+}
+
+fn record_from_json(v: &Json) -> Result<FaultRecord, ProtocolError> {
+    Ok(FaultRecord {
+        fault: fault_from_json(v.field("fault")?)?,
+        outcome: outcome_from_json(v.field("outcome")?)?,
+        sim_seconds: v.field("sim_seconds")?.as_f64()?,
+        newton_iterations: v.field("newton_iterations")?.as_usize()? as u64,
+    })
+}
+
+fn fault_from_json(v: &Json) -> Result<Fault, ProtocolError> {
+    let mut fault = Fault::new(
+        v.field("id")?.as_usize()?,
+        v.field("label")?.as_str()?,
+        effect_from_json(v.field("effect")?)?,
+    );
+    match v.field("probability")? {
+        Json::Null => {}
+        p => fault = fault.with_probability(p.as_f64()?),
+    }
+    Ok(fault)
+}
+
+fn effect_from_json(v: &Json) -> Result<FaultEffect, ProtocolError> {
+    match v.field("kind")?.as_str()? {
+        "short" => Ok(FaultEffect::Short {
+            a: v.field("a")?.as_str()?.to_string(),
+            b: v.field("b")?.as_str()?.to_string(),
+        }),
+        "element_short" => Ok(FaultEffect::ElementShort {
+            element: v.field("element")?.as_str()?.to_string(),
+            t1: v.field("t1")?.as_usize()?,
+            t2: v.field("t2")?.as_usize()?,
+        }),
+        "open_terminal" => Ok(FaultEffect::OpenTerminal {
+            element: v.field("element")?.as_str()?.to_string(),
+            terminal: v.field("terminal")?.as_usize()?,
+        }),
+        "split_node" => {
+            let move_terminals = v
+                .field("move_terminals")?
+                .as_array()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array()?;
+                    if pair.len() != 2 {
+                        return Err(schema_err("move_terminals entries are [element, terminal]"));
+                    }
+                    Ok((pair[0].as_str()?.to_string(), pair[1].as_usize()?))
+                })
+                .collect::<Result<_, _>>()?;
+            Ok(FaultEffect::SplitNode {
+                node: v.field("node")?.as_str()?.to_string(),
+                move_terminals,
+            })
+        }
+        "param_deviation" => Ok(FaultEffect::ParamDeviation {
+            element: v.field("element")?.as_str()?.to_string(),
+            factor: v.field("factor")?.as_f64()?,
+        }),
+        kind => Err(schema_err(format!("unknown effect kind `{kind}`"))),
+    }
+}
+
+fn outcome_from_json(v: &Json) -> Result<FaultOutcome, ProtocolError> {
+    match v.field("status")?.as_str()? {
+        "detected" => Ok(FaultOutcome::Detected {
+            at: v.field("at")?.as_f64()?,
+            node: v.field("node")?.as_str()?.to_string(),
+        }),
+        "not_detected" => Ok(FaultOutcome::NotDetected),
+        "injection_failed" => Ok(FaultOutcome::InjectionFailed(
+            v.field("message")?.as_str()?.to_string(),
+        )),
+        "simulation_failed" => Ok(FaultOutcome::SimulationFailed(
+            v.field("message")?.as_str()?.to_string(),
+        )),
+        status => Err(schema_err(format!("unknown outcome status `{status}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> CampaignResult {
+        CampaignResult {
+            observed: vec!["11".to_string(), "out\"quoted\"".to_string()],
+            nominals: vec![
+                Wave::new(vec![0.0, 1e-6, 2e-6], vec![0.0, 5.0, -0.25]),
+                Wave::new(vec![0.0, 1e-6], vec![2.2, 2.2]),
+            ],
+            records: vec![
+                FaultRecord {
+                    fault: Fault::new(
+                        6,
+                        "BRI n_ds_short 5->6",
+                        FaultEffect::Short {
+                            a: "5".into(),
+                            b: "6".into(),
+                        },
+                    )
+                    .with_probability(3.2e-8),
+                    outcome: FaultOutcome::Detected {
+                        at: 0.5e-6,
+                        node: "11".into(),
+                    },
+                    sim_seconds: 0.01,
+                    newton_iterations: 400,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        7,
+                        "SOP M3.g",
+                        FaultEffect::OpenTerminal {
+                            element: "M3".into(),
+                            terminal: 1,
+                        },
+                    ),
+                    outcome: FaultOutcome::NotDetected,
+                    sim_seconds: 0.02,
+                    newton_iterations: 410,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        9,
+                        "OPN split 6",
+                        FaultEffect::SplitNode {
+                            node: "6".into(),
+                            move_terminals: vec![("C1".into(), 1), ("M4".into(), 0)],
+                        },
+                    ),
+                    outcome: FaultOutcome::InjectionFailed("unknown node `zz`".into()),
+                    sim_seconds: 0.001,
+                    newton_iterations: 0,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        10,
+                        "BRI R2",
+                        FaultEffect::ElementShort {
+                            element: "R2".into(),
+                            t1: 0,
+                            t2: 1,
+                        },
+                    ),
+                    outcome: FaultOutcome::SimulationFailed("tran failed to converge".into()),
+                    sim_seconds: 0.5,
+                    newton_iterations: 12,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        11,
+                        "SOFT R1 x1.050",
+                        FaultEffect::ParamDeviation {
+                            element: "R1".into(),
+                            factor: 1.05,
+                        },
+                    ),
+                    outcome: FaultOutcome::NotDetected,
+                    sim_seconds: 0.015,
+                    newton_iterations: 380,
+                },
+            ],
+            nominal_seconds: 0.0123,
+            total_seconds: 0.25,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_every_effect_and_outcome() {
+        let original = sample_result();
+        let text = to_json(&original);
+        let back = from_json(&text).expect("round trip parses");
+        assert_eq!(back.observed, original.observed);
+        assert_eq!(back.nominals, original.nominals);
+        assert_eq!(back.nominal_seconds, original.nominal_seconds);
+        assert_eq!(back.total_seconds, original.total_seconds);
+        assert_eq!(back.records.len(), original.records.len());
+        for (a, b) in back.records.iter().zip(&original.records) {
+            assert_eq!(a.fault, b.fault);
+            assert_eq!(a.outcome, b.outcome);
+            assert_eq!(a.sim_seconds, b.sim_seconds);
+            assert_eq!(a.newton_iterations, b.newton_iterations);
+        }
+        // Derived statistics survive too.
+        assert_eq!(back.final_coverage(), original.final_coverage());
+        assert_eq!(back.detections(), original.detections());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        assert!(matches!(
+            from_json("not json"),
+            Err(ProtocolError::Parse(_))
+        ));
+        assert!(matches!(
+            from_json("{\"version\": 1}"),
+            Err(ProtocolError::Schema(_))
+        ));
+        assert!(matches!(
+            from_json("{\"version\": 99, \"observed\": [], \"nominals\": [], \"records\": [], \"nominal_seconds\": 0, \"total_seconds\": 0}"),
+            Err(ProtocolError::Schema(_))
+        ));
+        // Trailing garbage is an error, not silently ignored.
+        let mut text = to_json(&sample_result());
+        text.push_str("[]");
+        assert!(matches!(from_json(&text), Err(ProtocolError::Parse(_))));
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let tricky = "a\"b\\c\nd\te\u{1}µ";
+        let quoted = quote(tricky);
+        let mut p = Parser::new(&quoted);
+        assert_eq!(p.string().unwrap(), tricky);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            3.2e-8,
+            1e-7,
+            4e-6,
+            f64::MIN_POSITIVE,
+            123456.789,
+        ] {
+            let s = num(x);
+            let back = s.parse::<f64>().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        for x in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(num(x), "null");
+        }
+        // A NaN probability yields a valid document that parses back
+        // with the probability absent.
+        let mut result = sample_result();
+        result.records[0].fault.probability = Some(f64::NAN);
+        let text = to_json(&result);
+        let back = from_json(&text).expect("document stays valid JSON");
+        assert_eq!(back.records[0].fault.probability, None);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        // Python's `json.dumps` escapes astral characters this way.
+        let mut p = Parser::new("\"\\ud83d\\ude00 ok\"");
+        assert_eq!(p.string().unwrap(), "\u{1F600} ok");
+        // Lone or malformed surrogates are rejected, not mangled.
+        for bad in [
+            "\"\\ud83d\"",
+            "\"\\ud83d\\n\"",
+            "\"\\ude00\"",
+            "\"\\ud83d\\ud83d\"",
+        ] {
+            assert!(Parser::new(bad).string().is_err(), "{bad}");
+        }
+    }
+}

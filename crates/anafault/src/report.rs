@@ -21,7 +21,7 @@ pub fn protocol_table(result: &CampaignResult) -> String {
             None => "-".to_string(),
         };
         let det = match &r.outcome {
-            FaultOutcome::Detected { at } => format!("{:.3} µs", at * 1e6),
+            FaultOutcome::Detected { at, .. } => format!("{:.3} µs", at * 1e6),
             FaultOutcome::NotDetected => "undetected".to_string(),
             FaultOutcome::InjectionFailed(_) => "inject-fail".to_string(),
             FaultOutcome::SimulationFailed(_) => "sim-fail".to_string(),
@@ -96,20 +96,66 @@ mod tests {
 
     fn result() -> CampaignResult {
         CampaignResult {
-            nominal: Wave::new(vec![0.0, 1e-6], vec![0.0, 5.0]),
+            observed: vec!["11".to_string()],
+            nominals: vec![Wave::new(vec![0.0, 1e-6], vec![0.0, 5.0])],
             records: vec![
                 FaultRecord {
-                    fault: Fault::new(6, "BRI n_ds_short 5->6", FaultEffect::Short { a: "5".into(), b: "6".into() })
-                        .with_probability(3.2e-8),
-                    outcome: FaultOutcome::Detected { at: 0.5e-6 },
+                    fault: Fault::new(
+                        6,
+                        "BRI n_ds_short 5->6",
+                        FaultEffect::Short {
+                            a: "5".into(),
+                            b: "6".into(),
+                        },
+                    )
+                    .with_probability(3.2e-8),
+                    outcome: FaultOutcome::Detected {
+                        at: 0.5e-6,
+                        node: "11".into(),
+                    },
                     sim_seconds: 0.01,
                     newton_iterations: 400,
                 },
                 FaultRecord {
-                    fault: Fault::new(7, "SOP M3.g", FaultEffect::OpenTerminal { element: "M3".into(), terminal: 1 }),
+                    fault: Fault::new(
+                        7,
+                        "SOP M3.g",
+                        FaultEffect::OpenTerminal {
+                            element: "M3".into(),
+                            terminal: 1,
+                        },
+                    ),
                     outcome: FaultOutcome::NotDetected,
                     sim_seconds: 0.02,
                     newton_iterations: 400,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        8,
+                        "BAD inject",
+                        FaultEffect::Short {
+                            a: "zz".into(),
+                            b: "0".into(),
+                        },
+                    ),
+                    outcome: FaultOutcome::InjectionFailed(
+                        "fault references unknown node `zz`".into(),
+                    ),
+                    sim_seconds: 0.001,
+                    newton_iterations: 0,
+                },
+                FaultRecord {
+                    fault: Fault::new(
+                        9,
+                        "BAD sim",
+                        FaultEffect::Short {
+                            a: "5".into(),
+                            b: "0".into(),
+                        },
+                    ),
+                    outcome: FaultOutcome::SimulationFailed("tran failed to converge".into()),
+                    sim_seconds: 0.5,
+                    newton_iterations: 12,
                 },
             ],
             nominal_seconds: 0.01,
@@ -124,7 +170,37 @@ mod tests {
         assert!(table.contains("n_ds_short"));
         assert!(table.contains("3.20e-8"));
         assert!(table.contains("undetected"));
-        assert!(table.contains("coverage: 50.0 %"));
+        assert!(table.contains("coverage: 25.0 %"));
+    }
+
+    #[test]
+    fn protocol_table_golden() {
+        let expected = "\
+id     fault                                      p_j    detected at    sim [s]\n\
+--------------------------------------------------------------------------------\n\
+#6     BRI n_ds_short 5->6                    3.20e-8       0.500 µs     0.0100\n\
+#7     SOP M3.g                                     -     undetected     0.0200\n\
+#8     BAD inject                                   -    inject-fail     0.0010\n\
+#9     BAD sim                                      -       sim-fail     0.5000\n\
+--------------------------------------------------------------------------------\n\
+faults: 4   coverage: 25.0 %   fault-sim time: 0.531 s (nominal 0.010 s)\n";
+        assert_eq!(protocol_table(&result()), expected);
+    }
+
+    #[test]
+    fn coverage_plot_golden() {
+        let curve = vec![(0.0, 0.0), (1e-6, 50.0), (2e-6, 100.0)];
+        let expected = concat!(
+            "fault coverage [%]\n",
+            "  100 |                   *\n",
+            "   75 |                    \n",
+            "   50 |          *         \n",
+            "   25 |                    \n",
+            "    0 |*                   \n",
+            "      +--------------------\n",
+            "       0             2.0 µs\n",
+        );
+        assert_eq!(coverage_plot(&curve, 20, 5), expected);
     }
 
     #[test]

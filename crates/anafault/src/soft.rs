@@ -6,35 +6,138 @@
 //! This module generates the soft-fault campaigns that make such
 //! comparisons possible: every passive/MOS element deviated by a set of
 //! factors, plus Monte Carlo sampling of deviation factors.
+//!
+//! Both generators number their faults from a caller-chosen
+//! `first_id`. Campaigns routinely mix LIFT's hard faults with soft
+//! sweeps; starting the soft ids after the hard list keeps every fault
+//! id unique in the merged protocol
+//! (`SweepSpec { first_id: hard.len() + 1, .. }`).
 
 use crate::fault::{Fault, FaultEffect};
 use rand::{Rng, RngExt};
 use spice::{Circuit, ElementKind};
 
+/// Configuration for [`deviation_sweep`].
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Deviation factors applied to every scalable element.
+    pub factors: Vec<f64>,
+    /// Elements whose name starts with one of these prefixes are
+    /// skipped (testbench sources, injected fault elements, supply
+    /// resistors, …). Case-insensitive.
+    pub exclude_prefixes: Vec<String>,
+    /// Id of the first generated fault; subsequent faults count up from
+    /// here. Offset past the hard-fault list when mixing lists.
+    pub first_id: usize,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            factors: Vec::new(),
+            exclude_prefixes: Vec::new(),
+            first_id: 1,
+        }
+    }
+}
+
+impl SweepSpec {
+    /// A sweep over `factors` with no exclusions, numbering from 1.
+    pub fn new(factors: impl Into<Vec<f64>>) -> Self {
+        SweepSpec {
+            factors: factors.into(),
+            ..SweepSpec::default()
+        }
+    }
+
+    /// Same spec with excluded name prefixes.
+    pub fn exclude<I, S>(mut self, prefixes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.exclude_prefixes = prefixes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Same spec numbering faults from `first_id`.
+    pub fn first_id(mut self, id: usize) -> Self {
+        self.first_id = id;
+        self
+    }
+
+    fn excludes(&self, name: &str) -> bool {
+        name_excluded(name, &self.exclude_prefixes)
+    }
+}
+
+/// Case-insensitive prefix exclusion shared by both generators.
+fn name_excluded(name: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| {
+        name.to_ascii_uppercase()
+            .starts_with(&p.to_ascii_uppercase())
+    })
+}
+
+/// Configuration for [`monte_carlo_deviations`].
+#[derive(Debug, Clone)]
+pub struct MonteCarloSpec {
+    /// Number of faults to draw.
+    pub n: usize,
+    /// Deviation factors are log-uniform in `[1/max_factor, max_factor]`.
+    pub max_factor: f64,
+    /// Excluded element-name prefixes (case-insensitive).
+    pub exclude_prefixes: Vec<String>,
+    /// Id of the first generated fault (see [`SweepSpec::first_id`]).
+    pub first_id: usize,
+}
+
+impl MonteCarloSpec {
+    /// `n` draws bounded by `max_factor`, no exclusions, numbering
+    /// from 1.
+    pub fn new(n: usize, max_factor: f64) -> Self {
+        MonteCarloSpec {
+            n,
+            max_factor,
+            exclude_prefixes: Vec::new(),
+            first_id: 1,
+        }
+    }
+
+    /// Same spec with excluded name prefixes.
+    pub fn exclude<I, S>(mut self, prefixes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.exclude_prefixes = prefixes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Same spec numbering faults from `first_id`.
+    pub fn first_id(mut self, id: usize) -> Self {
+        self.first_id = id;
+        self
+    }
+}
+
+fn scalable(kind: &ElementKind) -> bool {
+    matches!(
+        kind,
+        ElementKind::Resistor { .. } | ElementKind::Capacitor { .. } | ElementKind::Mosfet { .. }
+    )
+}
+
 /// Deterministic soft-fault sweep: every resistor, capacitor and MOS
-/// width deviated by each factor in `factors`.
-///
-/// Elements whose name starts with one of `exclude_prefixes` are
-/// skipped (testbench sources, injected fault elements, supply
-/// resistors, …).
-pub fn deviation_sweep(ckt: &Circuit, factors: &[f64], exclude_prefixes: &[&str]) -> Vec<Fault> {
+/// width deviated by each factor in `spec.factors`.
+pub fn deviation_sweep(ckt: &Circuit, spec: &SweepSpec) -> Vec<Fault> {
     let mut out = Vec::new();
-    let mut id = 1usize;
+    let mut id = spec.first_id;
     for e in ckt.elements() {
-        if exclude_prefixes
-            .iter()
-            .any(|p| e.name.to_ascii_uppercase().starts_with(&p.to_ascii_uppercase()))
-        {
+        if spec.excludes(&e.name) || !scalable(&e.kind) {
             continue;
         }
-        let scalable = matches!(
-            e.kind,
-            ElementKind::Resistor { .. } | ElementKind::Capacitor { .. } | ElementKind::Mosfet { .. }
-        );
-        if !scalable {
-            continue;
-        }
-        for &factor in factors {
+        for &factor in &spec.factors {
             out.push(Fault::new(
                 id,
                 format!("SOFT {} x{:.3}", e.name, factor),
@@ -49,46 +152,33 @@ pub fn deviation_sweep(ckt: &Circuit, factors: &[f64], exclude_prefixes: &[&str]
     out
 }
 
-/// Monte Carlo soft faults: `n` faults, each deviating one random
-/// scalable element by a log-uniform factor in `[1/max_factor,
-/// max_factor]`.
+/// Monte Carlo soft faults: `spec.n` faults, each deviating one random
+/// scalable element by a log-uniform factor in
+/// `[1/spec.max_factor, spec.max_factor]`.
 ///
 /// # Panics
 /// Panics when the circuit has no scalable elements or
-/// `max_factor <= 1`.
+/// `spec.max_factor <= 1`.
 pub fn monte_carlo_deviations<R: Rng + ?Sized>(
     ckt: &Circuit,
-    n: usize,
-    max_factor: f64,
-    exclude_prefixes: &[&str],
+    spec: &MonteCarloSpec,
     rng: &mut R,
 ) -> Vec<Fault> {
-    assert!(max_factor > 1.0, "max_factor must exceed 1");
+    assert!(spec.max_factor > 1.0, "max_factor must exceed 1");
     let candidates: Vec<&str> = ckt
         .elements()
         .iter()
-        .filter(|e| {
-            matches!(
-                e.kind,
-                ElementKind::Resistor { .. }
-                    | ElementKind::Capacitor { .. }
-                    | ElementKind::Mosfet { .. }
-            ) && !exclude_prefixes.iter().any(|p| {
-                e.name
-                    .to_ascii_uppercase()
-                    .starts_with(&p.to_ascii_uppercase())
-            })
-        })
+        .filter(|e| scalable(&e.kind) && !name_excluded(&e.name, &spec.exclude_prefixes))
         .map(|e| e.name.as_str())
         .collect();
     assert!(!candidates.is_empty(), "no scalable elements");
-    let log_max = max_factor.ln();
-    (0..n)
+    let log_max = spec.max_factor.ln();
+    (0..spec.n)
         .map(|i| {
             let element = candidates[rng.random_range(0..candidates.len())].to_string();
             let factor = (rng.random_range(-log_max..log_max)).exp();
             Fault::new(
-                i + 1,
+                spec.first_id + i,
                 format!("SOFT-MC {element} x{factor:.3}"),
                 FaultEffect::ParamDeviation { element, factor },
             )
@@ -105,6 +195,7 @@ mod tests {
     use rand::SeedableRng;
     use spice::parser::parse_netlist;
     use spice::tran::TranSpec;
+    use std::collections::HashSet;
 
     fn rc() -> Circuit {
         parse_netlist(
@@ -115,23 +206,54 @@ mod tests {
 
     #[test]
     fn sweep_excludes_testbench() {
-        let faults = deviation_sweep(&rc(), &[0.5, 2.0], &["V"]);
+        let faults = deviation_sweep(&rc(), &SweepSpec::new([0.5, 2.0]).exclude(["V"]));
         // R1 and C1, two factors each.
         assert_eq!(faults.len(), 4);
         assert!(faults.iter().all(|f| !f.label.contains("V1")));
     }
 
     #[test]
+    fn id_offset_prevents_collisions_with_hard_lists() {
+        // A LIFT-style hard list numbered 1..=40.
+        let hard_ids: HashSet<usize> = (1..=40).collect();
+        let spec = SweepSpec::new([0.5, 2.0]).exclude(["V"]).first_id(41);
+        let soft = deviation_sweep(&rc(), &spec);
+        assert_eq!(
+            soft.iter().map(|f| f.id).collect::<Vec<_>>(),
+            vec![41, 42, 43, 44]
+        );
+        assert!(soft.iter().all(|f| !hard_ids.contains(&f.id)));
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mc = monte_carlo_deviations(
+            &rc(),
+            &MonteCarloSpec::new(10, 4.0).exclude(["V"]).first_id(45),
+            &mut rng,
+        );
+        let mc_ids: Vec<usize> = mc.iter().map(|f| f.id).collect();
+        assert_eq!(mc_ids, (45..55).collect::<Vec<_>>());
+        // The merged campaign has globally unique ids.
+        let mut all = hard_ids;
+        for f in soft.iter().chain(&mc) {
+            assert!(all.insert(f.id), "duplicate fault id {}", f.id);
+        }
+    }
+
+    #[test]
     fn small_deviations_hide_inside_tolerance_large_ones_do_not() {
-        let campaign = Campaign {
-            circuit: rc(),
-            tran: TranSpec::new(0.5e-6, 50e-6).with_uic(),
-            observe: "out".into(),
-            detection: DetectionSpec { v_tol: 0.5, t_tol: 1e-6 },
-            model: HardFaultModel::paper_resistor(),
-            threads: 2,
-        };
-        let faults = deviation_sweep(&rc(), &[1.02, 5.0], &["V"]);
+        let campaign = Campaign::builder()
+            .testbench(rc())
+            .tran(TranSpec::new(0.5e-6, 50e-6).with_uic())
+            .observe("out")
+            .detection(DetectionSpec {
+                v_tol: 0.5,
+                t_tol: 1e-6,
+            })
+            .model(HardFaultModel::paper_resistor())
+            .threads(2)
+            .build()
+            .unwrap();
+        let faults = deviation_sweep(&rc(), &SweepSpec::new([1.02, 5.0]).exclude(["V"]));
         let result = campaign.run(&faults).unwrap();
         for r in &result.records {
             let is_small = r.fault.label.contains("x1.02");
@@ -146,13 +268,17 @@ mod tests {
     #[test]
     fn monte_carlo_factors_are_bounded() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let faults = monte_carlo_deviations(&rc(), 200, 4.0, &["V"], &mut rng);
+        let faults = monte_carlo_deviations(
+            &rc(),
+            &MonteCarloSpec::new(200, 4.0).exclude(["V"]),
+            &mut rng,
+        );
         assert_eq!(faults.len(), 200);
         for f in faults {
             let FaultEffect::ParamDeviation { factor, .. } = f.effect else {
                 panic!("soft faults only");
             };
-            assert!(factor >= 0.25 && factor <= 4.0, "factor {factor}");
+            assert!((0.25..=4.0).contains(&factor), "factor {factor}");
         }
     }
 }

@@ -30,7 +30,9 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| spice::tran::tran(black_box(&faulty), &spec).expect("simulates"))
     });
     group.bench_function("injection_only", |b| {
-        b.iter(|| inject(black_box(&tb), &fault, HardFaultModel::paper_resistor()).expect("injects"))
+        b.iter(|| {
+            inject(black_box(&tb), &fault, HardFaultModel::paper_resistor()).expect("injects")
+        })
     });
     group.finish();
 }

@@ -16,9 +16,7 @@ fn bench_geometry(c: &mut Criterion) {
         b.iter(|| Region::from_rects(black_box(&comb).iter().copied()))
     });
     let region = Region::from_rects(comb.iter().copied());
-    let other = Region::from_rects(
-        (0..200).map(|i| Rect::from_wh(i * 1_500, 0, 1_000, 600_000)),
-    );
+    let other = Region::from_rects((0..200).map(|i| Rect::from_wh(i * 1_500, 0, 1_000, 600_000)));
     group.bench_function("region_intersection", |b| {
         b.iter(|| black_box(&region).intersection(black_box(&other)))
     });

@@ -24,10 +24,20 @@ fn bench_nominal_transient(c: &mut Criterion) {
         let mut dc = vco::vco_schematic();
         let vdd = dc.node("vdd");
         let vin = dc.node("1");
-        dc.add("VDD", vec![vdd, spice::Circuit::GROUND],
-            spice::ElementKind::Vsource { wave: spice::Waveform::Dc(5.0) });
-        dc.add("VIN", vec![vin, spice::Circuit::GROUND],
-            spice::ElementKind::Vsource { wave: spice::Waveform::Dc(2.2) });
+        dc.add(
+            "VDD",
+            vec![vdd, spice::Circuit::GROUND],
+            spice::ElementKind::Vsource {
+                wave: spice::Waveform::Dc(5.0),
+            },
+        );
+        dc.add(
+            "VIN",
+            vec![vin, spice::Circuit::GROUND],
+            spice::ElementKind::Vsource {
+                wave: spice::Waveform::Dc(2.2),
+            },
+        );
         b.iter(|| spice::dcop::dc_operating_point(black_box(&dc)).expect("solves"))
     });
     group.finish();

@@ -12,17 +12,14 @@ fn bench_extraction(c: &mut Criterion) {
     group.sample_size(20);
     group.bench_function("circuit_extraction", |b| {
         b.iter(|| {
-            extract::extract(black_box(&flat), &tech, &ExtractOptions::default())
-                .expect("extracts")
+            extract::extract(black_box(&flat), &tech, &ExtractOptions::default()).expect("extracts")
         })
     });
     let netlist = extract::extract(&flat, &tech, &ExtractOptions::default()).expect("extracts");
     group.bench_function("fault_extraction_glrfm", |b| {
         b.iter(|| lift::extract_faults(black_box(&netlist), &tech, &bench::paper_lift_options()))
     });
-    group.bench_function("layout_generation", |b| {
-        b.iter(vco::vco_layout)
-    });
+    group.bench_function("layout_generation", |b| b.iter(vco::vco_layout));
     group.bench_function("gds_write_read", |b| {
         let (lib, _) = vco::vco_library();
         b.iter(|| {

@@ -12,7 +12,9 @@ fn main() {
     println!("VCO layout DRC: {} findings\n", violations.len());
     let mut by_class: BTreeMap<String, usize> = BTreeMap::new();
     for v in &violations {
-        *by_class.entry(format!("{} {:?}", v.layer, v.rule)).or_insert(0) += 1;
+        *by_class
+            .entry(format!("{} {:?}", v.layer, v.rule))
+            .or_insert(0) += 1;
     }
     println!("{:<28} {:>6}", "class", "count");
     println!("{}", "-".repeat(36));

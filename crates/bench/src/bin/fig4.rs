@@ -9,19 +9,27 @@ fn main() {
     println!("Fig. 4 — faults extracted by LIFT, simulated by AnaFAULT");
     println!("         (V(11) over the 4 µs / 400-step transient)\n");
 
-    println!("fault-free   (f = {:?} Hz, Vpp = {:.2} V)",
+    println!(
+        "fault-free   (f = {:?} Hz, Vpp = {:.2} V)",
         fig.fault_free.frequency().map(|f| f.round()),
-        fig.fault_free.amplitude());
+        fig.fault_free.amplitude()
+    );
     print!("{}", ascii_wave(&fig.fault_free, 100, 10, -1.0, 5.5));
 
     let (label, wave) = &fig.f_ds;
-    println!("\n{label}   (f = {:?} Hz, Vpp = {:.2} V)",
-        wave.frequency().map(|f| f.round()), wave.amplitude());
+    println!(
+        "\n{label}   (f = {:?} Hz, Vpp = {:.2} V)",
+        wave.frequency().map(|f| f.round()),
+        wave.amplitude()
+    );
     print!("{}", ascii_wave(wave, 100, 10, -1.0, 5.5));
 
     let (label, wave) = &fig.f_m1;
-    println!("\n{label}   (f = {:?} Hz, Vpp = {:.2} V)",
-        wave.frequency().map(|f| f.round()), wave.amplitude());
+    println!(
+        "\n{label}   (f = {:?} Hz, Vpp = {:.2} V)",
+        wave.frequency().map(|f| f.round()),
+        wave.amplitude()
+    );
     print!("{}", ascii_wave(wave, 100, 10, -1.0, 5.5));
 
     println!("\npaper's observation: some short faults change the oscillation");

@@ -8,6 +8,12 @@ use bench::fig5_campaign;
 
 fn main() {
     let (result, curve) = fig5_campaign(HardFaultModel::Source);
+    // `--json` emits the machine-readable protocol document instead of
+    // the hand-formatted report (pipe into a file or a service).
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", anafault::protocol::to_json(&result));
+        return;
+    }
     println!("Fig. 5 — fault coverage plot (source model, 2 V / 0.2 µs tolerance)\n");
     print!("{}", coverage_plot(&curve, 80, 16));
 
@@ -19,22 +25,28 @@ fn main() {
             .map(|(_, c)| *c)
             .unwrap_or(0.0)
     };
-    let detections: Vec<f64> = result
-        .detections()
-        .into_iter()
-        .flatten()
-        .collect();
+    let detections: Vec<f64> = result.detections().into_iter().flatten().collect();
     let last_detection = detections.iter().copied().fold(0.0, f64::max);
     println!("\n{:<46} {:>8} {:>9}", "", "paper", "measured");
     println!("{}", "-".repeat(66));
-    println!("{:<46} {:>8} {:>8.1}%", "coverage at 25% of test time", "~100%", cov_at(25.0));
+    println!(
+        "{:<46} {:>8} {:>8.1}%",
+        "coverage at 25% of test time",
+        "~100%",
+        cov_at(25.0)
+    );
     println!(
         "{:<46} {:>8} {:>8.1}%",
         "all detected faults found by (% test time)",
         "55%",
         100.0 * last_detection / 4e-6
     );
-    println!("{:<46} {:>8} {:>8.1}%", "final fault coverage", "100%", result.final_coverage());
+    println!(
+        "{:<46} {:>8} {:>8.1}%",
+        "final fault coverage",
+        "100%",
+        result.final_coverage()
+    );
     println!("\nprotocol (first 15 rows):");
     let table = protocol_table(&result);
     for line in table.lines().take(18) {

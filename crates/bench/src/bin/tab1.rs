@@ -7,7 +7,10 @@ fn main() {
     let table = MechanismTable::paper_defaults();
     println!("Tab. 1 — Likely physical failure modes in a digital CMOS process");
     println!("         and typical relative failure densities\n");
-    println!("{:<22} {:<8} {:>10} {:>16}", "layer(s)", "failure", "relative", "absolute [/nm²]");
+    println!(
+        "{:<22} {:<8} {:>10} {:>16}",
+        "layer(s)", "failure", "relative", "absolute [/nm²]"
+    );
     println!("{}", "-".repeat(60));
     for (m, d) in table.entries() {
         let class = match m.class() {

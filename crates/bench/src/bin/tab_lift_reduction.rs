@@ -10,12 +10,23 @@ fn main() {
     println!("LIFT fault extraction on the VCO layout (paper §VI)\n");
     println!("{:<40} {:>8} {:>9}", "", "paper", "measured");
     println!("{}", "-".repeat(60));
-    println!("{:<40} {:>8} {:>9}", "schematic fault list", 152, report.schematic_total());
-    println!("{:<40} {:>8} {:>9}", "candidates enumerated by LIFT", "-", s.candidates);
+    println!(
+        "{:<40} {:>8} {:>9}",
+        "schematic fault list",
+        152,
+        report.schematic_total()
+    );
+    println!(
+        "{:<40} {:>8} {:>9}",
+        "candidates enumerated by LIFT", "-", s.candidates
+    );
     println!("{:<40} {:>8} {:>9}", "extracted failures", 70, s.total());
     println!("{:<40} {:>8} {:>9}", "  bridging", 55, s.bridges);
     println!("{:<40} {:>8} {:>9}", "  line opens", 8, s.line_opens);
-    println!("{:<40} {:>8} {:>9}", "  transistor stuck open", 7, s.stuck_opens);
+    println!(
+        "{:<40} {:>8} {:>9}",
+        "  transistor stuck open", 7, s.stuck_opens
+    );
     println!(
         "{:<40} {:>7.1}% {:>8.1}%",
         "reduction vs schematic list",
@@ -25,7 +36,10 @@ fn main() {
     println!("{}", "-".repeat(60));
     println!("\ntop 10 extracted faults by probability:");
     for f in report.lift.faults.iter().take(10) {
-        println!("  #{:<4} p = {:.2e}   {}", f.id, f.probability, f.fault.label);
+        println!(
+            "  #{:<4} p = {:.2e}   {}",
+            f.id, f.probability, f.fault.label
+        );
     }
     println!("\nnote: the category split differs from the paper because our");
     println!("generated layout routes every gate through an individual poly");

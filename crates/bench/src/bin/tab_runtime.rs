@@ -17,7 +17,12 @@ fn main() {
         "{:<40} {:>9}s {:>11.2}s",
         "source model fault-sim time", 4383, cmp.source_seconds
     );
-    println!("{:<40} {:>10} {:>12.2}", "source / resistor ratio", 1.43, cmp.ratio());
+    println!(
+        "{:<40} {:>10} {:>12.2}",
+        "source / resistor ratio",
+        1.43,
+        cmp.ratio()
+    );
     println!(
         "{:<40} {:>10} {:>12}",
         "kernel work resistor (solves)", "-", cmp.resistor_work

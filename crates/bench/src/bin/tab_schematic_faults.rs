@@ -22,10 +22,21 @@ fn main() {
     println!("{:<42} {:>8} {:>8}", "", "paper", "measured");
     println!("{}", "-".repeat(62));
     println!("{:<42} {:>8} {:>8}", "transistors", 26, n_mos);
-    println!("{:<42} {:>8} {:>8}", "designed gate-drain shorts", 6, n_diode);
-    println!("{:<42} {:>8} {:>8}", "single opens on transistors", 78, mos_opens);
+    println!(
+        "{:<42} {:>8} {:>8}",
+        "designed gate-drain shorts", 6, n_diode
+    );
+    println!(
+        "{:<42} {:>8} {:>8}",
+        "single opens on transistors", 78, mos_opens
+    );
     println!("{:<42} {:>8} {:>8}", "opens on the capacitor", 1, cap_opens);
-    println!("{:<42} {:>8} {:>8}", "shorts (incl. capacitor)", 73, faults.shorts.len());
+    println!(
+        "{:<42} {:>8} {:>8}",
+        "shorts (incl. capacitor)",
+        73,
+        faults.shorts.len()
+    );
     println!(
         "{:<42} {:>8} {:>8}",
         "complete fault list",

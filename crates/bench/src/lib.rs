@@ -51,15 +51,17 @@ pub fn vco_system() -> (CatSystem, Circuit) {
 }
 
 /// A campaign with the paper's settings over the given testbench.
+/// Early stop stays off so fault-model runtime comparisons measure the
+/// full transient, as the paper's protocol files did.
 pub fn paper_campaign(testbench: Circuit, model: HardFaultModel) -> Campaign {
-    Campaign {
-        circuit: testbench,
-        tran: paper_tran(),
-        observe: OBSERVED_NODE.to_string(),
-        detection: DetectionSpec::paper_fig5(),
-        model,
-        threads: 0,
-    }
+    Campaign::builder()
+        .testbench(testbench)
+        .tran(paper_tran())
+        .observe(OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(model)
+        .build()
+        .expect("paper campaign settings are complete")
 }
 
 // ---------------------------------------------------------------------
@@ -148,8 +150,8 @@ pub fn fig4_waveforms() -> Fig4 {
             .clone()
     };
     let run = |fault: &Fault| -> Wave {
-        let faulty = anafault::inject(&tb, fault, HardFaultModel::paper_resistor())
-            .expect("injectable");
+        let faulty =
+            anafault::inject(&tb, fault, HardFaultModel::paper_resistor()).expect("injectable");
         spice::tran::tran(&faulty, &paper_tran())
             .expect("faulty run")
             .wave(OBSERVED_NODE)
@@ -266,6 +268,9 @@ pub fn ascii_wave(wave: &Wave, width: usize, height: usize, v_min: f64, v_max: f
     let mut grid = vec![vec![' '; width]; height];
     let t0 = wave.times().first().copied().unwrap_or(0.0);
     let t1 = wave.times().last().copied().unwrap_or(1.0);
+    // clippy wants `grid.iter().enumerate()`, but `col` indexes the
+    // inner dimension under a computed `row`.
+    #[allow(clippy::needless_range_loop)]
     for col in 0..width {
         let t = t0 + (t1 - t0) * col as f64 / (width - 1) as f64;
         let v = wave.value_at(t);

@@ -1,19 +1,74 @@
 //! The end-to-end CAT flow.
+//!
+//! # Quickstart
+//!
+//! One [`CatSystem`] per design: extraction + LIFT run once, then any
+//! number of campaigns are configured through the builder and executed
+//! over LIFT's ranked fault list:
+//!
+//! ```no_run
+//! use cat_core::{CatError, CatSystem};
+//! use extract::ExtractOptions;
+//! use lift::LiftOptions;
+//! use spice::tran::TranSpec;
+//!
+//! # fn testbench(sys: &CatSystem) -> spice::Circuit { sys.circuit.clone() }
+//! let (flat, tech) = vco::vco_layout();
+//! let sys = CatSystem::from_layout(
+//!     &flat, &tech,
+//!     &ExtractOptions::default(),
+//!     &LiftOptions::default(),
+//! )?;
+//! let campaign = sys
+//!     .campaign_builder()
+//!     .testbench(testbench(&sys))
+//!     .tran(TranSpec::new(10e-9, 4e-6).with_uic())
+//!     .observe("11")          // any-detect: call again for more pins
+//!     .early_stop(true)       // drop each fault once detected
+//!     .build()?;
+//! let result = sys.simulate(&campaign)?;
+//! println!("coverage {:.1} %", result.final_coverage());
+//! # Ok::<(), CatError>(())
+//! ```
+//!
+//! Every fallible step funnels into [`CatError`], the crate-wide error
+//! type; long campaigns can stream per-fault progress through
+//! [`CatSystem::simulate_with_progress`].
+//!
+//! # Deprecation path
+//!
+//! The pre-0.2 positional entry points [`CatSystem::campaign`] and
+//! [`CatSystem::run_campaign`] still compile behind `#[deprecated]`
+//! shims for one release; they forward to the builder and will be
+//! removed afterwards. Migrate by listing the same five settings as
+//! builder calls (`testbench`, `tran`, `observe`, `detection`,
+//! `model`).
 
-use anafault::{Campaign, CampaignResult, DetectionSpec, Fault, HardFaultModel};
+use anafault::{
+    Campaign, CampaignBuilder, CampaignProgress, CampaignResult, ConfigError, DetectionSpec, Fault,
+    HardFaultModel, InjectError,
+};
 use extract::{ExtractError, ExtractOptions, ExtractedNetlist};
 use layout::{FlatLayout, Technology};
 use lift::{extract_faults, LiftOptions, LiftResult};
 use spice::tran::TranSpec;
 use spice::{Circuit, SpiceError};
 
-/// Errors from assembling the CAT system.
+/// The unified error type of the CAT system: everything a flow can
+/// raise — extraction, simulation, fault injection and campaign
+/// configuration — converts into this via `From`, so `?` composes
+/// across layers.
 #[derive(Debug)]
 pub enum CatError {
     /// Circuit extraction failed.
     Extract(ExtractError),
     /// Simulation failed.
     Spice(SpiceError),
+    /// Fault injection failed (outside a campaign, where it would be
+    /// recorded per fault instead).
+    Inject(InjectError),
+    /// Campaign configuration was incomplete or inconsistent.
+    Config(ConfigError),
 }
 
 impl core::fmt::Display for CatError {
@@ -21,11 +76,22 @@ impl core::fmt::Display for CatError {
         match self {
             CatError::Extract(e) => write!(f, "extraction: {e}"),
             CatError::Spice(e) => write!(f, "simulation: {e}"),
+            CatError::Inject(e) => write!(f, "injection: {e}"),
+            CatError::Config(e) => write!(f, "configuration: {e}"),
         }
     }
 }
 
-impl std::error::Error for CatError {}
+impl std::error::Error for CatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatError::Extract(e) => Some(e),
+            CatError::Spice(e) => Some(e),
+            CatError::Inject(e) => Some(e),
+            CatError::Config(e) => Some(e),
+        }
+    }
+}
 
 impl From<ExtractError> for CatError {
     fn from(e: ExtractError) -> Self {
@@ -36,6 +102,18 @@ impl From<ExtractError> for CatError {
 impl From<SpiceError> for CatError {
     fn from(e: SpiceError) -> Self {
         CatError::Spice(e)
+    }
+}
+
+impl From<InjectError> for CatError {
+    fn from(e: InjectError) -> Self {
+        CatError::Inject(e)
+    }
+}
+
+impl From<ConfigError> for CatError {
+    fn from(e: ConfigError) -> Self {
+        CatError::Config(e)
     }
 }
 
@@ -77,8 +155,41 @@ impl CatSystem {
         self.lift.fault_list()
     }
 
-    /// Builds a campaign over a caller-prepared testbench circuit
-    /// (usually [`CatSystem::circuit`] plus sources).
+    /// Starts configuring a campaign (see [`CampaignBuilder`]). The
+    /// caller supplies the testbench — usually [`CatSystem::circuit`]
+    /// plus sources — the transient, and the observed node(s).
+    pub fn campaign_builder(&self) -> CampaignBuilder {
+        Campaign::builder()
+    }
+
+    /// Runs `campaign` over LIFT's ranked fault list, blocking until
+    /// every fault is simulated.
+    ///
+    /// # Errors
+    /// Fails when the nominal simulation fails ([`CatError::Spice`]).
+    pub fn simulate(&self, campaign: &Campaign) -> Result<CampaignResult, CatError> {
+        Ok(campaign.run(&self.fault_list())?)
+    }
+
+    /// Runs `campaign` over LIFT's ranked fault list, streaming one
+    /// [`CampaignProgress`] event per completed fault.
+    ///
+    /// # Errors
+    /// Fails when the nominal simulation fails ([`CatError::Spice`]).
+    pub fn simulate_with_progress(
+        &self,
+        campaign: &Campaign,
+        on_event: impl FnMut(&CampaignProgress),
+    ) -> Result<CampaignResult, CatError> {
+        let faults = self.fault_list();
+        Ok(campaign.session(&faults).run_with_progress(on_event)?)
+    }
+
+    /// Builds a campaign over a caller-prepared testbench circuit.
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure campaigns with `CatSystem::campaign_builder()` instead"
+    )]
     pub fn campaign(
         &self,
         testbench: Circuit,
@@ -87,20 +198,21 @@ impl CatSystem {
         detection: DetectionSpec,
         model: HardFaultModel,
     ) -> Campaign {
-        Campaign {
-            circuit: testbench,
-            tran,
-            observe: observe.to_string(),
-            detection,
-            model,
-            threads: 0,
-        }
+        Campaign::builder()
+            .testbench(testbench)
+            .tran(tran)
+            .observe(observe)
+            .detection(detection)
+            .model(model)
+            .build()
+            .expect("all mandatory settings are present")
     }
 
     /// Convenience: run the whole fault simulation with LIFT's list.
-    ///
-    /// # Errors
-    /// Fails when the nominal simulation fails.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `CatSystem::campaign_builder()` + `CatSystem::simulate()` instead"
+    )]
     pub fn run_campaign(
         &self,
         testbench: Circuit,
@@ -109,6 +221,7 @@ impl CatSystem {
         detection: DetectionSpec,
         model: HardFaultModel,
     ) -> Result<CampaignResult, SpiceError> {
+        #[allow(deprecated)]
         self.campaign(testbench, tran, observe, detection, model)
             .run(&self.fault_list())
     }
@@ -126,13 +239,8 @@ mod tests {
             ports: vec!["vdd".into(), "0".into(), "1".into(), "11".into()],
             ..LiftOptions::default()
         };
-        let sys = CatSystem::from_layout(
-            &flat,
-            &tech,
-            &ExtractOptions::default(),
-            &lift_options,
-        )
-        .unwrap();
+        let sys = CatSystem::from_layout(&flat, &tech, &ExtractOptions::default(), &lift_options)
+            .unwrap();
         assert_eq!(sys.netlist.mosfets.len(), 26);
         assert!(sys.lift.stats.total() > 20, "stats: {:?}", sys.lift.stats);
         assert!(sys.lift.stats.bridges > 0);
@@ -175,22 +283,28 @@ mod tests {
         tb.add(
             "VIN",
             vec![vin, spice::Circuit::GROUND],
-            ElementKind::Vsource { wave: Waveform::Dc(2.2) },
+            ElementKind::Vsource {
+                wave: Waveform::Dc(2.2),
+            },
         );
         // Short campaign: top 10 faults only (full campaign is the
         // benchmark's job).
-        let faults: Vec<_> = sys.fault_list().into_iter().take(10).collect();
+        let campaign = sys
+            .campaign_builder()
+            .testbench(tb)
+            .tran(TranSpec::new(10e-9, 4e-6).with_uic())
+            .observe("11")
+            .detection(DetectionSpec::paper_fig5())
+            .model(HardFaultModel::paper_resistor())
+            .max_faults(10)
+            .build()
+            .unwrap();
+        let mut events = 0usize;
         let result = sys
-            .campaign(
-                tb,
-                TranSpec::new(10e-9, 4e-6).with_uic(),
-                "11",
-                DetectionSpec::paper_fig5(),
-                HardFaultModel::paper_resistor(),
-            )
-            .run(&faults)
+            .simulate_with_progress(&campaign, |_| events += 1)
             .unwrap();
         assert_eq!(result.records.len(), 10);
+        assert_eq!(events, 10, "one progress event per fault");
         // The top-probability faults on this oscillator are gross
         // shorts; most should be detected.
         assert!(
@@ -203,5 +317,54 @@ mod tests {
                 .map(|r| (&r.fault.label, &r.outcome))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        let (flat, tech) = vco::vco_layout();
+        let sys = CatSystem::from_layout(
+            &flat,
+            &tech,
+            &ExtractOptions::default(),
+            &LiftOptions::default(),
+        )
+        .unwrap();
+        let mut tb = sys.circuit.clone();
+        vco::attach_sources(&mut tb, &vco::TestbenchParams::default());
+        #[allow(deprecated)]
+        let old = sys.campaign(
+            tb.clone(),
+            TranSpec::new(10e-9, 4e-6).with_uic(),
+            "11",
+            DetectionSpec::paper_fig5(),
+            HardFaultModel::paper_resistor(),
+        );
+        let new = sys
+            .campaign_builder()
+            .testbench(tb)
+            .tran(TranSpec::new(10e-9, 4e-6).with_uic())
+            .observe("11")
+            .detection(DetectionSpec::paper_fig5())
+            .model(HardFaultModel::paper_resistor())
+            .build()
+            .unwrap();
+        assert_eq!(old.observed(), new.observed());
+        assert_eq!(old.detection(), new.detection());
+        assert_eq!(old.model(), new.model());
+    }
+
+    #[test]
+    fn cat_error_unifies_every_layer() {
+        let spice_err: CatError = SpiceError::Elaboration("x".into()).into();
+        let inject_err: CatError = InjectError::UnknownNode("n".into()).into();
+        let config_err: CatError = ConfigError::MissingTestbench.into();
+        assert!(matches!(spice_err, CatError::Spice(_)));
+        assert!(matches!(inject_err, CatError::Inject(_)));
+        assert!(matches!(config_err, CatError::Config(_)));
+        // Display and source() are wired through.
+        for e in [spice_err, inject_err, config_err] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_some());
+        }
     }
 }

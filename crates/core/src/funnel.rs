@@ -26,9 +26,18 @@ impl FaultFunnel {
     pub fn new(all_faults: usize, l2rfm: usize, glrfm: usize) -> Self {
         FaultFunnel {
             stages: vec![
-                FunnelStage { name: "all faults".into(), count: all_faults },
-                FunnelStage { name: "L2RFM".into(), count: l2rfm },
-                FunnelStage { name: "GLRFM (LIFT)".into(), count: glrfm },
+                FunnelStage {
+                    name: "all faults".into(),
+                    count: all_faults,
+                },
+                FunnelStage {
+                    name: "L2RFM".into(),
+                    count: l2rfm,
+                },
+                FunnelStage {
+                    name: "GLRFM (LIFT)".into(),
+                    count: glrfm,
+                },
             ],
         }
     }
@@ -65,7 +74,8 @@ impl FaultFunnel {
         }
         out.push_str(&format!(
             "{:>14} | total reduction {:.0} %\n",
-            "", self.total_reduction_percent()
+            "",
+            self.total_reduction_percent()
         ));
         out
     }

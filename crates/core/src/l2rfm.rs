@@ -46,7 +46,11 @@ pub fn characterise_mos(tech: &Technology) -> LocalFaultPatterns {
     let gate_c = Point::new(stub.x, stub.y - 4_000);
     b.min_wire(Layer::Poly, &[stub, gate_c]);
     b.contact(gate_c, Layer::Poly);
-    b.wire(Layer::Metal1, &[gate_c, Point::new(gate_c.x - 12_000, gate_c.y)], 1_500);
+    b.wire(
+        Layer::Metal1,
+        &[gate_c, Point::new(gate_c.x - 12_000, gate_c.y)],
+        1_500,
+    );
     b.label(Layer::Metal1, Point::new(gate_c.x - 11_000, gate_c.y), "g");
     let s = geo.source_pad.center();
     b.wire(Layer::Metal1, &[s, Point::new(s.x, s.y + 12_000)], 1_500);

@@ -7,7 +7,10 @@
 //! schematic-complete one. This crate is that link:
 //!
 //! * [`flow`] — [`flow::CatSystem`]: layout → extraction → LIFT →
-//!   simulation-ready circuit and fault list, plus campaign helpers;
+//!   simulation-ready circuit and fault list, campaigns configured via
+//!   [`anafault::CampaignBuilder`] and executed (optionally streaming
+//!   per-fault progress) over the extracted list, all under the unified
+//!   [`flow::CatError`];
 //! * [`funnel`] — the Fig. 1 fault-list funnel: *all faults* →
 //!   L²RFM → GLRFM, with the list size at each stage;
 //! * [`l2rfm`] — the pre-layout "Local Layout Realistic Faults

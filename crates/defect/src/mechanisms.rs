@@ -78,10 +78,7 @@ impl Mechanism {
     /// Reverse of [`Mechanism::id`].
     pub fn from_id(id: &str) -> Option<Mechanism> {
         let all = MechanismTable::paper_defaults();
-        all.entries()
-            .iter()
-            .map(|(m, _)| *m)
-            .find(|m| m.id() == id)
+        all.entries().iter().map(|(m, _)| *m).find(|m| m.id() == id)
     }
 }
 
@@ -227,10 +224,7 @@ mod tests {
     fn absolute_density_scale() {
         let t = MechanismTable::paper_defaults();
         // metal1 short: 1 defect/cm² = 1e-14 /nm².
-        assert_eq!(
-            t.absolute_density(Mechanism::Bridge(Layer::Metal1)),
-            1e-14
-        );
+        assert_eq!(t.absolute_density(Mechanism::Bridge(Layer::Metal1)), 1e-14);
     }
 
     #[test]

@@ -81,7 +81,11 @@ mod tests {
 
     #[test]
     fn footprint_geometry() {
-        let d = SpotDefect { cx: 0, cy: 0, size: 1_000 };
+        let d = SpotDefect {
+            cx: 0,
+            cy: 0,
+            size: 1_000,
+        };
         assert_eq!(d.footprint(), Rect::new(-500, -500, 500, 500));
     }
 
@@ -92,7 +96,11 @@ mod tests {
         // Gap = 3000; a 2000-size defect cannot touch both.
         for cx in (-1_000..11_000).step_by(997) {
             for cy in 0..6 {
-                let d = SpotDefect { cx, cy: cy * 1_000, size: 2_000 };
+                let d = SpotDefect {
+                    cx,
+                    cy: cy * 1_000,
+                    size: 2_000,
+                };
                 assert!(!d.bridges(&a, &b), "{d:?}");
             }
         }
@@ -102,7 +110,11 @@ mod tests {
     fn defect_spanning_gap_bridges() {
         let a = Region::from_rects([Rect::new(0, 0, 10_000, 1_000)]);
         let b = Region::from_rects([Rect::new(0, 4_000, 10_000, 5_000)]);
-        let d = SpotDefect { cx: 5_000, cy: 2_500, size: 4_000 };
+        let d = SpotDefect {
+            cx: 5_000,
+            cy: 2_500,
+            size: 4_000,
+        };
         assert!(d.bridges(&a, &b));
     }
 

@@ -102,8 +102,8 @@ mod tests {
     #[test]
     fn cdf_inverse_matches_sampling_formula() {
         let d = SizeDistribution::default_1um();
-        for u in [0.1, 0.5, 0.9] {
-            let x = d.x0() / (1.0 - u as f64).sqrt();
+        for u in [0.1_f64, 0.5, 0.9] {
+            let x = d.x0() / (1.0 - u).sqrt();
             assert!((d.cdf(x) - u).abs() < 1e-12);
         }
     }

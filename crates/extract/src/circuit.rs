@@ -27,11 +27,7 @@ impl ExtractedNetlist {
         ckt.add_model(MosModel::default_pmos(PMOS_MODEL));
 
         // Create nodes in net order so names are stable.
-        let node_ids: Vec<usize> = self
-            .nets
-            .iter()
-            .map(|n| ckt.node(&n.name))
-            .collect();
+        let node_ids: Vec<usize> = self.nets.iter().map(|n| ckt.node(&n.name)).collect();
         let bulk_n = ckt.node(&options.bulk_n);
         let bulk_p = ckt.node(&options.bulk_p);
 
@@ -81,13 +77,30 @@ mod tests {
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("inv", &t);
         // NMOS at origin, PMOS above; join gates and drains.
-        let n = b.mosfet(Point::new(0, 0), &MosParams { w: 3_000, l: 1_000, style: MosStyle::Nmos });
-        let p = b.mosfet(Point::new(0, 20_000), &MosParams { w: 6_000, l: 1_000, style: MosStyle::Pmos });
+        let n = b.mosfet(
+            Point::new(0, 0),
+            &MosParams {
+                w: 3_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
+        );
+        let p = b.mosfet(
+            Point::new(0, 20_000),
+            &MosParams {
+                w: 6_000,
+                l: 1_000,
+                style: MosStyle::Pmos,
+            },
+        );
         // Gate connection in poly.
-        b.min_wire(Layer::Poly, &[
-            Point::new(0, n.gate_stub.y1()),
-            Point::new(0, p.gate_stub.y0() + 19_000),
-        ]);
+        b.min_wire(
+            Layer::Poly,
+            &[
+                Point::new(0, n.gate_stub.y1()),
+                Point::new(0, p.gate_stub.y0() + 19_000),
+            ],
+        );
         // Drain connection in metal1.
         b.min_wire(Layer::Metal1, &[n.drain_pad.center(), p.drain_pad.center()]);
         b.label(Layer::Poly, Point::new(0, 5_000), "in");

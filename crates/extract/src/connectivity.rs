@@ -104,7 +104,7 @@ pub fn extract(
     let mut root_to_net: std::collections::HashMap<usize, usize> = Default::default();
     let mut nets: Vec<Net> = Vec::new();
     let mut fragment_nets: Vec<usize> = vec![0; fragments.len()];
-    for fi in 0..fragments.len() {
+    for (fi, slot) in fragment_nets.iter_mut().enumerate() {
         let root = uf.find(fi);
         let net = *root_to_net.entry(root).or_insert_with(|| {
             nets.push(Net {
@@ -114,7 +114,7 @@ pub fn extract(
             nets.len() - 1
         });
         nets[net].fragments.push(fi);
-        fragment_nets[fi] = net;
+        *slot = net;
     }
 
     // 5. Names from labels (also recorded as ports for LIFT's
@@ -212,8 +212,16 @@ mod tests {
     fn two_disjoint_wires_are_two_nets() {
         let t = tech();
         let mut b = CellBuilder::new("w", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
-        b.wire(Layer::Metal1, &[Point::new(0, 9_000), Point::new(10_000, 9_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(10_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 9_000), Point::new(10_000, 9_000)],
+            1_500,
+        );
         let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
         assert_eq!(n.net_count(), 2);
         assert!(n.mosfets.is_empty());
@@ -223,8 +231,16 @@ mod tests {
     fn via_joins_metal_layers() {
         let t = tech();
         let mut b = CellBuilder::new("v", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
-        b.wire(Layer::Metal2, &[Point::new(10_000, 0), Point::new(10_000, 10_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(10_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(10_000, 0), Point::new(10_000, 10_000)],
+            1_500,
+        );
         b.via(Point::new(10_000, 0));
         let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
         assert_eq!(n.net_count(), 1);
@@ -236,7 +252,11 @@ mod tests {
     fn labels_name_nets() {
         let t = tech();
         let mut b = CellBuilder::new("l", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(10_000, 0)],
+            1_500,
+        );
         b.label(Layer::Metal1, Point::new(5_000, 0), "vdd");
         let n = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap();
         assert_eq!(n.nets[0].name, "vdd");
@@ -247,7 +267,11 @@ mod tests {
     fn conflicting_labels_error() {
         let t = tech();
         let mut b = CellBuilder::new("l", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(10_000, 0)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(10_000, 0)],
+            1_500,
+        );
         b.label(Layer::Metal1, Point::new(1_000, 0), "a");
         b.label(Layer::Metal1, Point::new(9_000, 0), "b");
         let err = extract(&flatten(b.finish()), &t, &ExtractOptions::default()).unwrap_err();
@@ -260,7 +284,11 @@ mod tests {
         let mut b = CellBuilder::new("m", &t);
         let g = b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         // Label gate, source, drain via their landing pads.
         b.label(Layer::Poly, g.gate_stub.center(), "g");

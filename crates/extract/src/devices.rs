@@ -115,8 +115,7 @@ pub(crate) fn recognise_capacitors(netlist: &mut ExtractedNetlist, options: &Ext
     let mut found: Vec<PlateCap> = Vec::new();
     for &f1 in &m1_frags {
         for &f2 in &m2_frags {
-            let (bottom_net, top_net) =
-                (netlist.fragments[f1].net, netlist.fragments[f2].net);
+            let (bottom_net, top_net) = (netlist.fragments[f1].net, netlist.fragments[f2].net);
             if bottom_net == top_net {
                 continue;
             }
@@ -169,7 +168,11 @@ mod tests {
         let mut b = CellBuilder::new("p", &t);
         b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 6_000, l: 1_000, style: MosStyle::Pmos },
+            &MosParams {
+                w: 6_000,
+                l: 1_000,
+                style: MosStyle::Pmos,
+            },
         );
         let n = run(b);
         assert_eq!(n.mosfets.len(), 1);
@@ -184,13 +187,21 @@ mod tests {
         let mut b = CellBuilder::new("stack", &t);
         let g1 = b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         // Second gate 6 µm to the right; join actives with an explicit
         // strip so the middle S/D is shared.
         let g2 = b.mosfet(
             Point::new(6_000, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         b.rect(
             Layer::Active,
@@ -220,15 +231,27 @@ mod tests {
         let inset = t.rules(Layer::Metal2).min_spacing;
         let side_nm = (20_000 - 2 * inset) as f64;
         let expect = side_nm * side_nm * 1e-21; // nm² × 1e-21 F/nm² (1 fF/µm²)
-        assert!((c.value - expect).abs() / expect < 0.01, "value {}", c.value);
+        assert!(
+            (c.value - expect).abs() / expect < 0.01,
+            "value {}",
+            c.value
+        );
     }
 
     #[test]
     fn small_crossover_is_not_a_capacitor() {
         let t = tech();
         let mut b = CellBuilder::new("x", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(20_000, 0)], 1_500);
-        b.wire(Layer::Metal2, &[Point::new(10_000, -10_000), Point::new(10_000, 10_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(20_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(10_000, -10_000), Point::new(10_000, 10_000)],
+            1_500,
+        );
         let n = run(b);
         assert!(n.capacitors.is_empty());
         assert_eq!(n.net_count(), 2);

@@ -99,11 +99,7 @@ impl CanonNetlist {
                         kind,
                         w_nm: (*w * 1e9).round() as i64,
                         l_nm: (*l * 1e9).round() as i64,
-                        pins: vec![
-                            ("g", e.nodes[1]),
-                            ("sd", e.nodes[0]),
-                            ("sd", e.nodes[2]),
-                        ],
+                        pins: vec![("g", e.nodes[1]), ("sd", e.nodes[0]), ("sd", e.nodes[2])],
                     });
                 }
                 ElementKind::Capacitor { .. } => {
@@ -121,10 +117,7 @@ impl CanonNetlist {
         let net_names = (0..c.node_count())
             .map(|i| c.node_name(i).to_string())
             .collect();
-        CanonNetlist {
-            devices,
-            net_names,
-        }
+        CanonNetlist { devices, net_names }
     }
 
     /// Number of devices.
@@ -155,9 +148,10 @@ impl CanonNetlist {
             .collect();
 
         // log2(#nets+#devices) rounds suffice for WL; cap generously.
-        let rounds = 2 + (self.net_count() + self.device_count())
-            .next_power_of_two()
-            .trailing_zeros() as usize;
+        let rounds = 2
+            + (self.net_count() + self.device_count())
+                .next_power_of_two()
+                .trailing_zeros() as usize;
         for _ in 0..rounds {
             // Device colours from pin (role, net colour) multisets.
             let mut new_dev = Vec::with_capacity(self.devices.len());
@@ -231,10 +225,7 @@ pub fn compare(layout: &CanonNetlist, schematic: &CanonNetlist, pinned: &[&str])
         }
         let mut s_map: HashMap<u64, Vec<&str>> = HashMap::new();
         for (i, &c) in s_dev.iter().enumerate() {
-            s_map
-                .entry(c)
-                .or_default()
-                .push(&schematic.devices[i].name);
+            s_map.entry(c).or_default().push(&schematic.devices[i].name);
         }
         for (c, names) in &l_map {
             if !s_map.contains_key(c) {
@@ -302,11 +293,31 @@ mod tests {
         let vdd = c.node("vdd");
         let inp = c.node("in");
         let out = c.node("out");
-        c.add("V1", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-        c.add("Mn", vec![out, inp, Circuit::GROUND, Circuit::GROUND],
-            ElementKind::Mosfet { model: "n".into(), w: w_n, l: 1e-6 });
-        c.add("Mp", vec![out, inp, vdd, vdd],
-            ElementKind::Mosfet { model: "p".into(), w: 25e-6, l: 1e-6 });
+        c.add(
+            "V1",
+            vec![vdd, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(5.0),
+            },
+        );
+        c.add(
+            "Mn",
+            vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet {
+                model: "n".into(),
+                w: w_n,
+                l: 1e-6,
+            },
+        );
+        c.add(
+            "Mp",
+            vec![out, inp, vdd, vdd],
+            ElementKind::Mosfet {
+                model: "p".into(),
+                w: 25e-6,
+                l: 1e-6,
+            },
+        );
         c
     }
 

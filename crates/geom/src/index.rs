@@ -78,7 +78,11 @@ impl GridIndex {
     /// Returns the distinct ids of rectangles that *touch* the query
     /// window (edge contact counts), sorted ascending.
     pub fn query(&self, window: &Rect) -> Vec<usize> {
-        let mut ids = self.query_entries(window).iter().map(|&(id, _)| id).collect::<Vec<_>>();
+        let mut ids = self
+            .query_entries(window)
+            .iter()
+            .map(|&(id, _)| id)
+            .collect::<Vec<_>>();
         ids.sort_unstable();
         ids.dedup();
         ids

@@ -214,9 +214,11 @@ fn canonicalise(src: &[Rect]) -> Vec<Rect> {
         for (y0, y1) in merged {
             // Horizontal coalescing: extend the previous slab's rect when
             // it lines up exactly.
-            if let Some(prev) = out.iter_mut().rev().find(|r| {
-                r.x1() == sx0 && r.y0() == y0 && r.y1() == y1
-            }) {
+            if let Some(prev) = out
+                .iter_mut()
+                .rev()
+                .find(|r| r.x1() == sx0 && r.y0() == y0 && r.y1() == y1)
+            {
                 *prev = Rect::new(prev.x0(), y0, sx1, y1);
             } else {
                 out.push(Rect::new(sx0, y0, sx1, y1));

@@ -218,7 +218,12 @@ impl<'t> CellBuilder<'t> {
         }
 
         // Gate stub: the lower poly extension, where routing attaches.
-        let gate_stub = Rect::new(at.x - half_l, at.y - half_w - gext, at.x + half_l, at.y - half_w);
+        let gate_stub = Rect::new(
+            at.x - half_l,
+            at.y - half_w - gext,
+            at.x + half_l,
+            at.y - half_w,
+        );
 
         MosGeometry {
             channel,
@@ -258,7 +263,11 @@ mod tests {
         let mut b = CellBuilder::new("w", &t);
         b.wire(
             Layer::Metal1,
-            &[Point::new(0, 0), Point::new(10_000, 0), Point::new(10_000, 8_000)],
+            &[
+                Point::new(0, 0),
+                Point::new(10_000, 0),
+                Point::new(10_000, 8_000),
+            ],
             1_000,
         );
         let cell = b.finish();
@@ -311,7 +320,7 @@ mod tests {
         assert_eq!(poly.intersection(&active), Some(g.channel));
         assert_eq!(g.channel.width(), 1_000); // L
         assert_eq!(g.channel.height(), 4_000); // W
-        // Source pad left of drain pad, both inside active + surround.
+                                               // Source pad left of drain pad, both inside active + surround.
         assert!(g.source_pad.x1() < g.drain_pad.x0());
         // No well for NMOS.
         assert!(cell.shapes(Layer::Nwell).is_empty());

@@ -237,7 +237,13 @@ impl Library {
     pub fn flatten(&self, top: &str) -> Result<FlatLayout, LibraryError> {
         let mut flat = FlatLayout::default();
         let mut stack: Vec<String> = Vec::new();
-        self.flatten_into(top, Vector::new(0, 0), Orientation::R0, &mut flat, &mut stack)?;
+        self.flatten_into(
+            top,
+            Vector::new(0, 0),
+            Orientation::R0,
+            &mut flat,
+            &mut stack,
+        )?;
         Ok(flat)
     }
 

@@ -195,9 +195,6 @@ mod tests {
         c.add_rect(Layer::Metal1, Rect::from_wh(0, 0, 10_000, 1_500));
         c.add_rect(Layer::Metal1, Rect::from_wh(8_500, 0, 1_500, 10_000));
         let v = check(&flat_of(c), &tech);
-        assert!(
-            v.iter().all(|x| x.rule != DrcRule::MinWidth),
-            "{v:?}"
-        );
+        assert!(v.iter().all(|x| x.rule != DrcRule::MinWidth), "{v:?}");
     }
 }

@@ -133,7 +133,10 @@ impl Writer {
     fn record(&mut self, tag: u16, payload: &[u8]) {
         let len = 4 + payload.len();
         assert!(len <= u16::MAX as usize, "GDS record too long");
-        assert!(payload.len() % 2 == 0, "GDS payload must be even-sized");
+        assert!(
+            payload.len().is_multiple_of(2),
+            "GDS payload must be even-sized"
+        );
         self.out.extend_from_slice(&(len as u16).to_be_bytes());
         self.out.extend_from_slice(&tag.to_be_bytes());
         self.out.extend_from_slice(payload);
@@ -316,7 +319,7 @@ fn payload_string(p: &[u8]) -> String {
 }
 
 fn payload_points(p: &[u8]) -> Result<Vec<Point>, GdsError> {
-    if p.len() % 8 != 0 {
+    if !p.len().is_multiple_of(8) {
         return Err(GdsError::Malformed("XY payload not 8-byte aligned".into()));
     }
     Ok(p.chunks(8)
@@ -454,24 +457,18 @@ fn read_sref(r: &mut Reader<'_>, cell: &mut Cell) -> Result<(), GdsError> {
         let rec = r.next()?;
         match rec.tag {
             SNAME => name = payload_string(rec.payload),
-            STRANS => {
-                if rec.payload.len() >= 2 {
-                    mirror = rec.payload[0] & 0x80 != 0;
-                }
+            STRANS if rec.payload.len() >= 2 => {
+                mirror = rec.payload[0] & 0x80 != 0;
             }
-            ANGLE => {
-                if rec.payload.len() >= 8 {
-                    angle = decode_real8(&rec.payload[..8]);
-                }
+            ANGLE if rec.payload.len() >= 8 => {
+                angle = decode_real8(&rec.payload[..8]);
             }
-            MAG => {
-                if rec.payload.len() >= 8 {
-                    let m = decode_real8(&rec.payload[..8]);
-                    if (m - 1.0).abs() > 1e-9 {
-                        return Err(GdsError::UnsupportedTransform(format!(
-                            "magnification {m} ≠ 1"
-                        )));
-                    }
+            MAG if rec.payload.len() >= 8 => {
+                let m = decode_real8(&rec.payload[..8]);
+                if (m - 1.0).abs() > 1e-9 {
+                    return Err(GdsError::UnsupportedTransform(format!(
+                        "magnification {m} ≠ 1"
+                    )));
                 }
             }
             XY => {
@@ -537,7 +534,10 @@ mod tests {
         let back = read_library(&bytes).unwrap();
         assert_eq!(back.name(), "testlib");
         let leaf2 = back.cell("leaf").unwrap();
-        assert_eq!(leaf2.shapes(Layer::Poly), lib.cell("leaf").unwrap().shapes(Layer::Poly));
+        assert_eq!(
+            leaf2.shapes(Layer::Poly),
+            lib.cell("leaf").unwrap().shapes(Layer::Poly)
+        );
         assert_eq!(leaf2.labels().len(), 1);
         assert_eq!(leaf2.labels()[0].text, "out");
         let top2 = back.cell("top").unwrap();
@@ -587,7 +587,15 @@ mod tests {
         w.record(BOUNDARY, &[]);
         w.int16s(LAYER_REC, &[Layer::Metal1.gds_number()]);
         w.int16s(DATATYPE, &[0]);
-        let pts = [(0, 0), (30, 0), (30, 10), (10, 10), (10, 30), (0, 30), (0, 0)];
+        let pts = [
+            (0, 0),
+            (30, 0),
+            (30, 10),
+            (10, 10),
+            (10, 30),
+            (0, 30),
+            (0, 0),
+        ];
         let xy: Vec<i32> = pts.iter().flat_map(|&(x, y)| [x, y]).collect();
         w.int32s(XY, &xy);
         w.record(ENDEL, &[]);

@@ -31,7 +31,7 @@ pub mod layer;
 pub mod tech;
 
 pub use builder::{CellBuilder, MosParams, MosStyle};
-pub use drc::{check as drc_check, DrcRule, DrcViolation};
 pub use cell::{Cell, FlatLayout, Instance, Label, Library, Orientation};
+pub use drc::{check as drc_check, DrcRule, DrcViolation};
 pub use layer::Layer;
 pub use tech::{DesignRules, Technology};

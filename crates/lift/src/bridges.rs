@@ -188,9 +188,21 @@ mod tests {
         let mut b = CellBuilder::new("w", &t);
         // Two wires 1.5 µm apart (bridgeable), a third 50 µm away
         // (beyond x_max = 20 µm).
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
-        b.wire(Layer::Metal1, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
-        b.wire(Layer::Metal1, &[Point::new(0, 60_000), Point::new(30_000, 60_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(30_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 3_000), Point::new(30_000, 3_000)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 60_000), Point::new(30_000, 60_000)],
+            1_500,
+        );
         let faults = run_lift(b.finish());
         assert_eq!(faults.len(), 1, "{faults:?}");
         assert_eq!(faults[0].class, LiftFaultClass::Bridge);
@@ -203,10 +215,22 @@ mod tests {
     fn closer_pair_ranks_higher() {
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("w", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
-        b.wire(Layer::Metal1, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(30_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 3_000), Point::new(30_000, 3_000)],
+            1_500,
+        );
         // Third wire, farther from the middle one.
-        b.wire(Layer::Metal1, &[Point::new(0, 12_000), Point::new(30_000, 12_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 12_000), Point::new(30_000, 12_000)],
+            1_500,
+        );
         let faults = run_lift(b.finish());
         // near pair (0,1), far pairs (1,2) and maybe (0,2).
         let p_near = faults
@@ -228,7 +252,11 @@ mod tests {
         let mut b = CellBuilder::new("m", &t);
         b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         let faults = run_lift(b.finish());
         let ds = faults
@@ -237,10 +265,7 @@ mod tests {
             .expect("drain-source bridge extracted");
         assert!(ds.local);
         // The 1 µm channel gap makes this the most likely bridge.
-        let max_p = faults
-            .iter()
-            .map(|f| f.probability)
-            .fold(0.0f64, f64::max);
+        let max_p = faults.iter().map(|f| f.probability).fold(0.0f64, f64::max);
         assert_eq!(ds.probability, max_p);
     }
 
@@ -250,7 +275,11 @@ mod tests {
         let mut b = CellBuilder::new("m", &t);
         b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Pmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Pmos,
+            },
         );
         let faults = run_lift(b.finish());
         assert!(faults.iter().any(|f| f.fault.label.contains("p_ds_short")));
@@ -262,7 +291,11 @@ mod tests {
         let build = |layer| {
             let mut b = CellBuilder::new("w", &t);
             b.wire(layer, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
-            b.wire(layer, &[Point::new(0, 3_000), Point::new(30_000, 3_000)], 1_500);
+            b.wire(
+                layer,
+                &[Point::new(0, 3_000), Point::new(30_000, 3_000)],
+                1_500,
+            );
             run_lift(b.finish())
         };
         let m1 = build(Layer::Metal1);

@@ -187,6 +187,7 @@ pub fn extract_faults(
 
 /// Helper shared by the extraction passes: builds the display label in
 /// the paper's format.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn make_fault(
     id: usize,
     class: LiftFaultClass,

@@ -71,7 +71,11 @@ impl NetGraph {
         for i in 0..sites.len() {
             for j in (i + 1)..sites.len() {
                 if sites[i].0 == sites[j].0 && sites[i].1.touches(&sites[j].1) {
-                    edges.push(Edge { a: i, b: j, cut: None });
+                    edges.push(Edge {
+                        a: i,
+                        b: j,
+                        cut: None,
+                    });
                 }
             }
         }
@@ -89,26 +93,36 @@ impl NetGraph {
                     .find(|(_, r)| r.overlaps(&cut.rect) || r.touches(&cut.rect))
                     .and_then(|(ri, _)| site_of.get(&(fragment, ri)).copied())
             };
-            if let (Some(a), Some(b)) = (find_site(cut.upper_fragment), find_site(cut.lower_fragment))
+            if let (Some(a), Some(b)) =
+                (find_site(cut.upper_fragment), find_site(cut.lower_fragment))
             {
-                edges.push(Edge { a, b, cut: Some(ci) });
+                edges.push(Edge {
+                    a,
+                    b,
+                    cut: Some(ci),
+                });
             }
         }
 
         // Attachments: device terminals.
         let mut attachments: Vec<(usize, Attachment)> = Vec::new();
-        let attach = |site: Option<usize>, a: Attachment, attachments: &mut Vec<(usize, Attachment)>| {
-            if let Some(s) = site {
-                attachments.push((s, a));
-            }
-        };
+        let attach =
+            |site: Option<usize>, a: Attachment, attachments: &mut Vec<(usize, Attachment)>| {
+                if let Some(s) = site {
+                    attachments.push((s, a));
+                }
+            };
         for m in &netlist.mosfets {
             // Gate: poly site overlapping the channel.
             if m.gate == net {
                 let site = sites.iter().position(|&(fi, r)| {
                     netlist.fragments[fi].layer == layout::Layer::Poly && r.overlaps(&m.channel)
                 });
-                attach(site, Attachment::Terminal(m.name.clone(), 1), &mut attachments);
+                attach(
+                    site,
+                    Attachment::Terminal(m.name.clone(), 1),
+                    &mut attachments,
+                );
             }
             // Source/drain: active sites touching the channel.
             for (net_id, term) in [(m.source, 2usize), (m.drain, 0usize)] {
@@ -118,7 +132,11 @@ impl NetGraph {
                             && netlist.fragments[fi].net == net_id
                             && r.touches(&m.channel)
                     });
-                    attach(site, Attachment::Terminal(m.name.clone(), term), &mut attachments);
+                    attach(
+                        site,
+                        Attachment::Terminal(m.name.clone(), term),
+                        &mut attachments,
+                    );
                 }
             }
         }
@@ -131,7 +149,11 @@ impl NetGraph {
                     let site = sites.iter().position(|&(fi, r)| {
                         netlist.fragments[fi].layer == layer && r.overlaps(&c.plate)
                     });
-                    attach(site, Attachment::Terminal(c.name.clone(), term), &mut attachments);
+                    attach(
+                        site,
+                        Attachment::Terminal(c.name.clone(), term),
+                        &mut attachments,
+                    );
                 }
             }
         }
@@ -215,10 +237,7 @@ impl NetGraph {
             if *site == removed_site {
                 // Attachment sits exactly on the destroyed segment: the
                 // terminal dangles — treat as its own group.
-                groups
-                    .entry(usize::MAX - 1)
-                    .or_default()
-                    .push(a.clone());
+                groups.entry(usize::MAX - 1).or_default().push(a.clone());
                 continue;
             }
             groups.entry(comp[*site]).or_default().push(a.clone());
@@ -252,7 +271,11 @@ mod tests {
     fn straight_wire_with_two_ports() {
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("w", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(40_000, 0)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(40_000, 0)],
+            1_500,
+        );
         b.label(Layer::Metal1, Point::new(1_000, 0), "a");
         // Second label has to be a different port on the same net: allowed
         // only when names agree, so reuse the same name.
@@ -270,8 +293,16 @@ mod tests {
     fn cut_edge_removal_partitions_terminals() {
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("v", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(20_000, 0)], 1_500);
-        b.wire(Layer::Metal2, &[Point::new(20_000, 0), Point::new(20_000, 20_000)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(20_000, 0)],
+            1_500,
+        );
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(20_000, 0), Point::new(20_000, 20_000)],
+            1_500,
+        );
         b.via(Point::new(20_000, 0));
         b.label(Layer::Metal1, Point::new(1_000, 0), "x");
         b.label(Layer::Metal2, Point::new(20_000, 19_000), "x");
@@ -291,11 +322,23 @@ mod tests {
         // must NOT partition the net.
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("v2", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(20_000, 0)], 2_000);
-        b.wire(Layer::Metal2, &[Point::new(14_000, 0), Point::new(14_000, 20_000)], 2_000);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(20_000, 0)],
+            2_000,
+        );
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(14_000, 0), Point::new(14_000, 20_000)],
+            2_000,
+        );
         b.via(Point::new(14_000, 0));
         b.via(Point::new(17_000, 0));
-        b.wire(Layer::Metal2, &[Point::new(14_000, 0), Point::new(17_000, 0)], 2_000);
+        b.wire(
+            Layer::Metal2,
+            &[Point::new(14_000, 0), Point::new(17_000, 0)],
+            2_000,
+        );
         b.label(Layer::Metal1, Point::new(1_000, 0), "x");
         b.label(Layer::Metal2, Point::new(14_000, 19_000), "x");
         let n = netlist_for(b.finish());
@@ -315,7 +358,11 @@ mod tests {
         let mut b = CellBuilder::new("m", &t);
         let _g = b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         let n = netlist_for(b.finish());
         let m = &n.mosfets[0];

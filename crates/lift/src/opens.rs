@@ -104,11 +104,8 @@ pub(crate) fn extract_opens(
                 .map(|(m, _)| *m)
                 .expect("non-empty");
             let net_name = netlist.nets[net].name.clone();
-            let is_stuck_open = moved.len() == 1
-                && netlist
-                    .mosfets
-                    .iter()
-                    .any(|m| m.name == moved[0].0);
+            let is_stuck_open =
+                moved.len() == 1 && netlist.mosfets.iter().any(|m| m.name == moved[0].0);
             let (class, effect, detail) = if is_stuck_open {
                 let (elem, term) = moved[0].clone();
                 let letter = match term {
@@ -171,10 +168,7 @@ fn record_candidate(
     // the larger group.
     let is_anchored = |g: &[Attachment]| {
         g.iter().any(|a| match a {
-            Attachment::Port(name) => options
-                .ports
-                .iter()
-                .any(|p| p.eq_ignore_ascii_case(name)),
+            Attachment::Port(name) => options.ports.iter().any(|p| p.eq_ignore_ascii_case(name)),
             _ => false,
         })
     };
@@ -238,7 +232,11 @@ mod tests {
     fn isolated_wire_produces_no_open_faults() {
         let t = Technology::generic_1um();
         let mut b = CellBuilder::new("w", &t);
-        b.wire(Layer::Metal1, &[Point::new(0, 0), Point::new(30_000, 0)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[Point::new(0, 0), Point::new(30_000, 0)],
+            1_500,
+        );
         let faults = run_opens(b.finish());
         assert!(faults.is_empty(), "{faults:?}");
     }
@@ -252,13 +250,21 @@ mod tests {
         let mut b = CellBuilder::new("m", &t);
         let g = b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         let stub = g.gate_stub.center();
         let contact_at = Point::new(stub.x, stub.y - 4_000);
         b.min_wire(Layer::Poly, &[stub, contact_at]);
         b.contact(contact_at, Layer::Poly);
-        b.wire(Layer::Metal1, &[contact_at, Point::new(30_000, contact_at.y)], 1_500);
+        b.wire(
+            Layer::Metal1,
+            &[contact_at, Point::new(30_000, contact_at.y)],
+            1_500,
+        );
         b.label(Layer::Metal1, Point::new(29_000, contact_at.y), "vin");
         let faults = run_opens(b.finish());
         let stuck: Vec<_> = faults
@@ -266,13 +272,15 @@ mod tests {
             .filter(|f| f.class == LiftFaultClass::StuckOpen)
             .collect();
         assert!(!stuck.is_empty(), "{faults:?}");
-        assert!(stuck[0].fault.label.contains("M1.g"), "{}", stuck[0].fault.label);
+        assert!(
+            stuck[0].fault.label.contains("M1.g"),
+            "{}",
+            stuck[0].fault.label
+        );
         // The contact-open mechanism contributes: dominant mechanism is
         // poly open or the m1/poly contact, both acceptable dominants;
         // ensure at least one candidate carried the contact mechanism.
-        assert!(
-            stuck[0].probability > 0.0
-        );
+        assert!(stuck[0].probability > 0.0);
     }
 
     #[test]
@@ -283,11 +291,19 @@ mod tests {
         let mut b = CellBuilder::new("m2", &t);
         let g1 = b.mosfet(
             Point::new(0, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         let g2 = b.mosfet(
             Point::new(40_000, 0),
-            &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+            &MosParams {
+                w: 4_000,
+                l: 1_000,
+                style: MosStyle::Nmos,
+            },
         );
         let c1 = Point::new(g1.gate_stub.center().x, g1.gate_stub.center().y - 4_000);
         let c2 = Point::new(g2.gate_stub.center().x, g2.gate_stub.center().y - 4_000);
@@ -315,13 +331,21 @@ mod tests {
             let mut b = CellBuilder::new("m", &t);
             let g = b.mosfet(
                 Point::new(0, 0),
-                &MosParams { w: 4_000, l: 1_000, style: MosStyle::Nmos },
+                &MosParams {
+                    w: 4_000,
+                    l: 1_000,
+                    style: MosStyle::Nmos,
+                },
             );
             let stub = g.gate_stub.center();
             let contact_at = Point::new(stub.x, stub.y - 4_000);
             b.min_wire(Layer::Poly, &[stub, contact_at]);
             b.contact(contact_at, Layer::Poly);
-            b.wire(Layer::Metal1, &[contact_at, Point::new(30_000, contact_at.y)], 1_500);
+            b.wire(
+                Layer::Metal1,
+                &[contact_at, Point::new(30_000, contact_at.y)],
+                1_500,
+            );
             b.label(Layer::Metal1, Point::new(29_000, contact_at.y), "vin");
             let cell = b.finish();
             let mut lib = Library::new("t");
@@ -344,6 +368,10 @@ mod tests {
             }
         }
         let double = run_with(&doubled);
-        assert!((double / base - 2.0).abs() < 1e-9, "ratio {}", double / base);
+        assert!(
+            (double / base - 2.0).abs() < 1e-9,
+            "ratio {}",
+            double / base
+        );
     }
 }

@@ -52,16 +52,14 @@ pub fn schematic_faults(ckt: &Circuit) -> SchematicFaults {
                 // Opens on d, g, s (bulk is the well/substrate plane —
                 // not a line that opens).
                 for (term, letter) in [(0usize, 'd'), (1, 'g'), (2, 's')] {
-                    opens.push(
-                        Fault::new(
-                            id,
-                            format!("OPN {}.{letter}", e.name),
-                            FaultEffect::OpenTerminal {
-                                element: e.name.clone(),
-                                terminal: term,
-                            },
-                        ),
-                    );
+                    opens.push(Fault::new(
+                        id,
+                        format!("OPN {}.{letter}", e.name),
+                        FaultEffect::OpenTerminal {
+                            element: e.name.clone(),
+                            terminal: term,
+                        },
+                    ));
                     id += 1;
                 }
                 // Shorts on terminal pairs with distinct nodes.
@@ -70,44 +68,38 @@ pub fn schematic_faults(ckt: &Circuit) -> SchematicFaults {
                         skipped += 1; // designed short (diode-connected)
                         continue;
                     }
-                    shorts.push(
-                        Fault::new(
-                            id,
-                            format!("BRI {}.{tag}", e.name),
-                            FaultEffect::ElementShort {
-                                element: e.name.clone(),
-                                t1,
-                                t2,
-                            },
-                        ),
-                    );
+                    shorts.push(Fault::new(
+                        id,
+                        format!("BRI {}.{tag}", e.name),
+                        FaultEffect::ElementShort {
+                            element: e.name.clone(),
+                            t1,
+                            t2,
+                        },
+                    ));
                     id += 1;
                 }
             }
             ElementKind::Capacitor { .. } => {
-                opens.push(
-                    Fault::new(
-                        id,
-                        format!("OPN {}", e.name),
-                        FaultEffect::OpenTerminal {
-                            element: e.name.clone(),
-                            terminal: 0,
-                        },
-                    ),
-                );
+                opens.push(Fault::new(
+                    id,
+                    format!("OPN {}", e.name),
+                    FaultEffect::OpenTerminal {
+                        element: e.name.clone(),
+                        terminal: 0,
+                    },
+                ));
                 id += 1;
                 if e.nodes[0] != e.nodes[1] {
-                    shorts.push(
-                        Fault::new(
-                            id,
-                            format!("BRI {}", e.name),
-                            FaultEffect::ElementShort {
-                                element: e.name.clone(),
-                                t1: 0,
-                                t2: 1,
-                            },
-                        ),
-                    );
+                    shorts.push(Fault::new(
+                        id,
+                        format!("BRI {}", e.name),
+                        FaultEffect::ElementShort {
+                            element: e.name.clone(),
+                            t1: 0,
+                            t2: 1,
+                        },
+                    ));
                     id += 1;
                 }
             }
@@ -134,13 +126,37 @@ mod tests {
         let vdd = c.node("vdd");
         let a = c.node("a");
         let b = c.node("b");
-        c.add("V1", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
+        c.add(
+            "V1",
+            vec![vdd, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(5.0),
+            },
+        );
         // Diode-connected: gate == drain == a.
-        c.add("M1", vec![a, a, Circuit::GROUND, Circuit::GROUND],
-            ElementKind::Mosfet { model: "n".into(), w: 10e-6, l: 1e-6 });
-        c.add("M2", vec![b, a, Circuit::GROUND, Circuit::GROUND],
-            ElementKind::Mosfet { model: "n".into(), w: 10e-6, l: 1e-6 });
-        c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-12, ic: None });
+        c.add(
+            "M1",
+            vec![a, a, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet {
+                model: "n".into(),
+                w: 10e-6,
+                l: 1e-6,
+            },
+        );
+        c.add(
+            "M2",
+            vec![b, a, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet {
+                model: "n".into(),
+                w: 10e-6,
+                l: 1e-6,
+            },
+        );
+        c.add(
+            "C1",
+            vec![b, Circuit::GROUND],
+            ElementKind::Capacitor { c: 1e-12, ic: None },
+        );
         c
     }
 

@@ -114,7 +114,8 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
     }
     if ok {
         let params = StampParams::default();
-        if let Ok((final_x, _)) = solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin final)") {
+        if let Ok((final_x, _)) = solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin final)")
+        {
             return Ok(final_x);
         }
     }
@@ -141,9 +142,19 @@ mod tests {
         let mut c = Circuit::new("div");
         let a = c.node("a");
         let b = c.node("b");
-        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(10.0) });
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(10.0),
+            },
+        );
         c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
-        c.add("R2", vec![b, Circuit::GROUND], ElementKind::Resistor { r: 3e3 });
+        c.add(
+            "R2",
+            vec![b, Circuit::GROUND],
+            ElementKind::Resistor { r: 3e3 },
+        );
         let x = dc_operating_point(&c).unwrap();
         let map = UnknownMap::new(&c);
         assert!((map.voltage(&x, b) - 7.5).abs() < 1e-6);
@@ -159,13 +170,29 @@ mod tests {
             let inp = c.node("in");
             let out = c.node("out");
             c.add_model(MosModel::default_nmos("n1"));
-            c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-            c.add("Vin", vec![inp, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(vin) });
+            c.add(
+                "Vdd",
+                vec![vdd, Circuit::GROUND],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(5.0),
+                },
+            );
+            c.add(
+                "Vin",
+                vec![inp, Circuit::GROUND],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(vin),
+                },
+            );
             c.add("RL", vec![vdd, out], ElementKind::Resistor { r: 10e3 });
             c.add(
                 "M1",
                 vec![out, inp, Circuit::GROUND, Circuit::GROUND],
-                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+                ElementKind::Mosfet {
+                    model: "n1".into(),
+                    w: 10e-6,
+                    l: 1e-6,
+                },
             );
             c
         };
@@ -173,7 +200,10 @@ mod tests {
         let x = dc_operating_point(&c_low).unwrap();
         let map = UnknownMap::new(&c_low);
         let out = c_low.find_node("out").unwrap();
-        assert!((map.voltage(&x, out) - 5.0).abs() < 1e-3, "off transistor leaves out high");
+        assert!(
+            (map.voltage(&x, out) - 5.0).abs() < 1e-3,
+            "off transistor leaves out high"
+        );
 
         let c_high = build(5.0);
         let x = dc_operating_point(&c_high).unwrap();
@@ -190,12 +220,38 @@ mod tests {
             let out = c.node("out");
             c.add_model(MosModel::default_nmos("n1"));
             c.add_model(MosModel::default_pmos("p1"));
-            c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-            c.add("Vin", vec![inp, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(vin) });
-            c.add("Mn", vec![out, inp, Circuit::GROUND, Circuit::GROUND],
-                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 });
-            c.add("Mp", vec![out, inp, vdd, vdd],
-                ElementKind::Mosfet { model: "p1".into(), w: 25e-6, l: 1e-6 });
+            c.add(
+                "Vdd",
+                vec![vdd, Circuit::GROUND],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(5.0),
+                },
+            );
+            c.add(
+                "Vin",
+                vec![inp, Circuit::GROUND],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(vin),
+                },
+            );
+            c.add(
+                "Mn",
+                vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+                ElementKind::Mosfet {
+                    model: "n1".into(),
+                    w: 10e-6,
+                    l: 1e-6,
+                },
+            );
+            c.add(
+                "Mp",
+                vec![out, inp, vdd, vdd],
+                ElementKind::Mosfet {
+                    model: "p1".into(),
+                    w: 25e-6,
+                    l: 1e-6,
+                },
+            );
             c
         };
         let c0 = build(0.0);
@@ -217,12 +273,18 @@ mod tests {
         c.add(
             "I1",
             vec![Circuit::GROUND, d],
-            ElementKind::Isource { wave: Waveform::Dc(50e-6) },
+            ElementKind::Isource {
+                wave: Waveform::Dc(50e-6),
+            },
         );
         c.add(
             "M1",
             vec![d, d, Circuit::GROUND, Circuit::GROUND],
-            ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+            ElementKind::Mosfet {
+                model: "n1".into(),
+                w: 10e-6,
+                l: 1e-6,
+            },
         );
         let x = dc_operating_point(&c).unwrap();
         let map = UnknownMap::new(&c);
@@ -238,10 +300,23 @@ mod tests {
         let mut c = Circuit::new("float");
         let a = c.node("a");
         let b = c.node("b");
-        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(1.0) });
-        c.add("C1", vec![a, b], ElementKind::Capacitor { c: 1e-12, ic: None });
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(1.0),
+            },
+        );
+        c.add(
+            "C1",
+            vec![a, b],
+            ElementKind::Capacitor { c: 1e-12, ic: None },
+        );
         let x = dc_operating_point(&c).unwrap();
         let map = UnknownMap::new(&c);
-        assert!(map.voltage(&x, b).abs() < 1.0, "floating node pulled to ground");
+        assert!(
+            map.voltage(&x, b).abs() < 1.0,
+            "floating node pulled to ground"
+        );
     }
 }

@@ -228,15 +228,12 @@ pub fn stamp_all(
                 sys.stamp_current(map.node_var(e.nodes[0]), map.node_var(e.nodes[1]), i);
             }
             ElementKind::Mosfet { model, w, l } => {
-                let model = ckt
-                    .models
-                    .get(&model.to_ascii_lowercase())
-                    .ok_or_else(|| {
-                        SpiceError::Elaboration(format!(
-                            "element {} references undefined model `{model}`",
-                            e.name
-                        ))
-                    })?;
+                let model = ckt.models.get(&model.to_ascii_lowercase()).ok_or_else(|| {
+                    SpiceError::Elaboration(format!(
+                        "element {} references undefined model `{model}`",
+                        e.name
+                    ))
+                })?;
                 stamp_mosfet(e.nodes.as_slice(), model, *w, *l, map, x, sys, params);
             }
         }
@@ -267,7 +264,11 @@ fn stamp_mosfet(
     let vb = map.voltage(x, b);
 
     // The MOS is symmetric: operate in the frame where vds' >= 0.
-    let (nd, ns) = if sign * (vd - vs) >= 0.0 { (d, s) } else { (s, d) };
+    let (nd, ns) = if sign * (vd - vs) >= 0.0 {
+        (d, s)
+    } else {
+        (s, d)
+    };
     let vnd = map.voltage(x, nd);
     let vns = map.voltage(x, ns);
     let vgs_p = sign * (vg - vns);
@@ -370,7 +371,10 @@ mod tests {
             let dgmbs = (mos_eval(&m, w, l, vgs, vds, vbs + h).ids
                 - mos_eval(&m, w, l, vgs, vds, vbs - h).ids)
                 / (2.0 * h);
-            assert!((ev.gm - dgm).abs() < 1e-6 * (1.0 + dgm.abs()), "gm at {vgs},{vds},{vbs}");
+            assert!(
+                (ev.gm - dgm).abs() < 1e-6 * (1.0 + dgm.abs()),
+                "gm at {vgs},{vds},{vbs}"
+            );
             assert!((ev.gds - dgds).abs() < 1e-6 * (1.0 + dgds.abs()), "gds");
             assert!((ev.gmbs - dgmbs).abs() < 1e-6 * (1.0 + dgmbs.abs()), "gmbs");
         }
@@ -383,7 +387,13 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         c.add("R1", vec![a, b], ElementKind::Resistor { r: 1.0 });
-        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(1.0) });
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(1.0),
+            },
+        );
         let map = UnknownMap::new(&c);
         assert_eq!(map.dim(), 3); // 2 nodes + 1 branch
         assert_eq!(map.node_var(Circuit::GROUND), None);

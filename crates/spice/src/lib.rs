@@ -47,7 +47,7 @@ pub mod tran;
 pub mod waveform;
 
 pub use netlist::{Circuit, Element, ElementKind, MosModel, MosPolarity, NodeId, Waveform};
-pub use tran::{tran, TranResult, TranSpec};
+pub use tran::{tran, tran_with, TranResult, TranSpec};
 pub use waveform::Wave;
 
 /// Errors surfaced by parsing or simulation.

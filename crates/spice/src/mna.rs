@@ -103,13 +103,7 @@ impl MnaSystem {
 
     /// Stamps an ideal voltage source as the `k`-th branch-current
     /// unknown (absolute index `branch_row`), forcing `v_p − v_n = v`.
-    pub fn stamp_vsource(
-        &mut self,
-        branch_row: usize,
-        p: Option<usize>,
-        n: Option<usize>,
-        v: f64,
-    ) {
+    pub fn stamp_vsource(&mut self, branch_row: usize, p: Option<usize>, n: Option<usize>, v: f64) {
         if let Some(ip) = p {
             self.add(ip, branch_row, 1.0);
             self.add(branch_row, ip, 1.0);
@@ -151,8 +145,7 @@ impl MnaSystem {
             perm.swap(col, best);
             let prow = perm[col];
             let pivot = a[prow * n + col];
-            for row in (col + 1)..n {
-                let r = perm[row];
+            for &r in &perm[(col + 1)..n] {
                 let factor = a[r * n + col] / pivot;
                 if factor == 0.0 {
                     continue;
@@ -214,10 +207,7 @@ mod tests {
         s.add(1, 0, 1.0);
         s.add(1, 1, 1.0);
         s.add_rhs(0, 1.0);
-        assert!(matches!(
-            s.solve("test"),
-            Err(SpiceError::Singular { .. })
-        ));
+        assert!(matches!(s.solve("test"), Err(SpiceError::Singular { .. })));
     }
 
     #[test]
@@ -244,7 +234,7 @@ mod tests {
         let mut s = MnaSystem::new(3);
         s.stamp_vsource(2, Some(0), None, 1.0);
         s.stamp_conductance(Some(1), None, 1.0); // 1S load at c
-        // current c<-d controlled by v(a)-0, gm=2: i flows from c to d(ground)
+                                                 // current c<-d controlled by v(a)-0, gm=2: i flows from c to d(ground)
         s.stamp_vccs(Some(1), None, Some(0), None, 2.0);
         let x = s.solve("vccs").unwrap();
         // KCL at c: g*v_c + gm*v_a = 0 -> v_c = -2.0

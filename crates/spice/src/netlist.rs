@@ -154,9 +154,7 @@ impl Waveform {
                     *vo
                 } else {
                     let tp = t - td;
-                    vo + va
-                        * (-theta * tp).exp()
-                        * (2.0 * std::f64::consts::PI * freq * tp).sin()
+                    vo + va * (-theta * tp).exp() * (2.0 * std::f64::consts::PI * freq * tp).sin()
                 }
             }
             Waveform::Pwl(points) => {
@@ -328,7 +326,7 @@ impl Circuit {
         let mut i = 0usize;
         loop {
             let candidate = if i == 0 {
-                format!("{hint}")
+                hint.to_string()
             } else {
                 format!("{hint}_{i}")
             };
@@ -565,8 +563,16 @@ mod tests {
         let a = c.node("a");
         let b = c.node("b");
         c.add("R1", vec![a, b], ElementKind::Resistor { r: 1.0 });
-        c.add("R2", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1.0 });
-        c.add("C1", vec![a, Circuit::GROUND], ElementKind::Capacitor { c: 1e-12, ic: None });
+        c.add(
+            "R2",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 1.0 },
+        );
+        c.add(
+            "C1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Capacitor { c: 1e-12, ic: None },
+        );
         assert_eq!(c.node_order(a), 3);
         assert_eq!(c.node_order(b), 1);
         assert_eq!(c.attachments(a).len(), 3);
@@ -602,7 +608,11 @@ mod tests {
     fn validate_catches_zero_resistor() {
         let mut c = Circuit::new("t");
         let a = c.node("a");
-        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 0.0 });
+        c.add(
+            "R1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 0.0 },
+        );
         assert!(c.validate().is_err());
     }
 
@@ -621,7 +631,7 @@ mod tests {
         assert!((w.value_at(1.5e-9) - 2.5).abs() < 1e-9); // mid-rise
         assert_eq!(w.value_at(3e-9), 5.0); // high
         assert!((w.value_at(7.5e-9) - 2.5).abs() < 1e-9); // mid-fall
-        // Periodic repetition.
+                                                          // Periodic repetition.
         assert_eq!(w.value_at(13e-9), 5.0);
         assert_eq!(w.dc_value(), 0.0);
     }
@@ -651,8 +661,18 @@ mod tests {
     fn netlist_text_round_trip_shape() {
         let mut c = Circuit::new("rt");
         let a = c.node("a");
-        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1000.0 });
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(5.0),
+            },
+        );
+        c.add(
+            "R1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 1000.0 },
+        );
         let text = c.to_netlist();
         assert!(text.contains("V1 a 0 dc 5"));
         assert!(text.contains("R1 a 0 1000"));

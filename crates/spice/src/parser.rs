@@ -122,13 +122,11 @@ fn strip_comment(line: &str) -> &str {
 pub fn parse_value(tok: &str) -> Result<f64, String> {
     let t = tok.trim().to_ascii_lowercase();
     // Split numeric prefix from alphabetic suffix.
-    let split = t
-        .find(|c: char| c.is_ascii_alphabetic() && c != 'e')
-        .or_else(|| {
-            // handle cases like '1e3k'? take first alpha that isn't part
-            // of the exponent
-            None
-        });
+    let split = t.find(|c: char| c.is_ascii_alphabetic() && c != 'e').or({
+        // handle cases like '1e3k'? take first alpha that isn't part
+        // of the exponent
+        None
+    });
     let (num_str, suffix) = match split {
         Some(i) => {
             // Guard against splitting inside an exponent like `1e-3`.
@@ -185,7 +183,11 @@ fn parse_resistor(tokens: &[&str], ckt: &mut Circuit) -> Result<(), String> {
     if r == 0.0 {
         return Err("resistance must be non-zero".into());
     }
-    ckt.add(tokens[0].to_uppercase(), vec![a, b], ElementKind::Resistor { r });
+    ckt.add(
+        tokens[0].to_uppercase(),
+        vec![a, b],
+        ElementKind::Resistor { r },
+    );
     Ok(())
 }
 
@@ -381,7 +383,7 @@ fn parse_tran(tokens: &[&str]) -> Result<TranSpec, SpiceError> {
     let tstep = parse_value(tokens[1]).map_err(|m| err(&m))?;
     let tstop = parse_value(tokens[2]).map_err(|m| err(&m))?;
     let mut spec = TranSpec::new(tstep, tstop);
-    if tokens.iter().any(|t| *t == "uic") {
+    if tokens.contains(&"uic") {
         spec = spec.with_uic();
     }
     Ok(spec)
@@ -413,7 +415,8 @@ mod tests {
 
     #[test]
     fn parses_divider() {
-        let ckt = parse_netlist("divider\nV1 in 0 dc 5\nR1 in out 1k\nR2 out 0 1k\n.end\n").unwrap();
+        let ckt =
+            parse_netlist("divider\nV1 in 0 dc 5\nR1 in out 1k\nR2 out 0 1k\n.end\n").unwrap();
         assert_eq!(ckt.title, "divider");
         assert_eq!(ckt.elements().len(), 3);
         assert_eq!(ckt.node_count(), 3);
@@ -443,8 +446,7 @@ mod tests {
 
     #[test]
     fn pmos_model_normalises_vto_sign() {
-        let ckt =
-            parse_netlist("p\n.model pch pmos vto=0.9\n.end\n").unwrap();
+        let ckt = parse_netlist("p\n.model pch pmos vto=0.9\n.end\n").unwrap();
         assert_eq!(ckt.models["pch"].vto, -0.9);
     }
 
@@ -455,7 +457,9 @@ mod tests {
         )
         .unwrap();
         match &ckt.elements()[0].kind {
-            ElementKind::Vsource { wave: Waveform::Pulse { v2, pw, period, .. } } => {
+            ElementKind::Vsource {
+                wave: Waveform::Pulse { v2, pw, period, .. },
+            } => {
                 assert_eq!(*v2, 5.0);
                 assert_eq!(*pw, 2e-6);
                 assert_eq!(*period, 4e-6);
@@ -463,7 +467,9 @@ mod tests {
             other => panic!("expected pulse, got {other:?}"),
         }
         match &ckt.elements()[1].kind {
-            ElementKind::Vsource { wave: Waveform::Sin { freq, .. } } => {
+            ElementKind::Vsource {
+                wave: Waveform::Sin { freq, .. },
+            } => {
                 assert_eq!(*freq, 1e6);
             }
             other => panic!("expected sin, got {other:?}"),
@@ -472,10 +478,7 @@ mod tests {
 
     #[test]
     fn continuation_and_comments() {
-        let ckt = parse_netlist(
-            "t\n* a comment\nR1 a 0\n+ 4.7k ; trailing\n.end\n",
-        )
-        .unwrap();
+        let ckt = parse_netlist("t\n* a comment\nR1 a 0\n+ 4.7k ; trailing\n.end\n").unwrap();
         match ckt.elements()[0].kind {
             ElementKind::Resistor { r } => assert!((r - 4700.0).abs() < 1e-9),
             _ => panic!(),

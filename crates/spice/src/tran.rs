@@ -137,8 +137,18 @@ fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
                 }
                 let c_total = m.cox * w * l;
                 let (d, g, s) = (e.nodes[0], e.nodes[1], e.nodes[2]);
-                out.push(CapInstance { a: g, b: s, c: c_total * 2.0 / 3.0, ic: None });
-                out.push(CapInstance { a: g, b: d, c: c_total / 3.0, ic: None });
+                out.push(CapInstance {
+                    a: g,
+                    b: s,
+                    c: c_total * 2.0 / 3.0,
+                    ic: None,
+                });
+                out.push(CapInstance {
+                    a: g,
+                    b: d,
+                    c: c_total / 3.0,
+                    ic: None,
+                });
             }
             _ => {}
         }
@@ -152,6 +162,29 @@ fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
 /// Returns the underlying Newton/matrix failure when the circuit cannot
 /// be solved even after step halving.
 pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
+    tran_with(ckt, spec, |_, _| true)
+}
+
+/// Runs a transient analysis, streaming every accepted output sample to
+/// `on_sample` as `(time, node_voltages)` — `node_voltages[i]` is the
+/// voltage of node id `i + 1`, matching [`TranResult`]'s column order.
+/// The callback sees the initial point first, then one call per output
+/// step; returning `false` stops the run early and yields the samples
+/// accepted so far. This is the kernel-side half of fault dropping: a
+/// campaign can abandon the remaining simulation time the moment a
+/// fault is detected.
+///
+/// # Errors
+/// Returns the underlying Newton/matrix failure when the circuit cannot
+/// be solved even after step halving.
+pub fn tran_with<F>(
+    ckt: &Circuit,
+    spec: &TranSpec,
+    mut on_sample: F,
+) -> Result<TranResult, SpiceError>
+where
+    F: FnMut(f64, &[f64]) -> bool,
+{
     ckt.validate().map_err(SpiceError::Elaboration)?;
     let map = UnknownMap::new(ckt);
     let dim = map.dim();
@@ -202,24 +235,39 @@ pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
 
     let steps = (spec.tstop / spec.tstep).round() as usize;
     let mut t = 0.0;
-    for step in 0..steps {
-        let t_next = t + spec.tstep;
-        // The very first step always integrates with backward Euler: the
-        // trapezoidal companion needs a valid previous current, which is
-        // unknown at t = 0 (standard SPICE start-up behaviour).
-        let integ = if step == 0 {
-            Integrator::BackwardEuler
-        } else {
-            spec.integrator
-        };
-        advance(
-            ckt, &map, spec, integ, &instances, &mut x, &mut caps, t, t_next, 0,
-            &mut newton_iterations,
-        )?;
-        t = t_next;
-        times.push(t);
-        for (i, column) in data.iter_mut().enumerate() {
-            column.push(x[i]);
+    if on_sample(t, &x[..n_nodes]) {
+        for step in 0..steps {
+            let t_next = t + spec.tstep;
+            // The very first step always integrates with backward Euler:
+            // the trapezoidal companion needs a valid previous current,
+            // which is unknown at t = 0 (standard SPICE start-up
+            // behaviour).
+            let integ = if step == 0 {
+                Integrator::BackwardEuler
+            } else {
+                spec.integrator
+            };
+            advance(
+                ckt,
+                &map,
+                spec,
+                integ,
+                &instances,
+                &mut x,
+                &mut caps,
+                t,
+                t_next,
+                0,
+                &mut newton_iterations,
+            )?;
+            t = t_next;
+            times.push(t);
+            for (i, column) in data.iter_mut().enumerate() {
+                column.push(x[i]);
+            }
+            if !on_sample(t, &x[..n_nodes]) {
+                break;
+            }
         }
     }
 
@@ -236,7 +284,6 @@ pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
 
 /// Advances the solution from `t0` to `t1`, recursively halving on
 /// Newton failure.
-#[allow(clippy::too_many_arguments)]
 #[allow(clippy::too_many_arguments)]
 fn advance(
     ckt: &Circuit,
@@ -308,11 +355,29 @@ fn advance(
             }
             let tm = 0.5 * (t0 + t1);
             advance(
-                ckt, map, spec, integrator, instances, x, caps, t0, tm, depth + 1,
+                ckt,
+                map,
+                spec,
+                integrator,
+                instances,
+                x,
+                caps,
+                t0,
+                tm,
+                depth + 1,
                 newton_iterations,
             )?;
             advance(
-                ckt, map, spec, integrator, instances, x, caps, tm, t1, depth + 1,
+                ckt,
+                map,
+                spec,
+                integrator,
+                instances,
+                x,
+                caps,
+                tm,
+                t1,
+                depth + 1,
                 newton_iterations,
             )
         }
@@ -346,7 +411,14 @@ mod tests {
             },
         );
         c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
-        c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(0.0) });
+        c.add(
+            "C1",
+            vec![b, Circuit::GROUND],
+            ElementKind::Capacitor {
+                c: 1e-6,
+                ic: Some(0.0),
+            },
+        );
         let spec = TranSpec::new(10e-6, 10e-3).with_uic();
         let res = tran(&c, &spec).unwrap();
         let w = res.wave("b").unwrap();
@@ -363,9 +435,22 @@ mod tests {
             let mut c = Circuit::new("rc");
             let a = c.node("a");
             let b = c.node("b");
-            c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(1.0) });
+            c.add(
+                "V1",
+                vec![a, Circuit::GROUND],
+                ElementKind::Vsource {
+                    wave: Waveform::Dc(1.0),
+                },
+            );
             c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
-            c.add("C1", vec![b, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(0.0) });
+            c.add(
+                "C1",
+                vec![b, Circuit::GROUND],
+                ElementKind::Capacitor {
+                    c: 1e-6,
+                    ic: Some(0.0),
+                },
+            );
             c
         };
         let exact = 1.0 - (-1.0f64).exp(); // at t = tau
@@ -388,9 +473,23 @@ mod tests {
         let mut c = Circuit::new("hp");
         let a = c.node("a");
         let b = c.node("b");
-        c.add("V1", vec![a, Circuit::GROUND], ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-        c.add("C1", vec![a, b], ElementKind::Capacitor { c: 1e-9, ic: None });
-        c.add("R1", vec![b, Circuit::GROUND], ElementKind::Resistor { r: 1e3 });
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(5.0),
+            },
+        );
+        c.add(
+            "C1",
+            vec![a, b],
+            ElementKind::Capacitor { c: 1e-9, ic: None },
+        );
+        c.add(
+            "R1",
+            vec![b, Circuit::GROUND],
+            ElementKind::Resistor { r: 1e3 },
+        );
         let res = tran(&c, &TranSpec::new(1e-8, 2e-5)).unwrap();
         let w = res.wave("b").unwrap();
         assert!(w.last_value().abs() < 1e-3);
@@ -404,12 +503,21 @@ mod tests {
         c.add_model(MosModel::default_nmos("n1"));
         c.add_model(MosModel::default_pmos("p1"));
         let vdd = c.node("vdd");
-        c.add("Vdd", vec![vdd, Circuit::GROUND], ElementKind::Vsource {
-            wave: Waveform::Pulse {
-                v1: 0.0, v2: 5.0, td: 0.0, tr: 1e-9, tf: 1e-9, pw: 1.0,
-                period: f64::INFINITY,
+        c.add(
+            "Vdd",
+            vec![vdd, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 5.0,
+                    td: 0.0,
+                    tr: 1e-9,
+                    tf: 1e-9,
+                    pw: 1.0,
+                    period: f64::INFINITY,
+                },
             },
-        });
+        );
         let n: Vec<_> = (0..3).map(|i| c.node(&format!("s{i}"))).collect();
         for i in 0..3 {
             let inp = n[i];
@@ -417,19 +525,30 @@ mod tests {
             c.add(
                 format!("Mn{i}"),
                 vec![out, inp, Circuit::GROUND, Circuit::GROUND],
-                ElementKind::Mosfet { model: "n1".into(), w: 10e-6, l: 1e-6 },
+                ElementKind::Mosfet {
+                    model: "n1".into(),
+                    w: 10e-6,
+                    l: 1e-6,
+                },
             );
             c.add(
                 format!("Mp{i}"),
                 vec![out, inp, vdd, vdd],
-                ElementKind::Mosfet { model: "p1".into(), w: 25e-6, l: 1e-6 },
+                ElementKind::Mosfet {
+                    model: "p1".into(),
+                    w: 25e-6,
+                    l: 1e-6,
+                },
             );
             c.add(
                 format!("Cl{i}"),
                 vec![out, Circuit::GROUND],
                 // Load large enough that the ring period spans many
                 // timesteps (stage delay ≈ C·V/I ≈ 4 ns at 10 pF).
-                ElementKind::Capacitor { c: 10e-12, ic: None },
+                ElementKind::Capacitor {
+                    c: 10e-12,
+                    ic: None,
+                },
             );
         }
         // Break symmetry via an initial condition.
@@ -446,8 +565,19 @@ mod tests {
     fn uic_respects_initial_conditions() {
         let mut c = Circuit::new("ic");
         let a = c.node("a");
-        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1e3 });
-        c.add("C1", vec![a, Circuit::GROUND], ElementKind::Capacitor { c: 1e-6, ic: Some(3.0) });
+        c.add(
+            "R1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 1e3 },
+        );
+        c.add(
+            "C1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Capacitor {
+                c: 1e-6,
+                ic: Some(3.0),
+            },
+        );
         let res = tran(&c, &TranSpec::new(1e-5, 1e-4).with_uic()).unwrap();
         let w = res.wave("a").unwrap();
         assert!((w.values()[0] - 3.0).abs() < 1e-9);
@@ -456,10 +586,66 @@ mod tests {
     }
 
     #[test]
+    fn tran_with_streams_and_stops_early() {
+        let mut c = Circuit::new("rc");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(1.0),
+            },
+        );
+        c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
+        c.add(
+            "C1",
+            vec![b, Circuit::GROUND],
+            ElementKind::Capacitor {
+                c: 1e-6,
+                ic: Some(0.0),
+            },
+        );
+        let spec = TranSpec::new(1e-4, 1e-2).with_uic();
+
+        // Streaming with an always-true callback reproduces `tran`.
+        let mut seen = Vec::new();
+        let full = tran_with(&c, &spec, |t, x| {
+            seen.push((t, x.to_vec()));
+            true
+        })
+        .unwrap();
+        let reference = tran(&c, &spec).unwrap();
+        assert_eq!(full.times(), reference.times());
+        assert_eq!(seen.len(), reference.times().len());
+        assert_eq!(seen[0].0, 0.0, "initial point streams first");
+        // Column order matches TranResult: x[node-1].
+        let wave_b = reference.wave("b").unwrap();
+        let col_b = c.find_node("b").unwrap() - 1;
+        for ((t, x), (&rt, &rv)) in seen
+            .iter()
+            .zip(reference.times().iter().zip(wave_b.values()))
+        {
+            assert_eq!(*t, rt);
+            assert_eq!(x[col_b], rv);
+        }
+
+        // Returning false stops the run at that sample.
+        let res = tran_with(&c, &spec, |t, _| t < 2e-3).unwrap();
+        let last = *res.times().last().unwrap();
+        assert!((2e-3..2.2e-3).contains(&last), "stopped at {last}");
+        assert!(res.newton_iterations < reference.newton_iterations);
+    }
+
+    #[test]
     fn result_exposes_node_names() {
         let mut c = Circuit::new("t");
         let a = c.node("alpha");
-        c.add("R1", vec![a, Circuit::GROUND], ElementKind::Resistor { r: 1.0 });
+        c.add(
+            "R1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 1.0 },
+        );
         let res = tran(&c, &TranSpec::new(1e-6, 1e-5)).unwrap();
         assert_eq!(res.node_names(), &["alpha".to_string()]);
         assert!(res.wave("ALPHA").is_some(), "lookup is case-insensitive");

@@ -65,9 +65,7 @@ impl Wave {
             return *self.values.last().unwrap();
         }
         // Binary search for the bracketing interval.
-        let idx = self
-            .times
-            .partition_point(|&x| x < t);
+        let idx = self.times.partition_point(|&x| x < t);
         let (t0, t1) = (self.times[idx - 1], self.times[idx]);
         let (v0, v1) = (self.values[idx - 1], self.values[idx]);
         v0 + (v1 - v0) * (t - t0) / (t1 - t0)
@@ -148,51 +146,55 @@ impl Wave {
     /// faulty value: phase wobble inside the time tolerance is forgiven.
     pub fn first_detection(&self, nominal: &Wave, v_tol: f64, t_tol: f64) -> Option<f64> {
         for (&t, &v) in self.times.iter().zip(&self.values) {
-            if !nominal_window_contains(nominal, t, t_tol, v, v_tol) {
+            if !nominal.tracks(t, v, v_tol, t_tol) {
                 return Some(t);
             }
         }
         None
     }
-}
 
-/// True when some nominal value within `[t - t_tol, t + t_tol]` lies
-/// within `v_tol` of `v`.
-fn nominal_window_contains(nominal: &Wave, t: f64, t_tol: f64, v: f64, v_tol: f64) -> bool {
-    let (lo, hi) = (t - t_tol, t + t_tol);
-    // Check the window end-points (interpolated) …
-    if (nominal.value_at(lo) - v).abs() <= v_tol || (nominal.value_at(hi) - v).abs() <= v_tol {
-        return true;
-    }
-    // … every sample inside the window …
-    let start = nominal.times.partition_point(|&x| x < lo);
-    let mut i = start;
-    while i < nominal.times.len() && nominal.times[i] <= hi {
-        if (nominal.values[i] - v).abs() <= v_tol {
+    /// True when this wave, taken as the nominal reference, explains the
+    /// sample `(t, v)`: some value within `[t − t_tol, t + t_tol]` lies
+    /// within `v_tol` of `v`. This is the per-point predicate behind
+    /// [`Wave::first_detection`], exposed so streaming consumers (e.g.
+    /// an early-stopping fault campaign) can evaluate detection sample
+    /// by sample with identical semantics.
+    pub fn tracks(&self, t: f64, v: f64, v_tol: f64, t_tol: f64) -> bool {
+        let (lo, hi) = (t - t_tol, t + t_tol);
+        // Check the window end-points (interpolated) …
+        if (self.value_at(lo) - v).abs() <= v_tol || (self.value_at(hi) - v).abs() <= v_tol {
             return true;
         }
-        i += 1;
-    }
-    // … and segments crossing the level `v` at a time inside the window
-    // (the nominal passes exactly through `v` there).
-    for i in 1..nominal.times.len() {
-        let (t0, t1) = (nominal.times[i - 1], nominal.times[i]);
-        if t1 < lo {
-            continue;
-        }
-        if t0 > hi {
-            break;
-        }
-        let (v0, v1) = (nominal.values[i - 1], nominal.values[i]);
-        let brackets = ((v0 - v) <= 0.0) != ((v1 - v) <= 0.0) || v0 == v || v1 == v;
-        if brackets && v1 != v0 {
-            let tc = t0 + (t1 - t0) * (v - v0) / (v1 - v0);
-            if tc >= lo && tc <= hi {
+        // … every sample inside the window …
+        let start = self.times.partition_point(|&x| x < lo);
+        let mut i = start;
+        while i < self.times.len() && self.times[i] <= hi {
+            if (self.values[i] - v).abs() <= v_tol {
                 return true;
             }
+            i += 1;
         }
+        // … and segments crossing the level `v` at a time inside the
+        // window (the nominal passes exactly through `v` there).
+        for i in 1..self.times.len() {
+            let (t0, t1) = (self.times[i - 1], self.times[i]);
+            if t1 < lo {
+                continue;
+            }
+            if t0 > hi {
+                break;
+            }
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let brackets = ((v0 - v) <= 0.0) != ((v1 - v) <= 0.0) || v0 == v || v1 == v;
+            if brackets && v1 != v0 {
+                let tc = t0 + (t1 - t0) * (v - v0) / (v1 - v0);
+                if tc >= lo && tc <= hi {
+                    return true;
+                }
+            }
+        }
+        false
     }
-    false
 }
 
 #[cfg(test)]

@@ -107,7 +107,11 @@ fn build_cell(tech: &Technology) -> Cell {
         let params = MosParams {
             w: (dev.w_um * 1_000.0) as Coord,
             l: (dev.l_um * 1_000.0) as Coord,
-            style: if dev.pmos { MosStyle::Pmos } else { MosStyle::Nmos },
+            style: if dev.pmos {
+                MosStyle::Pmos
+            } else {
+                MosStyle::Nmos
+            },
         };
         let geo = b.mosfet(Point::new(x_c, y_c), &params);
 
@@ -123,7 +127,10 @@ fn build_cell(tech: &Technology) -> Cell {
             geo.channel.y1() + tech.gate_extension()
         };
         if (y_t - y_edge).abs() <= 25_000 {
-            b.min_wire(Layer::Poly, &[Point::new(x_c, y_edge), Point::new(x_c, y_t)]);
+            b.min_wire(
+                Layer::Poly,
+                &[Point::new(x_c, y_edge), Point::new(x_c, y_t)],
+            );
             b.contact(Point::new(x_c - 1_250, y_t), Layer::Poly);
             b.contact(Point::new(x_c + 1_250, y_t), Layer::Poly);
         } else {
@@ -132,7 +139,10 @@ fn build_cell(tech: &Technology) -> Cell {
             // Poly stub past the contact pads.
             b.min_wire(
                 Layer::Poly,
-                &[Point::new(x_c, y_edge), Point::new(x_c, c_y + toward * 1_500)],
+                &[
+                    Point::new(x_c, y_edge),
+                    Point::new(x_c, c_y + toward * 1_500),
+                ],
             );
             // Doubled poly contacts bridged in metal-1.
             b.contact(Point::new(x_c - 1_250, c_y), Layer::Poly);
@@ -141,9 +151,17 @@ fn build_cell(tech: &Technology) -> Cell {
             let v2_y = c_y + toward * 2_500;
             b.via(Point::new(x_c, c_y));
             b.via(Point::new(x_c, v2_y));
-            b.wire(Layer::Metal1, &[Point::new(x_c, c_y), Point::new(x_c, v2_y)], WIRE_W);
+            b.wire(
+                Layer::Metal1,
+                &[Point::new(x_c, c_y), Point::new(x_c, v2_y)],
+                WIRE_W,
+            );
             // Metal-2 riser to the track.
-            b.wire(Layer::Metal2, &[Point::new(x_c, c_y), Point::new(x_c, y_t)], WIRE_W);
+            b.wire(
+                Layer::Metal2,
+                &[Point::new(x_c, c_y), Point::new(x_c, y_t)],
+                WIRE_W,
+            );
             b.via(Point::new(x_c, y_t));
             // Second track-end via on whichever side has no m2 riser of
             // another net passing the gate track's y.
@@ -206,10 +224,18 @@ fn build_cell(tech: &Technology) -> Cell {
             match (net, dev.pmos) {
                 ("vdd", true) => {
                     // Straight metal-1 drop to the supply rail.
-                    b.wire(Layer::Metal1, &[Point::new(px, py), Point::new(px, VDD_Y)], WIRE_W);
+                    b.wire(
+                        Layer::Metal1,
+                        &[Point::new(px, py), Point::new(px, VDD_Y)],
+                        WIRE_W,
+                    );
                 }
                 ("0", false) => {
-                    b.wire(Layer::Metal1, &[Point::new(px, py), Point::new(px, GND_Y)], WIRE_W);
+                    b.wire(
+                        Layer::Metal1,
+                        &[Point::new(px, py), Point::new(px, GND_Y)],
+                        WIRE_W,
+                    );
                 }
                 ("vdd", false) => {
                     // NMOS terminal tied to vdd (Schmitt feedback M12):
@@ -221,8 +247,8 @@ fn build_cell(tech: &Technology) -> Cell {
                     riser(&mut b, Point::new(px, py), GND_Y, dir);
                 }
                 (net, _) => {
-                    let y_t = track_y(net)
-                        .unwrap_or_else(|| panic!("net `{net}` has no routing track"));
+                    let y_t =
+                        track_y(net).unwrap_or_else(|| panic!("net `{net}` has no routing track"));
                     riser(&mut b, Point::new(px, py), y_t, dir);
                     conn.entry(net.to_string()).or_default().push(px);
                 }
@@ -233,9 +259,9 @@ fn build_cell(tech: &Technology) -> Cell {
     // The control input routes in from the right-hand pad area: extend
     // net 1's track so it runs parallel to net 5 — the adjacency behind
     // the paper's example fault #339 (`BRI metal1_short 1->5`).
-    conn.entry("1".to_string()).or_default().push(
-        DEVICES.len() as Coord * PITCH - 4_000,
-    );
+    conn.entry("1".to_string())
+        .or_default()
+        .push(DEVICES.len() as Coord * PITCH - 4_000);
 
     // One merged n-well strip under the whole PMOS row (the per-device
     // wells the generator draws would violate well spacing; real
@@ -269,11 +295,19 @@ fn build_cell(tech: &Technology) -> Cell {
     b.rect(Layer::Metal2, top);
     // Bottom plate to ground rail.
     let bx = bottom.center().x;
-    b.wire(Layer::Metal1, &[Point::new(bx, cap_y0), Point::new(bx, GND_Y)], WIRE_W);
+    b.wire(
+        Layer::Metal1,
+        &[Point::new(bx, cap_y0), Point::new(bx, GND_Y)],
+        WIRE_W,
+    );
     // Top plate to net 6's track through a via just left of the plate.
     let y6 = track_y("6").expect("net 6 has a track");
     let via_x = cap_x0 - 4_000;
-    b.wire(Layer::Metal2, &[Point::new(top.x0(), y6), Point::new(via_x, y6)], WIRE_W);
+    b.wire(
+        Layer::Metal2,
+        &[Point::new(top.x0(), y6), Point::new(via_x, y6)],
+        WIRE_W,
+    );
     b.via(Point::new(via_x, y6));
     conn.entry("6".to_string()).or_default().push(via_x);
 
@@ -298,8 +332,16 @@ fn build_cell(tech: &Technology) -> Cell {
     // Supply rails spanning everything.
     let x_left = -6_000;
     let x_right = bottom.x1() + 6_000;
-    b.wire(Layer::Metal1, &[Point::new(x_left, GND_Y), Point::new(x_right, GND_Y)], RAIL_W);
-    b.wire(Layer::Metal1, &[Point::new(x_left, VDD_Y), Point::new(x_right, VDD_Y)], RAIL_W);
+    b.wire(
+        Layer::Metal1,
+        &[Point::new(x_left, GND_Y), Point::new(x_right, GND_Y)],
+        RAIL_W,
+    );
+    b.wire(
+        Layer::Metal1,
+        &[Point::new(x_left, VDD_Y), Point::new(x_right, VDD_Y)],
+        RAIL_W,
+    );
     b.label(Layer::Metal1, Point::new(x_left + 1_000, GND_Y), "0");
     b.label(Layer::Metal1, Point::new(x_left + 1_000, VDD_Y), "vdd");
 
@@ -316,7 +358,12 @@ mod tests {
     fn layout_extracts_26_transistors_and_the_cap() {
         let (flat, tech) = vco_layout();
         let netlist = extract(&flat, &tech, &ExtractOptions::default()).unwrap();
-        assert_eq!(netlist.mosfets.len(), 26, "warnings: {:?}", netlist.warnings);
+        assert_eq!(
+            netlist.mosfets.len(),
+            26,
+            "warnings: {:?}",
+            netlist.warnings
+        );
         assert_eq!(netlist.capacitors.len(), 1);
         assert!(
             netlist.warnings.is_empty(),

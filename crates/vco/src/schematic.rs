@@ -64,42 +64,250 @@ pub(crate) struct Dev {
 /// `9` = Schmitt output, `11` = buffered output).
 pub(crate) const DEVICES: &[Dev] = &[
     // --- V-to-I converter ---
-    Dev { name: "M1", pmos: false, d: "2", g: "1", s: "n1", w_um: 2.0, l_um: 2.0 },
-    Dev { name: "M2", pmos: false, d: "n1", g: "n1", s: "0", w_um: 8.0, l_um: 1.0 }, // diode
-    Dev { name: "M3", pmos: true, d: "2", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 }, // diode
-    Dev { name: "M4", pmos: true, d: "3", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 },
-    Dev { name: "M5", pmos: false, d: "3", g: "3", s: "0", w_um: 4.0, l_um: 2.0 }, // diode
-    Dev { name: "M6", pmos: true, d: "4", g: "2", s: "vdd", w_um: 8.0, l_um: 2.0 },
+    Dev {
+        name: "M1",
+        pmos: false,
+        d: "2",
+        g: "1",
+        s: "n1",
+        w_um: 2.0,
+        l_um: 2.0,
+    },
+    Dev {
+        name: "M2",
+        pmos: false,
+        d: "n1",
+        g: "n1",
+        s: "0",
+        w_um: 8.0,
+        l_um: 1.0,
+    }, // diode
+    Dev {
+        name: "M3",
+        pmos: true,
+        d: "2",
+        g: "2",
+        s: "vdd",
+        w_um: 8.0,
+        l_um: 2.0,
+    }, // diode
+    Dev {
+        name: "M4",
+        pmos: true,
+        d: "3",
+        g: "2",
+        s: "vdd",
+        w_um: 8.0,
+        l_um: 2.0,
+    },
+    Dev {
+        name: "M5",
+        pmos: false,
+        d: "3",
+        g: "3",
+        s: "0",
+        w_um: 4.0,
+        l_um: 2.0,
+    }, // diode
+    Dev {
+        name: "M6",
+        pmos: true,
+        d: "4",
+        g: "2",
+        s: "vdd",
+        w_um: 8.0,
+        l_um: 2.0,
+    },
     // Half-strength discharge sink: a permanent 5-6 switch short then
     // *slows* the oscillation instead of stopping it (the paper's
     // fault #6 changes the frequency).
-    Dev { name: "M7", pmos: false, d: "5", g: "3", s: "0", w_um: 2.0, l_um: 2.0 },
+    Dev {
+        name: "M7",
+        pmos: false,
+        d: "5",
+        g: "3",
+        s: "0",
+        w_um: 2.0,
+        l_um: 2.0,
+    },
     // --- analogue switch ---
-    Dev { name: "M8", pmos: true, d: "6", g: "ctrl", s: "4", w_um: 10.0, l_um: 1.0 },
-    Dev { name: "M9", pmos: false, d: "6", g: "ctrl", s: "5", w_um: 6.0, l_um: 1.0 },
+    Dev {
+        name: "M8",
+        pmos: true,
+        d: "6",
+        g: "ctrl",
+        s: "4",
+        w_um: 10.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M9",
+        pmos: false,
+        d: "6",
+        g: "ctrl",
+        s: "5",
+        w_um: 6.0,
+        l_um: 1.0,
+    },
     // --- Schmitt trigger (input 6, output 9) ---
     // M11 is the N-side feedback device whose drain ties to the supply
     // — the transistor the paper's Fig. 6 experiment bridges to ground.
-    Dev { name: "M10", pmos: false, d: "nsm", g: "6", s: "0", w_um: 6.0, l_um: 1.0 },
-    Dev { name: "M11", pmos: false, d: "vdd", g: "9", s: "nsm", w_um: 12.0, l_um: 1.0 },
-    Dev { name: "M12", pmos: false, d: "9", g: "6", s: "nsm", w_um: 6.0, l_um: 1.0 },
-    Dev { name: "M13", pmos: true, d: "psm", g: "6", s: "vdd", w_um: 12.0, l_um: 1.0 },
-    Dev { name: "M14", pmos: true, d: "9", g: "6", s: "psm", w_um: 12.0, l_um: 1.0 },
-    Dev { name: "M15", pmos: true, d: "0", g: "9", s: "psm", w_um: 24.0, l_um: 1.0 },
+    Dev {
+        name: "M10",
+        pmos: false,
+        d: "nsm",
+        g: "6",
+        s: "0",
+        w_um: 6.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M11",
+        pmos: false,
+        d: "vdd",
+        g: "9",
+        s: "nsm",
+        w_um: 12.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M12",
+        pmos: false,
+        d: "9",
+        g: "6",
+        s: "nsm",
+        w_um: 6.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M13",
+        pmos: true,
+        d: "psm",
+        g: "6",
+        s: "vdd",
+        w_um: 12.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M14",
+        pmos: true,
+        d: "9",
+        g: "6",
+        s: "psm",
+        w_um: 12.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M15",
+        pmos: true,
+        d: "0",
+        g: "9",
+        s: "psm",
+        w_um: 24.0,
+        l_um: 1.0,
+    },
     // --- control inverter ---
-    Dev { name: "M16", pmos: true, d: "ctrl", g: "9", s: "vdd", w_um: 12.0, l_um: 1.0 },
-    Dev { name: "M17", pmos: false, d: "ctrl", g: "9", s: "0", w_um: 6.0, l_um: 1.0 },
+    Dev {
+        name: "M16",
+        pmos: true,
+        d: "ctrl",
+        g: "9",
+        s: "vdd",
+        w_um: 12.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M17",
+        pmos: false,
+        d: "ctrl",
+        g: "9",
+        s: "0",
+        w_um: 6.0,
+        l_um: 1.0,
+    },
     // --- output buffers ---
-    Dev { name: "M18", pmos: true, d: "10", g: "9", s: "vdd", w_um: 12.0, l_um: 1.0 },
-    Dev { name: "M19", pmos: false, d: "10", g: "9", s: "0", w_um: 6.0, l_um: 1.0 },
-    Dev { name: "M20", pmos: true, d: "11", g: "10", s: "vdd", w_um: 16.0, l_um: 1.0 },
-    Dev { name: "M21", pmos: false, d: "11", g: "10", s: "0", w_um: 8.0, l_um: 1.0 },
+    Dev {
+        name: "M18",
+        pmos: true,
+        d: "10",
+        g: "9",
+        s: "vdd",
+        w_um: 12.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M19",
+        pmos: false,
+        d: "10",
+        g: "9",
+        s: "0",
+        w_um: 6.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M20",
+        pmos: true,
+        d: "11",
+        g: "10",
+        s: "vdd",
+        w_um: 16.0,
+        l_um: 1.0,
+    },
+    Dev {
+        name: "M21",
+        pmos: false,
+        d: "11",
+        g: "10",
+        s: "0",
+        w_um: 8.0,
+        l_um: 1.0,
+    },
     // --- bias string and trickle sources ---
-    Dev { name: "M22", pmos: true, d: "12", g: "12", s: "vdd", w_um: 3.0, l_um: 4.0 }, // diode
-    Dev { name: "M23", pmos: false, d: "12", g: "12", s: "13", w_um: 3.0, l_um: 4.0 }, // diode
-    Dev { name: "M24", pmos: false, d: "13", g: "13", s: "0", w_um: 3.0, l_um: 4.0 }, // diode
-    Dev { name: "M25", pmos: true, d: "6", g: "12", s: "vdd", w_um: 2.0, l_um: 20.0 },
-    Dev { name: "M26", pmos: false, d: "6", g: "13", s: "0", w_um: 2.0, l_um: 24.0 },
+    Dev {
+        name: "M22",
+        pmos: true,
+        d: "12",
+        g: "12",
+        s: "vdd",
+        w_um: 3.0,
+        l_um: 4.0,
+    }, // diode
+    Dev {
+        name: "M23",
+        pmos: false,
+        d: "12",
+        g: "12",
+        s: "13",
+        w_um: 3.0,
+        l_um: 4.0,
+    }, // diode
+    Dev {
+        name: "M24",
+        pmos: false,
+        d: "13",
+        g: "13",
+        s: "0",
+        w_um: 3.0,
+        l_um: 4.0,
+    }, // diode
+    Dev {
+        name: "M25",
+        pmos: true,
+        d: "6",
+        g: "12",
+        s: "vdd",
+        w_um: 2.0,
+        l_um: 20.0,
+    },
+    Dev {
+        name: "M26",
+        pmos: false,
+        d: "6",
+        g: "13",
+        s: "0",
+        w_um: 2.0,
+        l_um: 24.0,
+    },
 ];
 
 /// Timing capacitor value (F).
@@ -219,8 +427,16 @@ mod tests {
     #[test]
     fn paper_counts_match() {
         let c = vco_schematic();
-        assert_eq!(transistor_count(&c), 26, "the paper's VCO has 26 transistors");
-        assert_eq!(diode_connected_count(&c), 6, "six designed gate-drain shorts");
+        assert_eq!(
+            transistor_count(&c),
+            26,
+            "the paper's VCO has 26 transistors"
+        );
+        assert_eq!(
+            diode_connected_count(&c),
+            6,
+            "six designed gate-drain shorts"
+        );
         assert!(c.validate().is_ok());
     }
 
@@ -245,7 +461,10 @@ mod tests {
     #[test]
     fn frequency_increases_with_control_voltage() {
         let freq_at = |vin: f64| {
-            let c = vco_testbench(&TestbenchParams { vin, ..Default::default() });
+            let c = vco_testbench(&TestbenchParams {
+                vin,
+                ..Default::default()
+            });
             let res = tran(&c, &TranSpec::new(10e-9, 4e-6).with_uic()).unwrap();
             res.wave(OBSERVED_NODE).unwrap().frequency()
         };

@@ -19,9 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fault = Fault::new(
             1,
             "BRI vdd->0",
-            FaultEffect::Short { a: "vdd".into(), b: "0".into() },
+            FaultEffect::Short {
+                a: "vdd".into(),
+                b: "0".into(),
+            },
         );
-        let model = HardFaultModel::Resistor { r_short: r, r_open: 100e6 };
+        let model = HardFaultModel::Resistor {
+            r_short: r,
+            r_open: 100e6,
+        };
         let faulty = inject(&tb, &fault, model)?;
         let wave = tran(&faulty, &spec)?
             .wave(vco::OBSERVED_NODE)
@@ -39,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let fault = Fault::new(
             2,
             "BRI 9->0",
-            FaultEffect::Short { a: "9".into(), b: "0".into() },
+            FaultEffect::Short {
+                a: "9".into(),
+                b: "0".into(),
+            },
         );
-        let model = HardFaultModel::Resistor { r_short: r, r_open: 100e6 };
+        let model = HardFaultModel::Resistor {
+            r_short: r,
+            r_open: 100e6,
+        };
         let faulty = inject(&tb, &fault, model)?;
         let wave = tran(&faulty, &spec)?
             .wave(vco::OBSERVED_NODE)

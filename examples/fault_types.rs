@@ -21,22 +21,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let spec = TranSpec::new(1e-6, 1e-5);
     let v = |ckt: &spice::Circuit, node: &str| -> f64 {
-        tran(ckt, &spec).expect("simulates").wave(node).expect("node").last_value()
+        tran(ckt, &spec)
+            .expect("simulates")
+            .wave(node)
+            .expect("node")
+            .last_value()
     };
-    println!("nominal: v(a) = {:.3}  v(b) = {:.3}  v(out) = {:.3}\n",
-        v(&base, "a"), v(&base, "b"), v(&base, "out"));
+    println!(
+        "nominal: v(a) = {:.3}  v(b) = {:.3}  v(out) = {:.3}\n",
+        v(&base, "a"),
+        v(&base, "b"),
+        v(&base, "out")
+    );
 
     let faults = [
-        Fault::new(1, "local short across R2 (element terminals)",
-            FaultEffect::ElementShort { element: "R2".into(), t1: 0, t2: 1 }),
-        Fault::new(2, "global short in->out (arbitrary node pair)",
-            FaultEffect::Short { a: "in".into(), b: "out".into() }),
-        Fault::new(3, "local open at R3 terminal 0",
-            FaultEffect::OpenTerminal { element: "R3".into(), terminal: 0 }),
-        Fault::new(4, "split node a: order 2 -> 1 + 1",
-            FaultEffect::SplitNode { node: "a".into(), move_terminals: vec![("R2".into(), 0)] }),
-        Fault::new(5, "soft fault: R4 drifts +100%",
-            FaultEffect::ParamDeviation { element: "R4".into(), factor: 2.0 }),
+        Fault::new(
+            1,
+            "local short across R2 (element terminals)",
+            FaultEffect::ElementShort {
+                element: "R2".into(),
+                t1: 0,
+                t2: 1,
+            },
+        ),
+        Fault::new(
+            2,
+            "global short in->out (arbitrary node pair)",
+            FaultEffect::Short {
+                a: "in".into(),
+                b: "out".into(),
+            },
+        ),
+        Fault::new(
+            3,
+            "local open at R3 terminal 0",
+            FaultEffect::OpenTerminal {
+                element: "R3".into(),
+                terminal: 0,
+            },
+        ),
+        Fault::new(
+            4,
+            "split node a: order 2 -> 1 + 1",
+            FaultEffect::SplitNode {
+                node: "a".into(),
+                move_terminals: vec![("R2".into(), 0)],
+            },
+        ),
+        Fault::new(
+            5,
+            "soft fault: R4 drifts +100%",
+            FaultEffect::ParamDeviation {
+                element: "R4".into(),
+                factor: 2.0,
+            },
+        ),
     ];
 
     for model in [HardFaultModel::paper_resistor(), HardFaultModel::Source] {

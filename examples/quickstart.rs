@@ -21,19 +21,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    tied in poly, drains tied in metal-1.
     let tech = Technology::generic_1um();
     let mut b = CellBuilder::new("inv", &tech);
-    let n = b.mosfet(Point::new(0, 0), &MosParams { w: 3_000, l: 1_000, style: MosStyle::Nmos });
-    let p = b.mosfet(Point::new(0, 25_000), &MosParams { w: 6_000, l: 1_000, style: MosStyle::Pmos });
-    b.min_wire(Layer::Poly, &[
-        Point::new(0, n.gate_stub.y1()),
-        Point::new(0, p.gate_stub.y0() + 24_000),
-    ]);
+    let n = b.mosfet(
+        Point::new(0, 0),
+        &MosParams {
+            w: 3_000,
+            l: 1_000,
+            style: MosStyle::Nmos,
+        },
+    );
+    let p = b.mosfet(
+        Point::new(0, 25_000),
+        &MosParams {
+            w: 6_000,
+            l: 1_000,
+            style: MosStyle::Pmos,
+        },
+    );
+    b.min_wire(
+        Layer::Poly,
+        &[
+            Point::new(0, n.gate_stub.y1()),
+            Point::new(0, p.gate_stub.y0() + 24_000),
+        ],
+    );
     b.min_wire(Layer::Metal1, &[n.drain_pad.center(), p.drain_pad.center()]);
-    b.wire(Layer::Metal1, &[n.source_pad.center(), Point::new(n.source_pad.center().x, -12_000)], 1_500);
-    b.wire(Layer::Metal1, &[p.source_pad.center(), Point::new(p.source_pad.center().x, 40_000)], 1_500);
+    b.wire(
+        Layer::Metal1,
+        &[
+            n.source_pad.center(),
+            Point::new(n.source_pad.center().x, -12_000),
+        ],
+        1_500,
+    );
+    b.wire(
+        Layer::Metal1,
+        &[
+            p.source_pad.center(),
+            Point::new(p.source_pad.center().x, 40_000),
+        ],
+        1_500,
+    );
     b.label(Layer::Poly, Point::new(0, 8_000), "in");
     b.label(Layer::Metal1, n.drain_pad.center(), "out");
-    b.label(Layer::Metal1, Point::new(n.source_pad.center().x, -11_000), "0");
-    b.label(Layer::Metal1, Point::new(p.source_pad.center().x, 39_000), "vdd");
+    b.label(
+        Layer::Metal1,
+        Point::new(n.source_pad.center().x, -11_000),
+        "0",
+    );
+    b.label(
+        Layer::Metal1,
+        Point::new(p.source_pad.center().x, 39_000),
+        "vdd",
+    );
     let mut lib = Library::new("quickstart");
     lib.add_cell(b.finish());
     let flat = lib.flatten("inv")?;
@@ -45,12 +84,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..LiftOptions::default()
     };
     let sys = CatSystem::from_layout(&flat, &tech, &ExtractOptions::default(), &lift_options)?;
-    println!("extracted {} transistors, {} nets", sys.netlist.mosfets.len(), sys.netlist.net_count());
-    println!("LIFT found {} realistic faults ({} bridges, {} line opens, {} stuck-opens)\n",
-        sys.lift.stats.total(), sys.lift.stats.bridges,
-        sys.lift.stats.line_opens, sys.lift.stats.stuck_opens);
+    println!(
+        "extracted {} transistors, {} nets",
+        sys.netlist.mosfets.len(),
+        sys.netlist.net_count()
+    );
+    println!(
+        "LIFT found {} realistic faults ({} bridges, {} line opens, {} stuck-opens)\n",
+        sys.lift.stats.total(),
+        sys.lift.stats.bridges,
+        sys.lift.stats.line_opens,
+        sys.lift.stats.stuck_opens
+    );
     for f in &sys.lift.faults {
-        println!("  #{:<3} p = {:.2e}  {}", f.id, f.probability, f.fault.label);
+        println!(
+            "  #{:<3} p = {:.2e}  {}",
+            f.id, f.probability, f.fault.label
+        );
     }
 
     // 3. Testbench: 5 V supply, 1 MHz square wave input, watch `out`.
@@ -58,25 +108,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vdd = tb.node("vdd");
     let inp = tb.node("in");
     let out = tb.node("out");
-    tb.add("VDD", vec![vdd, spice::Circuit::GROUND],
-        ElementKind::Vsource { wave: Waveform::Dc(5.0) });
-    tb.add("VIN", vec![inp, spice::Circuit::GROUND],
+    tb.add(
+        "VDD",
+        vec![vdd, spice::Circuit::GROUND],
         ElementKind::Vsource {
-            wave: Waveform::Pulse { v1: 0.0, v2: 5.0, td: 0.0, tr: 10e-9, tf: 10e-9, pw: 0.5e-6, period: 1e-6 },
-        });
-    tb.add("CL", vec![out, spice::Circuit::GROUND],
-        ElementKind::Capacitor { c: 100e-15, ic: None });
+            wave: Waveform::Dc(5.0),
+        },
+    );
+    tb.add(
+        "VIN",
+        vec![inp, spice::Circuit::GROUND],
+        ElementKind::Vsource {
+            wave: Waveform::Pulse {
+                v1: 0.0,
+                v2: 5.0,
+                td: 0.0,
+                tr: 10e-9,
+                tf: 10e-9,
+                pw: 0.5e-6,
+                period: 1e-6,
+            },
+        },
+    );
+    tb.add(
+        "CL",
+        vec![out, spice::Circuit::GROUND],
+        ElementKind::Capacitor {
+            c: 100e-15,
+            ic: None,
+        },
+    );
 
-    // 4. Fault simulation campaign.
-    let result = sys
-        .campaign(
-            tb,
-            TranSpec::new(5e-9, 3e-6),
-            "out",
-            DetectionSpec { v_tol: 1.0, t_tol: 50e-9 },
-            HardFaultModel::paper_resistor(),
-        )
-        .run(&sys.fault_list())?;
+    // 4. Fault simulation campaign: builder-configured, streaming one
+    //    progress event per completed fault, dropping each fault as
+    //    soon as it is detected.
+    let campaign = sys
+        .campaign_builder()
+        .testbench(tb)
+        .tran(TranSpec::new(5e-9, 3e-6))
+        .observe("out")
+        .detection(DetectionSpec {
+            v_tol: 1.0,
+            t_tol: 50e-9,
+        })
+        .model(HardFaultModel::paper_resistor())
+        .early_stop(true)
+        .build()?;
+    let result = sys.simulate_with_progress(&campaign, |p| {
+        eprintln!("  [{}/{}] {}", p.completed, p.total, p.record.fault);
+    })?;
     println!("\n{}", protocol_table(&result));
     Ok(())
 }

@@ -12,9 +12,11 @@ use spice::tran::TranSpec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Layout -> GDSII -> layout: prove the interchange format works.
+    // Progress goes to stderr so `--json` leaves stdout as one clean
+    // protocol document.
     let (lib, tech) = vco::vco_library();
     let gds = layout::gds::write_library(&lib)?;
-    println!("VCO layout: {} bytes of GDSII", gds.len());
+    eprintln!("VCO layout: {} bytes of GDSII", gds.len());
     let lib = layout::gds::read_library(&gds)?;
     let flat = lib.flatten("vco")?;
 
@@ -26,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..lift::LiftOptions::default()
     };
     let sys = CatSystem::from_layout(&flat, &tech, &ExtractOptions::default(), &lift_options)?;
-    println!(
+    eprintln!(
         "extracted {} transistors / {} nets; LIFT kept {} of {} candidates",
         sys.netlist.mosfets.len(),
         sys.netlist.net_count(),
@@ -38,18 +40,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut tb = sys.circuit.clone();
     vco::attach_sources(&mut tb, &vco::TestbenchParams::default());
 
-    let result = sys
-        .campaign(
-            tb,
-            TranSpec::new(10e-9, 4e-6).with_uic(),
-            vco::OBSERVED_NODE,
-            DetectionSpec::paper_fig5(),
-            HardFaultModel::paper_resistor(),
-        )
-        .run(&sys.fault_list())?;
+    let campaign = sys
+        .campaign_builder()
+        .testbench(tb)
+        .tran(TranSpec::new(10e-9, 4e-6).with_uic())
+        .observe(vco::OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(HardFaultModel::paper_resistor())
+        .build()?;
+    let result = sys.simulate(&campaign)?;
 
+    // `--json` emits the machine-readable protocol file instead of the
+    // hand-formatted tables.
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", anafault::protocol::to_json(&result));
+        return Ok(());
+    }
     println!("\n{}", protocol_table(&result));
     let samples: Vec<f64> = (0..=100).map(|i| i as f64 * 4e-8).collect();
-    println!("{}", coverage_plot(&result.coverage_curve(&samples), 80, 14));
+    println!(
+        "{}",
+        coverage_plot(&result.coverage_curve(&samples), 80, 14)
+    );
     Ok(())
 }

@@ -17,9 +17,10 @@
 //! | [`cat_core`] | the linked flow, Fig. 1 funnel, L²RFM |
 //! | [`vco`] | the paper's 26-transistor evaluation circuit |
 //!
-//! ```
+//! ```no_run
 //! use cat::prelude::*;
 //!
+//! // Extraction + LIFT run once per design …
 //! let (flat, tech) = cat::vco::vco_layout();
 //! let sys = CatSystem::from_layout(
 //!     &flat, &tech,
@@ -27,8 +28,29 @@
 //!     &LiftOptions::default(),
 //! )?;
 //! assert_eq!(sys.netlist.mosfets.len(), 26);
+//!
+//! // … then campaigns are configured through the builder and stream
+//! // one progress event per completed fault.
+//! let mut tb = sys.circuit.clone();
+//! cat::vco::attach_sources(&mut tb, &cat::vco::TestbenchParams::default());
+//! let campaign = sys
+//!     .campaign_builder()
+//!     .testbench(tb)
+//!     .tran(TranSpec::new(10e-9, 4e-6).with_uic())
+//!     .observe(cat::vco::OBSERVED_NODE) // repeat to probe more pins
+//!     .early_stop(true)                 // drop faults once detected
+//!     .build()?;
+//! let result = sys.simulate_with_progress(&campaign, |p| {
+//!     eprintln!("{}/{} {}", p.completed, p.total, p.record.fault);
+//! })?;
+//! println!("{}", cat::anafault::protocol::to_json(&result));
 //! # Ok::<(), cat::cat_core::CatError>(())
 //! ```
+//!
+//! Every fallible step above funnels into [`cat_core::CatError`]. The
+//! pre-0.2 positional entry points (`CatSystem::campaign`,
+//! `CatSystem::run_campaign`) remain as `#[deprecated]` shims for one
+//! release — see `cat_core::flow` for the migration table.
 
 pub use anafault;
 pub use cat_core;
@@ -42,8 +64,11 @@ pub use vco;
 
 /// The names most flows need.
 pub mod prelude {
-    pub use anafault::{Campaign, DetectionSpec, Fault, FaultEffect, HardFaultModel};
-    pub use cat_core::{CatSystem, FaultFunnel};
+    pub use anafault::{
+        Campaign, CampaignBuilder, CampaignProgress, CampaignResult, DetectionSpec, Fault,
+        FaultEffect, HardFaultModel,
+    };
+    pub use cat_core::{CatError, CatSystem, FaultFunnel};
     pub use defect::{MechanismTable, SizeDistribution};
     pub use extract::ExtractOptions;
     pub use layout::{Cell, CellBuilder, Layer, Library, Technology};

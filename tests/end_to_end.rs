@@ -50,8 +50,7 @@ fn gds_roundtrip_extraction_lvs() {
     let bytes = layout::gds::write_library(&lib).expect("gds writes");
     let lib2 = layout::gds::read_library(&bytes).expect("gds reads");
     let flat = lib2.flatten("vco").expect("flattens");
-    let netlist =
-        extract::extract(&flat, &tech, &ExtractOptions::default()).expect("extracts");
+    let netlist = extract::extract(&flat, &tech, &ExtractOptions::default()).expect("extracts");
     assert_eq!(netlist.mosfets.len(), 26);
     assert_eq!(netlist.capacitors.len(), 1);
     let report = compare(
@@ -68,17 +67,19 @@ fn gds_roundtrip_extraction_lvs() {
 #[test]
 fn campaign_on_top_faults_detects_most() {
     let (sys, tb) = bench::vco_system();
-    let faults: Vec<Fault> = sys.fault_list().into_iter().take(12).collect();
-    let result = sys
-        .campaign(
-            tb,
-            bench::paper_tran(),
-            vco::OBSERVED_NODE,
-            DetectionSpec::paper_fig5(),
-            HardFaultModel::paper_resistor(),
-        )
-        .run(&faults)
-        .expect("nominal simulates");
+    // The fault budget keeps the 12 most probable faults — LIFT's list
+    // arrives ranked.
+    let campaign = sys
+        .campaign_builder()
+        .testbench(tb)
+        .tran(bench::paper_tran())
+        .observe(vco::OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(HardFaultModel::paper_resistor())
+        .max_faults(12)
+        .build()
+        .expect("complete configuration");
+    let result = sys.simulate(&campaign).expect("nominal simulates");
     assert_eq!(result.records.len(), 12);
     assert!(
         result.final_coverage() >= 75.0,
@@ -93,7 +94,10 @@ fn funnel_narrows_monotonically() {
     let funnel = bench::fault_funnel();
     let counts: Vec<usize> = funnel.stages.iter().map(|s| s.count).collect();
     assert_eq!(counts.len(), 3);
-    assert!(counts[0] >= counts[1] && counts[1] >= counts[2], "{counts:?}");
+    assert!(
+        counts[0] >= counts[1] && counts[1] >= counts[2],
+        "{counts:?}"
+    );
     assert_eq!(counts[0], 152);
     assert!(funnel.total_reduction_percent() > 40.0);
 }
@@ -122,10 +126,8 @@ fn vco_layout_drc_classes_are_bounded() {
     }
     // No metal wire is drawn under-width.
     assert!(
-        violations
-            .iter()
-            .all(|v| !(v.rule == DrcRule::MinWidth
-                && (v.layer == Layer::Metal1 || v.layer == Layer::Metal2))),
+        violations.iter().all(|v| !(v.rule == DrcRule::MinWidth
+            && (v.layer == Layer::Metal1 || v.layer == Layer::Metal2))),
         "metal widths must be clean"
     );
 }

@@ -27,13 +27,15 @@ fn campaign_outcomes_identical_through_the_file_format() {
     let text = write_fault_list(&direct);
     let reread = read_fault_list(&text).expect("parses");
 
-    let campaign = sys.campaign(
-        tb,
-        bench::paper_tran(),
-        vco::OBSERVED_NODE,
-        DetectionSpec::paper_fig5(),
-        HardFaultModel::paper_resistor(),
-    );
+    let campaign = sys
+        .campaign_builder()
+        .testbench(tb)
+        .tran(bench::paper_tran())
+        .observe(vco::OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(HardFaultModel::paper_resistor())
+        .build()
+        .expect("complete configuration");
     let r1 = campaign.run(&direct).expect("runs");
     let r2 = campaign.run(&reread).expect("runs");
     let o1: Vec<&FaultOutcome> = r1.records.iter().map(|r| &r.outcome).collect();
@@ -46,7 +48,13 @@ fn every_lift_fault_injects_into_the_extracted_circuit() {
     let (sys, tb) = bench::vco_system();
     for fault in sys.fault_list() {
         let faulty = anafault::inject(&tb, &fault, HardFaultModel::paper_resistor());
-        assert!(faulty.is_ok(), "#{} {}: {:?}", fault.id, fault.label, faulty.err());
+        assert!(
+            faulty.is_ok(),
+            "#{} {}: {:?}",
+            fault.id,
+            fault.label,
+            faulty.err()
+        );
         // Element/node bookkeeping stays consistent.
         assert!(faulty.expect("injected").validate().is_ok());
     }
@@ -59,7 +67,11 @@ fn split_node_orders_add_up() {
     let (sys, tb) = bench::vco_system();
     let mut checked = 0;
     for f in sys.fault_list() {
-        let FaultEffect::SplitNode { ref node, ref move_terminals } = f.effect else {
+        let FaultEffect::SplitNode {
+            ref node,
+            ref move_terminals,
+        } = f.effect
+        else {
             continue;
         };
         let node_id = tb.find_node(node).expect("node exists");

@@ -35,7 +35,10 @@ fn fig4_fault_classes_behave_as_described() {
         .collect();
     let swing = late.iter().copied().fold(f64::MIN, f64::max)
         - late.iter().copied().fold(f64::MAX, f64::min);
-    assert!(swing < 1.0, "1->5 short pins the output, late swing {swing}");
+    assert!(
+        swing < 1.0,
+        "1->5 short pins the output, late swing {swing}"
+    );
 }
 
 #[test]
@@ -45,7 +48,11 @@ fn fig6_resistance_sweep_degrades_monotonically() {
     // 1 kΩ barely visible, 21 Ω clearly degraded, 1 Ω dead.
     assert!(amp[0] > 4.0, "1 kΩ nearly nominal, got Vpp {}", amp[0]);
     assert!(amp[1] < amp[0], "21 Ω worse than 1 kΩ");
-    assert!(amp[2] < 1.0, "1 Ω stops the oscillation, got Vpp {}", amp[2]);
+    assert!(
+        amp[2] < 1.0,
+        "1 Ω stops the oscillation, got Vpp {}",
+        amp[2]
+    );
     // And the 1 kΩ case still oscillates.
     assert!(sweep[0].1.frequency().is_some());
 }
@@ -57,15 +64,16 @@ fn fault_models_agree_on_outcomes() {
     let (sys, tb) = bench::vco_system();
     let faults: Vec<Fault> = sys.fault_list().into_iter().take(10).collect();
     let run = |model: HardFaultModel| {
-        sys.campaign(
-            tb.clone(),
-            bench::paper_tran(),
-            vco::OBSERVED_NODE,
-            DetectionSpec::paper_fig5(),
-            model,
-        )
-        .run(&faults)
-        .expect("runs")
+        sys.campaign_builder()
+            .testbench(tb.clone())
+            .tran(bench::paper_tran())
+            .observe(vco::OBSERVED_NODE)
+            .detection(DetectionSpec::paper_fig5())
+            .model(model)
+            .build()
+            .expect("complete configuration")
+            .run(&faults)
+            .expect("runs")
     };
     let r = run(HardFaultModel::paper_resistor());
     let s = run(HardFaultModel::Source);
@@ -86,13 +94,14 @@ fn coverage_curve_is_monotone_and_saturates_early() {
     let (sys, tb) = bench::vco_system();
     let faults: Vec<Fault> = sys.fault_list().into_iter().take(15).collect();
     let result = sys
-        .campaign(
-            tb,
-            bench::paper_tran(),
-            vco::OBSERVED_NODE,
-            DetectionSpec::paper_fig5(),
-            HardFaultModel::paper_resistor(),
-        )
+        .campaign_builder()
+        .testbench(tb)
+        .tran(bench::paper_tran())
+        .observe(vco::OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(HardFaultModel::paper_resistor())
+        .build()
+        .expect("complete configuration")
         .run(&faults)
         .expect("runs");
     let samples: Vec<f64> = (0..=40).map(|i| i as f64 * 1e-7).collect();

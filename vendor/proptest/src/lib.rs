@@ -1,0 +1,195 @@
+//! # proptest (vendored shim)
+//!
+//! A dependency-light stand-in for the slice of the proptest API the
+//! `geom` property tests use: `Strategy` with `prop_map`, range and
+//! tuple strategies, `collection::vec`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` macros. Each property runs a fixed
+//! number of deterministic cases (no shrinking — a failing case prints
+//! its assertion like a plain test).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+
+/// Number of generated cases per property.
+pub const CASES: usize = 128;
+
+/// The per-test random source handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A deterministic generator for the property named `name`.
+    pub fn for_test(name: &str) -> Self {
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn i64_in(&mut self, r: Range<i64>) -> i64 {
+        self.0.random_range(r)
+    }
+
+    fn usize_in(&mut self, r: Range<usize>) -> usize {
+        self.0.random_range(r)
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+impl Strategy for Range<i64> {
+    type Value = i64;
+
+    fn generate(&self, rng: &mut TestRng) -> i64 {
+        rng.i64_in(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.usize_in(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` of `element` values with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.usize_in(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...)` body
+/// runs [`CASES`] times over freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for _case in 0..$crate::CASES {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property (plain `assert!` semantics in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality (plain `assert_eq!` semantics in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection;
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (i64, i64)> {
+        (0i64..10, 10i64..20)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_generate_in_bounds(x in -50i64..50, (a, b) in arb_pair()) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(a < b, "{a} {b}");
+        }
+
+        #[test]
+        fn mapped_vecs_respect_length(v in collection::vec((0i64..5).prop_map(|x| x * 2), 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            prop_assert_eq!(v.iter().filter(|x| **x % 2 != 0).count(), 0);
+        }
+    }
+}

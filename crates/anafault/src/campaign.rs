@@ -54,8 +54,8 @@
 use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
 use crate::fault::Fault;
 use crate::inject::{inject, HardFaultModel};
-use spice::tran::{tran, tran_with, TranSpec};
-use spice::{Circuit, SpiceError, Wave};
+use spice::tran::{tran_with_cached, TranSpec};
+use spice::{Circuit, PatternCache, SpiceError, Wave};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
@@ -350,7 +350,7 @@ impl Campaign {
         self.session(faults).run()
     }
 
-    fn simulate_one(&self, fault: &Fault, nominals: &[Wave]) -> FaultRecord {
+    fn simulate_one(&self, fault: &Fault, nominals: &[Wave], cache: &PatternCache) -> FaultRecord {
         let t0 = Instant::now();
         let faulty = match inject(&self.circuit, fault, self.model) {
             Ok(c) => c,
@@ -364,9 +364,9 @@ impl Campaign {
             }
         };
         let (outcome, newton_iterations) = if self.early_stop {
-            self.simulate_dropping(&faulty, nominals)
+            self.simulate_dropping(&faulty, nominals, cache)
         } else {
-            self.simulate_full(&faulty, nominals)
+            self.simulate_full(&faulty, nominals, cache)
         };
         match outcome {
             Ok(outcome) => FaultRecord {
@@ -391,8 +391,9 @@ impl Campaign {
         &self,
         faulty: &Circuit,
         nominals: &[Wave],
+        cache: &PatternCache,
     ) -> (Result<FaultOutcome, SpiceError>, u64) {
-        let res = match tran(faulty, &self.tran) {
+        let res = match tran_with_cached(faulty, &self.tran, Some(cache), |_, _| true) {
             Ok(res) => res,
             Err(e) => return (Err(e), 0),
         };
@@ -430,6 +431,7 @@ impl Campaign {
         &self,
         faulty: &Circuit,
         nominals: &[Wave],
+        cache: &PatternCache,
     ) -> (Result<FaultOutcome, SpiceError>, u64) {
         // Resolve each observed node to its sample column up front; a
         // fault cannot remove a node, but guard anyway.
@@ -441,7 +443,7 @@ impl Campaign {
             }
         }
         let mut detected: Option<(f64, usize)> = None;
-        let res = tran_with(faulty, &self.tran, |t, x| {
+        let res = tran_with_cached(faulty, &self.tran, Some(cache), |t, x| {
             for (k, (&col, nominal)) in columns.iter().zip(nominals).enumerate() {
                 if !nominal.tracks(t, x[col], self.detection.v_tol, self.detection.t_tol) {
                     detected = Some((t, k));
@@ -502,8 +504,14 @@ impl CampaignSession<'_> {
     ) -> Result<CampaignResult, SpiceError> {
         let campaign = self.campaign;
         let t_start = Instant::now();
+        // One pattern cache per session: the symbolic factorisation of
+        // the nominal topology is shared by every structure-preserving
+        // fault, and each hard-fault stamp shape is analysed exactly
+        // once no matter how many workers touch it.
+        let cache = PatternCache::new();
         let t0 = Instant::now();
-        let nominal_res = tran(&campaign.circuit, &campaign.tran)?;
+        let nominal_res =
+            tran_with_cached(&campaign.circuit, &campaign.tran, Some(&cache), |_, _| true)?;
         let nominal_seconds = t0.elapsed().as_secs_f64();
         let mut nominals = Vec::with_capacity(campaign.observe.len());
         for name in &campaign.observe {
@@ -531,12 +539,13 @@ impl CampaignSession<'_> {
                 let tx = tx.clone();
                 let next = &next;
                 let nominals = &nominals;
+                let cache = &cache;
                 scope.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= total {
                         break;
                     }
-                    let record = campaign.simulate_one(&faults[i], nominals);
+                    let record = campaign.simulate_one(&faults[i], nominals, cache);
                     if tx.send((i, record)).is_err() {
                         break;
                     }

@@ -23,7 +23,9 @@ impl DetectionSpec {
     }
 
     /// First time the faulty response becomes distinguishable from the
-    /// nominal one, or `None` when the fault stays undetected.
+    /// nominal one, or `None` when the fault stays undetected. A
+    /// non-finite faulty sample (NaN/∞ from a diverged solve) always
+    /// counts as a detected deviation.
     pub fn first_detection(&self, faulty: &Wave, nominal: &Wave) -> Option<f64> {
         faulty.first_detection(nominal, self.v_tol, self.t_tol)
     }
@@ -97,6 +99,26 @@ mod tests {
     fn final_coverage_counts() {
         assert_eq!(final_coverage(&[Some(1.0), None]), 50.0);
         assert_eq!(final_coverage(&[Some(1.0), Some(0.1)]), 100.0);
+    }
+
+    #[test]
+    fn nan_injection_is_detected() {
+        // Regression for the tolerance-band criterion: a faulty solve
+        // that diverges mid-transient leaves NaN/inf samples in the
+        // waveform. Those must register as detected deviations — not
+        // fall through NaN comparisons as "within tolerance".
+        let spec = DetectionSpec::paper_fig5();
+        let times: Vec<f64> = (0..10).map(|i| i as f64 * 1e-7).collect();
+        let nominal = Wave::new(times.clone(), vec![2.5; 10]);
+        let mut faulty_vals = vec![2.5; 10];
+        faulty_vals[6] = f64::NAN;
+        let faulty = Wave::new(times.clone(), faulty_vals);
+        assert_eq!(spec.first_detection(&faulty, &nominal), Some(6e-7));
+
+        let mut inf_vals = vec![2.5; 10];
+        inf_vals[3] = f64::INFINITY;
+        let faulty = Wave::new(times, inf_vals);
+        assert_eq!(spec.first_detection(&faulty, &nominal), Some(3e-7));
     }
 
     #[test]

@@ -1,46 +1,72 @@
 //! Kernel simulator benchmarks: the nominal VCO transient (the unit of
 //! work every fault simulation repeats) and the integrator ablation
-//! (backward Euler vs trapezoidal) called out in DESIGN.md §7.
+//! (backward Euler vs trapezoidal) called out in DESIGN.md §7 — now
+//! also the dense-vs-sparse solver comparison: the same 400-step
+//! transient through the seed dense LU and through the pattern-reusing
+//! sparse engine, with the measured speedup printed as part of the
+//! bench output.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use spice::tran::{tran, TranSpec};
+use spice::SolverKind;
 use std::hint::black_box;
+use std::time::Instant;
 use vco::{vco_testbench, TestbenchParams};
+
+fn paper_spec(kind: SolverKind) -> TranSpec {
+    TranSpec::new(10e-9, 4e-6).with_uic().with_solver(kind)
+}
 
 fn bench_nominal_transient(c: &mut Criterion) {
     let ckt = vco_testbench(&TestbenchParams::default());
     let mut group = c.benchmark_group("kernel");
     group.sample_size(10);
-    group.bench_function("vco_tran_400steps_be", |b| {
-        let spec = TranSpec::new(10e-9, 4e-6).with_uic();
+    group.bench_function("vco_tran_400steps_be_dense", |b| {
+        let spec = paper_spec(SolverKind::Dense);
+        b.iter(|| tran(black_box(&ckt), &spec).expect("converges"))
+    });
+    group.bench_function("vco_tran_400steps_be_sparse", |b| {
+        let spec = paper_spec(SolverKind::Sparse);
         b.iter(|| tran(black_box(&ckt), &spec).expect("converges"))
     });
     group.bench_function("vco_tran_400steps_trap", |b| {
         let spec = TranSpec::new(10e-9, 4e-6).with_uic().with_trapezoidal();
         b.iter(|| tran(black_box(&ckt), &spec).expect("converges"))
     });
-    group.bench_function("vco_dcop", |b| {
-        // Operating point with settled supply (DC sources).
-        let mut dc = vco::vco_schematic();
-        let vdd = dc.node("vdd");
-        let vin = dc.node("1");
-        dc.add(
-            "VDD",
-            vec![vdd, spice::Circuit::GROUND],
-            spice::ElementKind::Vsource {
-                wave: spice::Waveform::Dc(5.0),
-            },
-        );
-        dc.add(
-            "VIN",
-            vec![vin, spice::Circuit::GROUND],
-            spice::ElementKind::Vsource {
-                wave: spice::Waveform::Dc(2.2),
-            },
-        );
-        b.iter(|| spice::dcop::dc_operating_point(black_box(&dc)).expect("solves"))
+    // Operating point with settled supply (DC sources).
+    let dc = vco::vco_dc_testbench(&TestbenchParams::default());
+    group.bench_function("vco_dcop_dense", |b| {
+        b.iter(|| {
+            spice::dcop::dc_operating_point_with(black_box(&dc), SolverKind::Dense, None)
+                .expect("solves")
+        })
+    });
+    group.bench_function("vco_dcop_sparse", |b| {
+        b.iter(|| {
+            spice::dcop::dc_operating_point_with(black_box(&dc), SolverKind::Sparse, None)
+                .expect("solves")
+        })
     });
     group.finish();
+
+    // Headline number for the ROADMAP acceptance: dense-vs-sparse
+    // wall-clock on the full VCO transient, measured back to back.
+    let time = |kind: SolverKind| {
+        let spec = paper_spec(kind);
+        tran(&ckt, &spec).expect("warm-up converges");
+        let reps = 10u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(tran(&ckt, &spec).expect("converges"));
+        }
+        t0.elapsed() / reps
+    };
+    let dense = time(SolverKind::Dense);
+    let sparse = time(SolverKind::Sparse);
+    println!(
+        "kernel/vco_tran_400steps dense {dense:?} vs sparse {sparse:?}: {:.2}x speedup",
+        dense.as_secs_f64() / sparse.as_secs_f64()
+    );
 }
 
 criterion_group!(benches, bench_nominal_transient);

@@ -1,19 +1,32 @@
 //! FIG5 — regenerates the fault-coverage plot: coverage vs % of test
 //! time with 2 V amplitude and 0.2 µs time tolerance. Paper: coverage
 //! almost 100 % after 25 % of test time, all faults detected by ~55 %.
+//! By default the campaign runs once per linear-solver backend and the
+//! dense-vs-sparse comparison is recorded alongside the report (the
+//! sparse run doubles as the report's data); `--skip-solver-compare`
+//! runs the campaign a single time instead.
 
 use anafault::report::{coverage_plot, protocol_table};
 use anafault::HardFaultModel;
-use bench::fig5_campaign;
+use bench::{fig5_campaign, fig5_curve, fig5_solver_comparison};
 
 fn main() {
-    let (result, curve) = fig5_campaign(HardFaultModel::Source);
+    let skip_compare = std::env::args().any(|a| a == "--skip-solver-compare");
     // `--json` emits the machine-readable protocol document instead of
     // the hand-formatted report (pipe into a file or a service).
     if std::env::args().any(|a| a == "--json") {
+        let (result, _) = fig5_campaign(HardFaultModel::Source);
         print!("{}", anafault::protocol::to_json(&result));
         return;
     }
+    let (comparison, result) = if skip_compare {
+        let (result, _) = fig5_campaign(HardFaultModel::Source);
+        (None, result)
+    } else {
+        let (cmp, sparse_result) = fig5_solver_comparison(HardFaultModel::Source);
+        (Some(cmp), sparse_result)
+    };
+    let curve = fig5_curve(&result);
     println!("Fig. 5 — fault coverage plot (source model, 2 V / 0.2 µs tolerance)\n");
     print!("{}", coverage_plot(&curve, 80, 16));
 
@@ -51,5 +64,30 @@ fn main() {
     let table = protocol_table(&result);
     for line in table.lines().take(18) {
         println!("{line}");
+    }
+
+    if let Some(cmp) = comparison {
+        println!(
+            "\nsolver comparison (full campaign, {} faults):",
+            cmp.n_faults
+        );
+        println!(
+            "  dense LU      {:>8.2} s   ({} Newton iterations)",
+            cmp.dense_seconds, cmp.dense_work
+        );
+        println!(
+            "  sparse engine {:>8.2} s   ({} Newton iterations)",
+            cmp.sparse_seconds, cmp.sparse_work
+        );
+        println!("  speedup       {:>8.2} x  (wall-clock)", cmp.speedup());
+        println!(
+            "  speedup       {:>8.2} x  (per unit of kernel work)",
+            cmp.work_normalised_speedup()
+        );
+        if cmp.verdicts_agree() {
+            println!("  verdicts      identical on every fault");
+        } else {
+            println!("  verdicts      DISAGREE on faults {:?}", cmp.disagreements);
+        }
     }
 }

@@ -13,7 +13,7 @@ use extract::ExtractOptions;
 use lift::schematic::schematic_faults;
 use lift::{LiftOptions, LiftResult};
 use spice::tran::TranSpec;
-use spice::{Circuit, Wave};
+use spice::{Circuit, SolverKind, Wave};
 use vco::{attach_sources, TestbenchParams, OBSERVED_NODE};
 
 /// The LIFT configuration used for all paper experiments: Tab. 1
@@ -33,6 +33,12 @@ pub fn paper_lift_options() -> LiftOptions {
 /// activation (UIC).
 pub fn paper_tran() -> TranSpec {
     TranSpec::new(10e-9, 4e-6).with_uic()
+}
+
+/// [`paper_tran`] pinned to a specific linear-solver backend (used by
+/// the dense-vs-sparse comparisons).
+pub fn paper_tran_with_solver(kind: SolverKind) -> TranSpec {
+    paper_tran().with_solver(kind)
 }
 
 /// Builds the full CAT system for the VCO plus the testbench circuit.
@@ -170,6 +176,12 @@ pub fn fig4_waveforms() -> Fig4 {
 // FIG5: fault coverage vs time
 // ---------------------------------------------------------------------
 
+/// The Fig. 5 coverage curve, sampled each 1 % of test time.
+pub fn fig5_curve(result: &CampaignResult) -> Vec<(f64, f64)> {
+    let samples: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0 * 4e-6).collect();
+    result.coverage_curve(&samples)
+}
+
 /// Runs the full fault-simulation campaign and returns the result plus
 /// the coverage curve sampled each 1 % of test time.
 pub fn fig5_campaign(model: HardFaultModel) -> (CampaignResult, Vec<(f64, f64)>) {
@@ -177,9 +189,100 @@ pub fn fig5_campaign(model: HardFaultModel) -> (CampaignResult, Vec<(f64, f64)>)
     let result = paper_campaign(tb, model)
         .run(&sys.fault_list())
         .expect("nominal simulation succeeds");
-    let samples: Vec<f64> = (0..=100).map(|i| i as f64 / 100.0 * 4e-6).collect();
-    let curve = result.coverage_curve(&samples);
+    let curve = fig5_curve(&result);
     (result, curve)
+}
+
+/// Dense-vs-sparse comparison on the Fig. 5 campaign: the same fault
+/// list, tolerances and fault model through both linear-solver
+/// backends, with verdict agreement checked fault by fault.
+#[derive(Debug, Clone)]
+pub struct SolverComparison {
+    /// Wall-clock seconds for the whole campaign, dense LU.
+    pub dense_seconds: f64,
+    /// Wall-clock seconds for the whole campaign, sparse engine.
+    pub sparse_seconds: f64,
+    /// Kernel work (accepted Newton iterations), dense LU.
+    pub dense_work: u64,
+    /// Kernel work, sparse engine.
+    pub sparse_work: u64,
+    /// Faults simulated.
+    pub n_faults: usize,
+    /// Faults whose Detected/NotDetected/failure verdict differs
+    /// between the backends (must be empty — listed by fault id).
+    pub disagreements: Vec<usize>,
+}
+
+impl SolverComparison {
+    /// Dense/sparse wall-clock ratio (> 1 means the sparse engine wins).
+    pub fn speedup(&self) -> f64 {
+        self.dense_seconds / self.sparse_seconds
+    }
+
+    /// Dense/sparse ratio of seconds *per Newton iteration* — the
+    /// engine comparison with trajectory luck factored out. On
+    /// halving-heavy faults the two backends legitimately walk
+    /// different ladder paths (round-off level solution differences
+    /// pick different damping/halving branches), so raw wall-clock
+    /// undersells the per-solve speedup whenever the sparse run happens
+    /// to draw more iterations.
+    pub fn work_normalised_speedup(&self) -> f64 {
+        (self.dense_seconds / self.dense_work.max(1) as f64)
+            / (self.sparse_seconds / self.sparse_work.max(1) as f64)
+    }
+
+    /// True when both backends produced identical fault verdicts.
+    pub fn verdicts_agree(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Runs the Fig. 5 campaign once per solver backend and compares
+/// runtime and verdicts. Also returns the sparse run's full result so
+/// the caller can render the coverage report without paying for a
+/// third campaign.
+pub fn fig5_solver_comparison(model: HardFaultModel) -> (SolverComparison, CampaignResult) {
+    let (sys, tb) = vco_system();
+    let faults = sys.fault_list();
+    let run = |kind: SolverKind| {
+        Campaign::builder()
+            .testbench(tb.clone())
+            .tran(paper_tran_with_solver(kind))
+            .observe(OBSERVED_NODE)
+            .detection(DetectionSpec::paper_fig5())
+            .model(model)
+            .build()
+            .expect("paper campaign settings are complete")
+            .run(&faults)
+            .expect("nominal simulation succeeds")
+    };
+    let dense = run(SolverKind::Dense);
+    let sparse = run(SolverKind::Sparse);
+    let disagreements = dense
+        .records
+        .iter()
+        .zip(&sparse.records)
+        .filter(|(d, s)| {
+            use anafault::FaultOutcome::*;
+            !matches!(
+                (&d.outcome, &s.outcome),
+                (Detected { .. }, Detected { .. })
+                    | (NotDetected, NotDetected)
+                    | (InjectionFailed(_), InjectionFailed(_))
+                    | (SimulationFailed(_), SimulationFailed(_))
+            )
+        })
+        .map(|(d, _)| d.fault.id)
+        .collect();
+    let comparison = SolverComparison {
+        dense_seconds: dense.total_seconds,
+        sparse_seconds: sparse.total_seconds,
+        dense_work: dense.total_newton_iterations(),
+        sparse_work: sparse.total_newton_iterations(),
+        n_faults: faults.len(),
+        disagreements,
+    };
+    (comparison, sparse)
 }
 
 // ---------------------------------------------------------------------

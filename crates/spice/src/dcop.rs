@@ -5,9 +5,12 @@
 //! stepping (ramping all independent sources from zero) — the classic
 //! SPICE fallback ladder.
 
-use crate::devices::{stamp_all, StampParams, UnknownMap};
-use crate::mna::MnaSystem;
+use crate::devices::{
+    stamp_all_planned, stamp_linear, stamp_nonlinear, StampParams, StampPlan, UnknownMap,
+};
+use crate::mna::Stamper;
 use crate::netlist::Circuit;
+use crate::sparse::{MnaSolver, PatternCache, SolverKind};
 use crate::SpiceError;
 
 /// Newton iteration controls.
@@ -38,6 +41,9 @@ impl Default for NewtonOpts {
 /// solution together with the number of iterations spent (the kernel
 /// work measure the runtime experiments report).
 ///
+/// Convenience wrapper constructing a fresh solver and stamp plan per
+/// call; the hot paths build both once and call [`solve_newton_in`].
+///
 /// # Errors
 /// [`SpiceError::NoConvergence`] after `max_iter` iterations,
 /// [`SpiceError::Singular`] when the Jacobian factorisation fails.
@@ -49,24 +55,71 @@ pub fn solve_newton(
     opts: &NewtonOpts,
     analysis: &str,
 ) -> Result<(Vec<f64>, usize), SpiceError> {
+    let plan = StampPlan::new(ckt)?;
+    let mut solver = MnaSolver::for_circuit(ckt, map, SolverKind::Auto, None);
+    solve_newton_in(&mut solver, ckt, map, &plan, x0, params, opts, analysis)
+}
+
+/// Runs damped Newton–Raphson inside a caller-owned solver: the
+/// symbolic factorisation (sparse path) and the resolved stamp plan
+/// are reused across every iteration — and, when the caller loops over
+/// timesteps or gmin/source steps, across all of those solves too.
+///
+/// On the sparse path the step-constant (linear) stamps are assembled
+/// once up front and restored by memcpy each iteration; only the
+/// MOSFET linearisations are re-stamped per iterate.
+///
+/// # Errors
+/// [`SpiceError::NoConvergence`] after `max_iter` iterations,
+/// [`SpiceError::Singular`] when the Jacobian factorisation fails.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_newton_in(
+    solver: &mut MnaSolver,
+    ckt: &Circuit,
+    map: &UnknownMap,
+    plan: &StampPlan<'_>,
+    x0: &[f64],
+    params: &StampParams<'_>,
+    opts: &NewtonOpts,
+    analysis: &str,
+) -> Result<(Vec<f64>, usize), SpiceError> {
     let mut x = x0.to_vec();
-    let mut sys = MnaSystem::new(map.dim());
+    if let MnaSolver::Sparse(sys) = solver {
+        sys.clear();
+        stamp_linear(ckt, map, sys, params);
+        sys.snapshot_baseline();
+    }
     for iter in 0..opts.max_iter {
-        stamp_all(ckt, map, &x, &mut sys, params)?;
-        let x_new = sys.solve(analysis)?;
+        match solver {
+            MnaSolver::Sparse(sys) => {
+                sys.restore_baseline();
+                stamp_nonlinear(ckt, map, plan, &x, sys, params);
+            }
+            MnaSolver::Dense(sys) => {
+                stamp_all_planned(ckt, map, plan, &x, sys, params);
+            }
+        }
+        let x_new = solver.solve(analysis)?;
+        // A non-finite iterate means the solve overflowed (e.g.
+        // inf − inf in back-substitution). NaN comparisons would
+        // otherwise read as "converged" and hand a poisoned solution
+        // to the caller — fail the analysis instead.
+        if x_new.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::NoConvergence {
+                analysis: analysis.to_string(),
+                detail: format!("non-finite solution at iteration {}", iter + 1),
+            });
+        }
         let mut converged = true;
-        let mut x_next = vec![0.0; x.len()];
         for i in 0..x.len() {
             let dx = x_new[i] - x[i];
             let limited = dx.clamp(-opts.max_step, opts.max_step);
-            x_next[i] = x[i] + limited;
             if dx.abs() > opts.reltol * x_new[i].abs() + opts.vabstol {
                 converged = false;
             }
+            x[i] += limited;
         }
-        let done = converged;
-        x = x_next;
-        if done {
+        if converged {
             return Ok((x, iter + 1));
         }
     }
@@ -83,13 +136,33 @@ pub fn solve_newton(
 /// Propagates the last failure when plain Newton, gmin stepping and
 /// source stepping all fail.
 pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
+    dc_operating_point_with(ckt, SolverKind::Auto, None)
+}
+
+/// [`dc_operating_point`] with an explicit solver choice and an
+/// optional campaign-wide [`PatternCache`]. One solver (one symbolic
+/// factorisation) serves the whole fallback ladder — plain Newton, all
+/// gmin decades and all source steps share the matrix structure.
+///
+/// # Errors
+/// Propagates the last failure when plain Newton, gmin stepping and
+/// source stepping all fail.
+pub fn dc_operating_point_with(
+    ckt: &Circuit,
+    kind: SolverKind,
+    cache: Option<&PatternCache>,
+) -> Result<Vec<f64>, SpiceError> {
     let map = UnknownMap::new(ckt);
+    let plan = StampPlan::new(ckt)?;
+    let mut solver = MnaSolver::for_circuit(ckt, &map, kind, cache);
     let opts = NewtonOpts::default();
     let zeros = vec![0.0; map.dim()];
 
     // 1. Plain Newton from zero.
     let base = StampParams::default();
-    if let Ok((x, _)) = solve_newton(ckt, &map, &zeros, &base, &opts, "dc op") {
+    if let Ok((x, _)) =
+        solve_newton_in(&mut solver, ckt, &map, &plan, &zeros, &base, &opts, "dc op")
+    {
         return Ok(x);
     }
 
@@ -103,7 +176,16 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
             gshunt,
             ..StampParams::default()
         };
-        match solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin stepping)") {
+        match solve_newton_in(
+            &mut solver,
+            ckt,
+            &map,
+            &plan,
+            &x,
+            &params,
+            &opts,
+            "dc op (gmin stepping)",
+        ) {
             Ok((next, _)) => x = next,
             Err(_) => {
                 ok = false;
@@ -114,8 +196,16 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
     }
     if ok {
         let params = StampParams::default();
-        if let Ok((final_x, _)) = solve_newton(ckt, &map, &x, &params, &opts, "dc op (gmin final)")
-        {
+        if let Ok((final_x, _)) = solve_newton_in(
+            &mut solver,
+            ckt,
+            &map,
+            &plan,
+            &x,
+            &params,
+            &opts,
+            "dc op (gmin final)",
+        ) {
             return Ok(final_x);
         }
     }
@@ -127,7 +217,17 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
             source_scale: pct as f64 / 10.0,
             ..StampParams::default()
         };
-        x = solve_newton(ckt, &map, &x, &params, &opts, "dc op (source stepping)")?.0;
+        x = solve_newton_in(
+            &mut solver,
+            ckt,
+            &map,
+            &plan,
+            &x,
+            &params,
+            &opts,
+            "dc op (source stepping)",
+        )?
+        .0;
     }
     Ok(x)
 }
@@ -136,6 +236,38 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<Vec<f64>, SpiceError> {
 mod tests {
     use super::*;
     use crate::netlist::{ElementKind, MosModel, Waveform};
+
+    #[test]
+    fn non_finite_iterate_fails_instead_of_converging() {
+        // An infinite source drive overflows the solution. NaN/inf
+        // comparisons must not read as "converged": the solve has to
+        // report NoConvergence, not hand back a poisoned vector.
+        let mut c = Circuit::new("inf");
+        let a = c.node("a");
+        c.add(
+            "I1",
+            vec![Circuit::GROUND, a],
+            ElementKind::Isource {
+                wave: Waveform::Dc(f64::INFINITY),
+            },
+        );
+        c.add(
+            "R1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Resistor { r: 1e3 },
+        );
+        let map = UnknownMap::new(&c);
+        let err = solve_newton(
+            &c,
+            &map,
+            &vec![0.0; map.dim()],
+            &StampParams::default(),
+            &NewtonOpts::default(),
+            "inf test",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpiceError::NoConvergence { .. }), "{err:?}");
+    }
 
     #[test]
     fn linear_divider_op() {

@@ -4,7 +4,7 @@
 //! [`MnaSystem`] for a single Newton iteration, linearising nonlinear
 //! devices about the current solution estimate.
 
-use crate::mna::MnaSystem;
+use crate::mna::Stamper;
 use crate::netlist::{Circuit, ElementKind, MosModel, MosPolarity, NodeId};
 use crate::SpiceError;
 use std::collections::HashMap;
@@ -37,6 +37,12 @@ impl UnknownMap {
     /// Total number of unknowns.
     pub fn dim(&self) -> usize {
         self.node_count - 1 + self.vsrc_rows.len()
+    }
+
+    /// Number of circuit nodes including ground (the node rows are
+    /// `0..node_count() - 1`).
+    pub fn node_count(&self) -> usize {
+        self.node_count
     }
 
     /// The unknown index for a node (`None` for ground).
@@ -173,19 +179,94 @@ fn gm_body(gm: f64, dvth_dvbs: f64) -> f64 {
     gm * dvth_dvbs
 }
 
+/// Per-analysis stamp plan: MOS model references resolved once, so the
+/// per-iteration assembly does no string lowering or hash lookups. Build
+/// it alongside the [`crate::sparse::MnaSolver`] and reuse it for every
+/// Newton iteration of the analysis.
+#[derive(Debug, Clone)]
+pub struct StampPlan<'c> {
+    /// Resolved model per element (None for non-MOS elements), parallel
+    /// to `ckt.elements()`.
+    models: Vec<Option<&'c MosModel>>,
+    /// Element indices of the MOSFETs, so the per-iteration nonlinear
+    /// restamp walks only the devices it needs.
+    mos: Vec<u32>,
+}
+
+impl<'c> StampPlan<'c> {
+    /// Resolves every MOS model reference up front.
+    ///
+    /// # Errors
+    /// [`SpiceError::Elaboration`] when a MOS references an unknown
+    /// model.
+    pub fn new(ckt: &'c Circuit) -> Result<Self, SpiceError> {
+        let mut models = Vec::with_capacity(ckt.elements().len());
+        let mut mos = Vec::new();
+        for (ei, e) in ckt.elements().iter().enumerate() {
+            match &e.kind {
+                ElementKind::Mosfet { model, .. } => {
+                    let m = ckt.models.get(&model.to_ascii_lowercase()).ok_or_else(|| {
+                        SpiceError::Elaboration(format!(
+                            "element {} references undefined model `{model}`",
+                            e.name
+                        ))
+                    })?;
+                    models.push(Some(m));
+                    mos.push(ei as u32);
+                }
+                _ => models.push(None),
+            }
+        }
+        Ok(StampPlan { models, mos })
+    }
+}
+
 /// Loads the linearised circuit at solution estimate `x` into `sys`.
+/// Compatibility wrapper that resolves MOS models on every call; the
+/// hot paths build a [`StampPlan`] once and use
+/// [`stamp_all_planned`].
 ///
 /// # Errors
 /// [`SpiceError::Elaboration`] when a MOS references an unknown model.
-pub fn stamp_all(
+pub fn stamp_all<S: Stamper>(
     ckt: &Circuit,
     map: &UnknownMap,
     x: &[f64],
-    sys: &mut MnaSystem,
+    sys: &mut S,
     params: &StampParams<'_>,
 ) -> Result<(), SpiceError> {
-    sys.clear();
+    let plan = StampPlan::new(ckt)?;
+    stamp_all_planned(ckt, map, &plan, x, sys, params);
+    Ok(())
+}
 
+/// Loads the linearised circuit at solution estimate `x` into `sys`,
+/// using the pre-resolved `plan` — the allocation-free assembly the
+/// Newton loop runs every iteration.
+pub fn stamp_all_planned<S: Stamper>(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    plan: &StampPlan<'_>,
+    x: &[f64],
+    sys: &mut S,
+    params: &StampParams<'_>,
+) {
+    sys.clear();
+    stamp_linear(ckt, map, sys, params);
+    stamp_nonlinear(ckt, map, plan, x, sys, params);
+}
+
+/// Stamps everything that does **not** depend on the Newton iterate:
+/// gshunt, capacitance companions, resistors and the independent
+/// sources. Within one Newton solve these values are constant, so the
+/// sparse engine loads them once per timestep and restores the snapshot
+/// each iteration instead of re-stamping.
+pub fn stamp_linear<S: Stamper>(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    sys: &mut S,
+    params: &StampParams<'_>,
+) {
     // Node-to-ground shunts keep isolated nodes from making the matrix
     // singular (a stuck-open fault can float whole subcircuits).
     if params.gshunt > 0.0 {
@@ -227,30 +308,42 @@ pub fn stamp_all(
                 let i = wave.value_at(params.time) * params.source_scale;
                 sys.stamp_current(map.node_var(e.nodes[0]), map.node_var(e.nodes[1]), i);
             }
-            ElementKind::Mosfet { model, w, l } => {
-                let model = ckt.models.get(&model.to_ascii_lowercase()).ok_or_else(|| {
-                    SpiceError::Elaboration(format!(
-                        "element {} references undefined model `{model}`",
-                        e.name
-                    ))
-                })?;
-                stamp_mosfet(e.nodes.as_slice(), model, *w, *l, map, x, sys, params);
-            }
+            ElementKind::Mosfet { .. } => {}
         }
     }
-    Ok(())
+}
+
+/// Stamps the iterate-dependent devices (the MOSFET linearisations) at
+/// solution estimate `x`.
+pub fn stamp_nonlinear<S: Stamper>(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    plan: &StampPlan<'_>,
+    x: &[f64],
+    sys: &mut S,
+    params: &StampParams<'_>,
+) {
+    let elements = ckt.elements();
+    for &ei in &plan.mos {
+        let e = &elements[ei as usize];
+        let ElementKind::Mosfet { w, l, .. } = &e.kind else {
+            unreachable!("plan.mos indexes only MOSFETs");
+        };
+        let model = plan.models[ei as usize].expect("plan resolves every MOS model");
+        stamp_mosfet(e.nodes.as_slice(), model, *w, *l, map, x, sys, params);
+    }
 }
 
 /// Linearises and stamps one MOSFET.
 #[allow(clippy::too_many_arguments)]
-fn stamp_mosfet(
+fn stamp_mosfet<S: Stamper>(
     nodes: &[NodeId],
     model: &MosModel,
     w: f64,
     l: f64,
     map: &UnknownMap,
     x: &[f64],
-    sys: &mut MnaSystem,
+    sys: &mut S,
     params: &StampParams<'_>,
 ) {
     let (d, g, s, b) = (nodes[0], nodes[1], nodes[2], nodes[3]);
@@ -280,16 +373,55 @@ fn stamp_mosfet(
     // Translate the primed-frame linearisation into unprimed stamps (see
     // DESIGN.md §5.5): every sign cancels because both the controlling
     // voltage and the injected current flip together.
+    //
+    // The three textbook stamps (channel conductance + two VCCSs
+    // controlled against the source) are emitted pre-combined — eight
+    // accumulations instead of sixteen, with the gate/bulk columns
+    // skipped entirely for cutoff devices. This is the kernel's hottest
+    // loop; aliasing (diode-connected gates) stays correct because
+    // every write is `+=`.
     let vnd_i = map.node_var(nd);
     let vns_i = map.node_var(ns);
     let vg_i = map.node_var(g);
     let vb_i = map.node_var(b);
 
-    sys.stamp_conductance(vnd_i, vns_i, ev.gds + params.gmin);
-    sys.stamp_vccs(vnd_i, vns_i, vg_i, vns_i, ev.gm);
-    sys.stamp_vccs(vnd_i, vns_i, vb_i, vns_i, ev.gmbs);
+    let g_ch = ev.gds + params.gmin;
+    let g_sum = ev.gm + ev.gmbs;
     let ieq = sign * (ev.ids - ev.gm * vgs_p - ev.gds * vds_p - ev.gmbs * vbs_p);
-    sys.stamp_current(vnd_i, vns_i, ieq);
+    if let Some(r) = vnd_i {
+        sys.add(r, r, g_ch);
+        if let Some(c) = vns_i {
+            sys.add(r, c, -g_ch - g_sum);
+        }
+        if ev.gm != 0.0 {
+            if let Some(c) = vg_i {
+                sys.add(r, c, ev.gm);
+            }
+        }
+        if ev.gmbs != 0.0 {
+            if let Some(c) = vb_i {
+                sys.add(r, c, ev.gmbs);
+            }
+        }
+        sys.add_rhs(r, -ieq);
+    }
+    if let Some(r) = vns_i {
+        if let Some(c) = vnd_i {
+            sys.add(r, c, -g_ch);
+        }
+        sys.add(r, r, g_ch + g_sum);
+        if ev.gm != 0.0 {
+            if let Some(c) = vg_i {
+                sys.add(r, c, -ev.gm);
+            }
+        }
+        if ev.gmbs != 0.0 {
+            if let Some(c) = vb_i {
+                sys.add(r, c, -ev.gmbs);
+            }
+        }
+        sys.add_rhs(r, ieq);
+    }
 }
 
 #[cfg(test)]

@@ -17,10 +17,30 @@
 //!   body effect and channel-length modulation ([`devices`]);
 //! * waveform storage and measurement utilities ([`waveform`]).
 //!
-//! The linear core is a dense LU with partial pivoting: the circuits of
-//! interest (tens of nodes) are far below the size where sparsity wins,
-//! and dense pivoting is the most robust choice for fault-perturbed
-//! matrices.
+//! ## The pattern/solver split
+//!
+//! The linear core is split along the classic sparse-SPICE boundary
+//! between *symbolic* and *numeric* work (see [`sparse`]):
+//!
+//! * a [`sparse::Pattern`] captures everything that depends only on
+//!   the circuit **topology** — the structural nonzeros, a Markowitz
+//!   pivot order, the fill-in, and a slot map so devices stamp into
+//!   precomputed nonzero indices. It is built once per topology and
+//!   shared (`Arc`) across every Newton iteration, every timestep and,
+//!   through a [`sparse::PatternCache`], every fault of a campaign
+//!   whose injection preserves the stamp structure;
+//! * a [`sparse::SparseSystem`] holds the **numbers** — assembled
+//!   values and the LU arrays — and refactors them over the frozen
+//!   structure with no pivot search and no allocation;
+//! * the [`sparse::MnaSolver`] dispatcher keeps the dense
+//!   partial-pivoting LU ([`mna::MnaSystem`]) for tiny systems (below
+//!   [`sparse::DENSE_CUTOFF`] unknowns) and as the automatic fallback
+//!   whenever the frozen pivot order hits a numerically dead pivot, so
+//!   the sparse fast path never costs robustness.
+//!
+//! Both backends judge singularity *relative to the column/row scale*,
+//! not against an absolute epsilon — badly scaled but solvable systems
+//! (routine under gmin stepping) factor normally.
 //!
 //! ```
 //! use spice::parser::parse_netlist;
@@ -43,11 +63,14 @@ pub mod devices;
 pub mod mna;
 pub mod netlist;
 pub mod parser;
+pub mod sparse;
 pub mod tran;
 pub mod waveform;
 
+pub use mna::Stamper;
 pub use netlist::{Circuit, Element, ElementKind, MosModel, MosPolarity, NodeId, Waveform};
-pub use tran::{tran, tran_with, TranResult, TranSpec};
+pub use sparse::{MnaSolver, Pattern, PatternCache, SolverKind};
+pub use tran::{tran, tran_cached, tran_with, tran_with_cached, TranResult, TranSpec};
 pub use waveform::Wave;
 
 /// Errors surfaced by parsing or simulation.

@@ -1,62 +1,54 @@
-//! Modified nodal analysis: matrix assembly and a dense LU solver.
+//! Modified nodal analysis: the stamping interface and the dense LU
+//! solver.
 //!
 //! Unknown vector layout: `[v_1 .. v_{N-1}, i_{V1} .. i_{Vk}]` — node
 //! voltages for every node except ground, then one branch current per
-//! independent voltage source. The dense LU with partial pivoting is
-//! deliberate: fault-simulation circuits are tens of unknowns, where
-//! dense factorisation is both faster and more robust than sparse
-//! machinery (see DESIGN.md §5.5).
+//! independent voltage source. Two matrix backends implement the
+//! [`Stamper`] interface: the dense row-major [`MnaSystem`] here (the
+//! robust choice for tiny systems) and the pattern-reusing sparse
+//! engine in [`crate::sparse`] (the fast path for everything else; see
+//! that module for the symbolic/numeric split).
 
 use crate::SpiceError;
 
-/// A dense row-major matrix with its right-hand side, sized for MNA.
-#[derive(Debug, Clone)]
-pub struct MnaSystem {
-    n: usize,
-    a: Vec<f64>,
-    /// Right-hand side.
-    pub rhs: Vec<f64>,
-}
+/// Relative pivot threshold shared by the dense and sparse LU: a pivot
+/// counts as singular only when it is this small *relative to the scale
+/// of its column* (dense) or row (sparse). An absolute threshold
+/// misfires on badly scaled but perfectly solvable systems — gmin
+/// stepping routinely produces rows around 1e-12, and a fault-isolated
+/// subcircuit can sit many decades below that while still having a
+/// well-conditioned diagonal at its own scale.
+///
+/// The constant sits just above machine epsilon (≈ 5 ε) rather than at
+/// a "comfortable" 1e-12: fault simulation *legitimately* factors
+/// systems with condition numbers near 1e14 — a 0.01 Ω bridge (100 S)
+/// in series with a gmin path (1e-12 S) leaves a Schur-complement
+/// pivot fourteen decades below its column scale, and the paper's
+/// resistor fault model depends on solving exactly that. Only pivots
+/// indistinguishable from elimination round-off are rejected.
+pub(crate) const REL_PIVOT_TOL: f64 = 1e-15;
 
-impl MnaSystem {
-    /// Creates a zeroed `n × n` system.
-    pub fn new(n: usize) -> Self {
-        MnaSystem {
-            n,
-            a: vec![0.0; n * n],
-            rhs: vec![0.0; n],
-        }
-    }
-
+/// The MNA assembly interface: anything devices can stamp into.
+///
+/// Required methods are the raw accumulators; the `stamp_*` helpers are
+/// provided so every backend shares identical stamp semantics.
+pub trait Stamper {
     /// System dimension.
-    pub fn dim(&self) -> usize {
-        self.n
-    }
-
-    /// Zeroes matrix and right-hand side for the next Newton iteration.
-    pub fn clear(&mut self) {
-        self.a.fill(0.0);
-        self.rhs.fill(0.0);
-    }
+    fn dim(&self) -> usize;
 
     /// Adds `g` at `(row, col)`. Indices refer to the unknown vector; a
     /// `None` (ground) entry is skipped by the stamping helpers below.
-    #[inline]
-    pub fn add(&mut self, row: usize, col: usize, g: f64) {
-        debug_assert!(row < self.n && col < self.n);
-        self.a[row * self.n + col] += g;
-    }
+    fn add(&mut self, row: usize, col: usize, g: f64);
 
     /// Adds `v` to the right-hand side at `row`.
-    #[inline]
-    pub fn add_rhs(&mut self, row: usize, v: f64) {
-        debug_assert!(row < self.n);
-        self.rhs[row] += v;
-    }
+    fn add_rhs(&mut self, row: usize, v: f64);
+
+    /// Zeroes matrix and right-hand side for the next Newton iteration.
+    fn clear(&mut self);
 
     /// Stamps a conductance `g` between unknowns `a` and `b`
     /// (`None` = ground).
-    pub fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
+    fn stamp_conductance(&mut self, a: Option<usize>, b: Option<usize>, g: f64) {
         if let Some(i) = a {
             self.add(i, i, g);
         }
@@ -71,7 +63,7 @@ impl MnaSystem {
 
     /// Stamps a current `i` flowing *out of* unknown `a` and *into*
     /// unknown `b` (SPICE convention for a source from a to b).
-    pub fn stamp_current(&mut self, a: Option<usize>, b: Option<usize>, i: f64) {
+    fn stamp_current(&mut self, a: Option<usize>, b: Option<usize>, i: f64) {
         if let Some(ia) = a {
             self.add_rhs(ia, -i);
         }
@@ -82,7 +74,7 @@ impl MnaSystem {
 
     /// Stamps a transconductance: current into (c→d) controlled by the
     /// voltage between (a→b): `i_cd = gm · v_ab`.
-    pub fn stamp_vccs(
+    fn stamp_vccs(
         &mut self,
         c: Option<usize>,
         d: Option<usize>,
@@ -103,7 +95,7 @@ impl MnaSystem {
 
     /// Stamps an ideal voltage source as the `k`-th branch-current
     /// unknown (absolute index `branch_row`), forcing `v_p − v_n = v`.
-    pub fn stamp_vsource(&mut self, branch_row: usize, p: Option<usize>, n: Option<usize>, v: f64) {
+    fn stamp_vsource(&mut self, branch_row: usize, p: Option<usize>, n: Option<usize>, v: f64) {
         if let Some(ip) = p {
             self.add(ip, branch_row, 1.0);
             self.add(branch_row, ip, 1.0);
@@ -114,9 +106,69 @@ impl MnaSystem {
         }
         self.add_rhs(branch_row, v);
     }
+}
+
+/// A dense row-major matrix with its right-hand side, sized for MNA.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    n: usize,
+    a: Vec<f64>,
+    /// Right-hand side.
+    pub rhs: Vec<f64>,
+}
+
+impl Stamper for MnaSystem {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, g: f64) {
+        debug_assert!(row < self.n && col < self.n);
+        self.a[row * self.n + col] += g;
+    }
+
+    #[inline]
+    fn add_rhs(&mut self, row: usize, v: f64) {
+        debug_assert!(row < self.n);
+        self.rhs[row] += v;
+    }
+
+    fn clear(&mut self) {
+        self.a.fill(0.0);
+        self.rhs.fill(0.0);
+    }
+}
+
+impl MnaSystem {
+    /// Creates a zeroed `n × n` system.
+    pub fn new(n: usize) -> Self {
+        MnaSystem {
+            n,
+            a: vec![0.0; n * n],
+            rhs: vec![0.0; n],
+        }
+    }
+
+    /// System dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets the right-hand side from a slice (used by the sparse
+    /// engine's dense fallback).
+    pub(crate) fn set_rhs(&mut self, rhs: &[f64]) {
+        self.rhs.copy_from_slice(rhs);
+    }
 
     /// Solves the system in place by LU with partial pivoting, returning
     /// the solution vector.
+    ///
+    /// Singularity is judged *relative to each column's original
+    /// scale* ([`REL_PIVOT_TOL`]): a column whose best pivot collapses
+    /// by thirteen decades against its own entries is dependent for any
+    /// practical purpose, while a tiny-but-consistent column (a badly
+    /// scaled yet solvable system) factors normally.
     ///
     /// # Errors
     /// [`SpiceError::Singular`] when no usable pivot exists.
@@ -125,6 +177,15 @@ impl MnaSystem {
         let a = &mut self.a;
         let b = &mut self.rhs;
         let mut perm: Vec<usize> = (0..n).collect();
+
+        // Per-column scale of the *original* matrix: the reference for
+        // the relative singularity test below.
+        let mut col_scale = vec![0.0f64; n];
+        for row in 0..n {
+            for (col, scale) in col_scale.iter_mut().enumerate() {
+                *scale = scale.max(a[row * n + col].abs());
+            }
+        }
 
         for col in 0..n {
             // Partial pivot.
@@ -137,7 +198,8 @@ impl MnaSystem {
                     best_mag = mag;
                 }
             }
-            if best_mag < 1e-300 {
+            if best_mag <= REL_PIVOT_TOL * col_scale[col] {
+                // Covers the all-zero column (scale 0 ⇒ best_mag 0).
                 return Err(SpiceError::Singular {
                     analysis: analysis.to_string(),
                 });
@@ -206,6 +268,48 @@ mod tests {
         s.add(0, 1, 1.0);
         s.add(1, 0, 1.0);
         s.add(1, 1, 1.0);
+        s.add_rhs(0, 1.0);
+        assert!(matches!(s.solve("test"), Err(SpiceError::Singular { .. })));
+    }
+
+    #[test]
+    fn badly_scaled_but_solvable_system_factors() {
+        // Regression: the old absolute 1e-300 cutoff declared this
+        // diagonal system singular even though it is perfectly
+        // conditioned at its own scale.
+        let mut s = MnaSystem::new(2);
+        s.add(0, 0, 1e-305);
+        s.add(1, 1, 2e-305);
+        s.add_rhs(0, 3e-305);
+        s.add_rhs(1, 2e-305);
+        let x = s.solve("test").unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-9, "x0 = {}", x[0]);
+        assert!((x[1] - 1.0).abs() < 1e-9, "x1 = {}", x[1]);
+    }
+
+    #[test]
+    fn mixed_scale_gmin_row_is_not_singular() {
+        // One row at gmin scale (1e-12), one at unit scale — the
+        // classic gmin-stepping shape. Must factor.
+        let mut s = MnaSystem::new(2);
+        s.add(0, 0, 1e-12);
+        s.add(1, 1, 1.0);
+        s.add_rhs(0, 2e-12);
+        s.add_rhs(1, 3.0);
+        let x = s.solve("test").unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependent_columns_relative_to_scale_detected() {
+        // Columns identical up to 1e-16 of their scale: numerically
+        // singular even though every entry is far above 1e-300.
+        let mut s = MnaSystem::new(2);
+        s.add(0, 0, 1e6);
+        s.add(0, 1, 1e6);
+        s.add(1, 0, 2e6);
+        s.add(1, 1, 2e6);
         s.add_rhs(0, 1.0);
         assert!(matches!(s.solve("test"), Err(SpiceError::Singular { .. })));
     }

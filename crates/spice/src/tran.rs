@@ -4,9 +4,10 @@
 //! transient), with a trapezoidal option and automatic local step
 //! halving when Newton fails at a switching event.
 
-use crate::dcop::{dc_operating_point, solve_newton, NewtonOpts};
-use crate::devices::{CapCompanion, StampParams, UnknownMap};
+use crate::dcop::{dc_operating_point_with, solve_newton_in, NewtonOpts};
+use crate::devices::{CapCompanion, StampParams, StampPlan, UnknownMap};
 use crate::netlist::{Circuit, ElementKind, NodeId};
+use crate::sparse::{MnaSolver, PatternCache, SolverKind};
 use crate::waveform::Wave;
 use crate::SpiceError;
 
@@ -38,6 +39,8 @@ pub struct TranSpec {
     /// Maximum depth of step halving when a timestep fails to converge
     /// (each level halves dt; 12 levels ≈ 4096× refinement).
     pub max_halvings: u32,
+    /// Linear-solver backend (dense, sparse, or size-based auto).
+    pub solver: SolverKind,
 }
 
 impl TranSpec {
@@ -50,6 +53,7 @@ impl TranSpec {
             integrator: Integrator::default(),
             newton: NewtonOpts::default(),
             max_halvings: 12,
+            solver: SolverKind::default(),
         }
     }
 
@@ -63,6 +67,35 @@ impl TranSpec {
     pub fn with_trapezoidal(mut self) -> Self {
         self.integrator = Integrator::Trapezoidal;
         self
+    }
+
+    /// Same spec with an explicit linear-solver backend.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The output time grid implied by `tstep`/`tstop`: the number of
+    /// full steps and, when `tstop` is not an integer multiple of
+    /// `tstep`, the final partial-step stop time. Each grid point is
+    /// derived from the integer step index — never by accumulating
+    /// `t += tstep`, which drifts by an ULP per step and desynchronises
+    /// detection times over long runs.
+    fn grid(&self) -> (usize, Option<f64>) {
+        let ratio = self.tstop / self.tstep;
+        let nearest = ratio.round();
+        if nearest >= 1.0 && (ratio - nearest).abs() <= 1e-9 * nearest {
+            // tstop is an integer multiple of tstep up to float noise.
+            (nearest as usize, None)
+        } else {
+            let full = ratio.floor() as usize;
+            let rem = self.tstop - full as f64 * self.tstep;
+            if rem > 1e-12 * self.tstep {
+                (full, Some(self.tstop))
+            } else {
+                (full, None)
+            }
+        }
     }
 }
 
@@ -162,7 +195,22 @@ fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
 /// Returns the underlying Newton/matrix failure when the circuit cannot
 /// be solved even after step halving.
 pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
-    tran_with(ckt, spec, |_, _| true)
+    tran_with_cached(ckt, spec, None, |_, _| true)
+}
+
+/// Runs a transient analysis reusing symbolic factorisations from a
+/// campaign-wide [`PatternCache`] (see [`crate::sparse`]). Results are
+/// identical to [`tran`]; only the symbolic setup work is shared.
+///
+/// # Errors
+/// Returns the underlying Newton/matrix failure when the circuit cannot
+/// be solved even after step halving.
+pub fn tran_cached(
+    ckt: &Circuit,
+    spec: &TranSpec,
+    cache: &PatternCache,
+) -> Result<TranResult, SpiceError> {
+    tran_with_cached(ckt, spec, Some(cache), |_, _| true)
 }
 
 /// Runs a transient analysis, streaming every accepted output sample to
@@ -177,9 +225,24 @@ pub fn tran(ckt: &Circuit, spec: &TranSpec) -> Result<TranResult, SpiceError> {
 /// # Errors
 /// Returns the underlying Newton/matrix failure when the circuit cannot
 /// be solved even after step halving.
-pub fn tran_with<F>(
+pub fn tran_with<F>(ckt: &Circuit, spec: &TranSpec, on_sample: F) -> Result<TranResult, SpiceError>
+where
+    F: FnMut(f64, &[f64]) -> bool,
+{
+    tran_with_cached(ckt, spec, None, on_sample)
+}
+
+/// The most general transient entry point: streaming callback plus an
+/// optional shared [`PatternCache`]. [`tran`], [`tran_cached`] and
+/// [`tran_with`] all delegate here.
+///
+/// # Errors
+/// Returns the underlying Newton/matrix failure when the circuit cannot
+/// be solved even after step halving.
+pub fn tran_with_cached<F>(
     ckt: &Circuit,
     spec: &TranSpec,
+    cache: Option<&PatternCache>,
     mut on_sample: F,
 ) -> Result<TranResult, SpiceError>
 where
@@ -190,6 +253,13 @@ where
     let dim = map.dim();
 
     let instances = cap_instances(ckt);
+
+    // One solver + stamp plan for the whole run: the symbolic
+    // factorisation is computed once (or fetched from the campaign
+    // cache) and every Newton iteration of every timestep refactors
+    // numerics only.
+    let plan = StampPlan::new(ckt)?;
+    let mut solver = MnaSolver::for_circuit(ckt, &map, spec.solver, cache);
 
     // Initial solution.
     let mut x = if spec.uic {
@@ -216,7 +286,7 @@ where
         }
         x0
     } else {
-        dc_operating_point(ckt)?
+        dc_operating_point_with(ckt, spec.solver, cache)?
     };
 
     // Capacitance states from the initial solution.
@@ -233,11 +303,27 @@ where
     let mut data: Vec<Vec<f64>> = (0..n_nodes).map(|i| vec![x[i]]).collect();
     let mut newton_iterations: u64 = 0;
 
-    let steps = (spec.tstop / spec.tstep).round() as usize;
+    // The output grid is derived from the integer step index: step k
+    // ends at exactly `k · tstep`, so a 10⁵-step run lands on the same
+    // absolute times as a 10²-step one (accumulating `t += tstep`
+    // instead drifts by an ULP per step — enough to shift detection
+    // times and misalign waveform comparisons over long transients).
+    // When tstop is not a multiple of tstep, a final partial step lands
+    // exactly on tstop instead of silently over- or under-shooting.
+    let (full_steps, partial) = spec.grid();
     let mut t = 0.0;
     if on_sample(t, &x[..n_nodes]) {
-        for step in 0..steps {
-            let t_next = t + spec.tstep;
+        let mut record =
+            |t: f64, x: &[f64], times: &mut Vec<f64>, data: &mut Vec<Vec<f64>>| -> bool {
+                times.push(t);
+                for (i, column) in data.iter_mut().enumerate() {
+                    column.push(x[i]);
+                }
+                on_sample(t, &x[..n_nodes])
+            };
+        let mut keep_going = true;
+        for step in 0..full_steps {
+            let t_next = (step + 1) as f64 * spec.tstep;
             // The very first step always integrates with backward Euler:
             // the trapezoidal companion needs a valid previous current,
             // which is unknown at t = 0 (standard SPICE start-up
@@ -250,6 +336,8 @@ where
             advance(
                 ckt,
                 &map,
+                &plan,
+                &mut solver,
                 spec,
                 integ,
                 &instances,
@@ -261,12 +349,34 @@ where
                 &mut newton_iterations,
             )?;
             t = t_next;
-            times.push(t);
-            for (i, column) in data.iter_mut().enumerate() {
-                column.push(x[i]);
-            }
-            if !on_sample(t, &x[..n_nodes]) {
+            if !record(t, &x, &mut times, &mut data) {
+                keep_going = false;
                 break;
+            }
+        }
+        if keep_going {
+            if let Some(t_stop) = partial {
+                let integ = if full_steps == 0 {
+                    Integrator::BackwardEuler
+                } else {
+                    spec.integrator
+                };
+                advance(
+                    ckt,
+                    &map,
+                    &plan,
+                    &mut solver,
+                    spec,
+                    integ,
+                    &instances,
+                    &mut x,
+                    &mut caps,
+                    t,
+                    t_stop,
+                    0,
+                    &mut newton_iterations,
+                )?;
+                record(t_stop, &x, &mut times, &mut data);
             }
         }
     }
@@ -288,6 +398,8 @@ where
 fn advance(
     ckt: &Circuit,
     map: &UnknownMap,
+    plan: &StampPlan<'_>,
+    solver: &mut MnaSolver,
     spec: &TranSpec,
     integrator: Integrator,
     instances: &[CapInstance],
@@ -329,14 +441,15 @@ fn advance(
     };
     // Newton ladder: the configured options first, then a heavily
     // damped retry (regenerative switching points), then step halving.
-    let solved = solve_newton(ckt, map, x, &params, &spec.newton, "tran").or_else(|_| {
-        let damped = NewtonOpts {
-            max_iter: spec.newton.max_iter * 3,
-            max_step: 0.1,
-            ..spec.newton.clone()
-        };
-        solve_newton(ckt, map, x, &params, &damped, "tran (damped)")
-    });
+    let solved =
+        solve_newton_in(solver, ckt, map, plan, x, &params, &spec.newton, "tran").or_else(|_| {
+            let damped = NewtonOpts {
+                max_iter: spec.newton.max_iter * 3,
+                max_step: 0.1,
+                ..spec.newton.clone()
+            };
+            solve_newton_in(solver, ckt, map, plan, x, &params, &damped, "tran (damped)")
+        });
     match solved {
         Ok((next, iters)) => {
             *newton_iterations += iters as u64;
@@ -357,6 +470,8 @@ fn advance(
             advance(
                 ckt,
                 map,
+                plan,
+                solver,
                 spec,
                 integrator,
                 instances,
@@ -370,6 +485,8 @@ fn advance(
             advance(
                 ckt,
                 map,
+                plan,
+                solver,
                 spec,
                 integrator,
                 instances,
@@ -635,6 +752,196 @@ mod tests {
         let last = *res.times().last().unwrap();
         assert!((2e-3..2.2e-3).contains(&last), "stopped at {last}");
         assert!(res.newton_iterations < reference.newton_iterations);
+    }
+
+    /// A plain resistive divider driven by a DC source: converges in
+    /// two Newton iterations per step, so very long grids stay cheap.
+    fn divider() -> Circuit {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add(
+            "V1",
+            vec![a, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(1.0),
+            },
+        );
+        c.add("R1", vec![a, b], ElementKind::Resistor { r: 1e3 });
+        c.add(
+            "R2",
+            vec![b, Circuit::GROUND],
+            ElementKind::Resistor { r: 1e3 },
+        );
+        c
+    }
+
+    #[test]
+    fn time_grid_does_not_drift_over_1e5_steps() {
+        // Regression: accumulating `t += tstep` drifts by an ULP per
+        // step; after 10⁵ steps the final time disagreed with
+        // `steps · tstep` and waveform alignment shifted. Every grid
+        // point must be bit-exact `k · tstep`.
+        let c = divider();
+        let tstep = 1e-9;
+        let res = tran(&c, &TranSpec::new(tstep, 1e-4)).unwrap();
+        assert_eq!(res.times().len(), 100_001);
+        for (k, &t) in res.times().iter().enumerate() {
+            assert_eq!(
+                t,
+                k as f64 * tstep,
+                "grid point {k} must be derived from the step index"
+            );
+        }
+        assert_eq!(*res.times().last().unwrap(), 1e-4);
+    }
+
+    #[test]
+    fn non_multiple_tstop_emits_final_partial_step() {
+        // tstop = 1 µs with tstep = 0.3 µs: 3 full steps plus a final
+        // 0.1 µs partial step landing exactly on tstop. The old
+        // `round()` grid silently stopped at 0.9 µs.
+        let c = divider();
+        let res = tran(&c, &TranSpec::new(0.3e-6, 1e-6)).unwrap();
+        let times = res.times();
+        assert_eq!(times.len(), 5, "0, 0.3, 0.6, 0.9, 1.0 µs: {times:?}");
+        assert_eq!(*times.last().unwrap(), 1e-6);
+        assert!((times[3] - 0.9e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn near_multiple_tstop_does_not_invent_a_step() {
+        // tstop = 1 µs with tstep = 0.6 µs: the old grid rounded
+        // 1.67 → 2 steps and simulated past tstop (1.2 µs). Now: one
+        // full step plus the 0.4 µs partial step.
+        let c = divider();
+        let res = tran(&c, &TranSpec::new(0.6e-6, 1e-6)).unwrap();
+        assert_eq!(res.times(), &[0.0, 0.6e-6, 1e-6]);
+
+        // And a tstop that is a multiple up to float noise snaps to the
+        // exact grid without a sliver step.
+        let res = tran(&c, &TranSpec::new(0.1e-6, 0.3e-6)).unwrap();
+        assert_eq!(res.times().len(), 4);
+        assert_eq!(*res.times().last().unwrap(), 3.0 * 0.1e-6);
+
+        // tstop below one step still produces a single partial step.
+        let res = tran(&c, &TranSpec::new(1e-6, 0.4e-6)).unwrap();
+        assert_eq!(res.times(), &[0.0, 0.4e-6]);
+    }
+
+    /// A hard-switching circuit whose Newton iteration cannot absorb a
+    /// full-step input jump under a tight iteration budget: a stiff RC
+    /// divider into a MOS whose gate swings rail to rail in one step.
+    fn halving_testbench() -> (Circuit, TranSpec) {
+        let mut c = Circuit::new("halving");
+        c.add_model(MosModel::default_nmos("n1"));
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add(
+            "Vdd",
+            vec![vdd, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Dc(5.0),
+            },
+        );
+        c.add(
+            "Vin",
+            vec![inp, Circuit::GROUND],
+            ElementKind::Vsource {
+                wave: Waveform::Pulse {
+                    v1: 0.0,
+                    v2: 5.0,
+                    td: 1e-6,
+                    tr: 100e-9,
+                    tf: 100e-9,
+                    pw: 1.0,
+                    period: f64::INFINITY,
+                },
+            },
+        );
+        c.add("RL", vec![vdd, out], ElementKind::Resistor { r: 10e3 });
+        c.add(
+            "M1",
+            vec![out, inp, Circuit::GROUND, Circuit::GROUND],
+            ElementKind::Mosfet {
+                model: "n1".into(),
+                w: 10e-6,
+                l: 1e-6,
+            },
+        );
+        c.add(
+            "CL",
+            vec![out, Circuit::GROUND],
+            ElementKind::Capacitor {
+                c: 100e-12,
+                ic: None,
+            },
+        );
+        // A 2 µs step straddles the 100 ns input edge; with a two-
+        // iteration budget the full step cannot converge, so the
+        // integrator must halve its way through the transition.
+        let mut spec = TranSpec::new(2e-6, 4e-6);
+        spec.newton.max_iter = 2;
+        (c, spec)
+    }
+
+    #[test]
+    fn step_halving_rescues_a_failing_step() {
+        let (c, spec) = halving_testbench();
+        let res = tran(&c, &spec).expect("halving absorbs the edge");
+        // The output ends pulled low through the switched-on NMOS.
+        assert!(res.wave("out").unwrap().last_value() < 1.0);
+        // The output grid is unchanged by the internal halving.
+        assert_eq!(res.times(), &[0.0, 2e-6, 4e-6]);
+    }
+
+    #[test]
+    fn max_halvings_zero_propagates_the_failure() {
+        let (c, mut spec) = halving_testbench();
+        spec.max_halvings = 0;
+        let err = tran(&c, &spec).unwrap_err();
+        assert!(
+            matches!(err, SpiceError::NoConvergence { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn dense_and_sparse_transients_agree() {
+        use crate::sparse::SolverKind;
+        // Force both backends on the same MOS circuit and compare the
+        // full waveforms.
+        let (c, _) = halving_testbench();
+        let spec = TranSpec::new(20e-9, 4e-6);
+        let dense = tran(&c, &spec.clone().with_solver(SolverKind::Dense)).unwrap();
+        let sparse = tran(&c, &spec.with_solver(SolverKind::Sparse)).unwrap();
+        assert_eq!(dense.times(), sparse.times());
+        for node in dense.node_names() {
+            let dw = dense.wave(node).unwrap();
+            let sw = sparse.wave(node).unwrap();
+            let delta = dw.max_abs_diff(&sw);
+            assert!(delta < 1e-9, "node {node} diverges by {delta}");
+        }
+    }
+
+    #[test]
+    fn cached_tran_matches_uncached() {
+        use crate::sparse::PatternCache;
+        let (c, _) = halving_testbench();
+        let spec = TranSpec::new(20e-9, 4e-6).with_solver(crate::sparse::SolverKind::Sparse);
+        let cache = PatternCache::new();
+        let a = tran_cached(&c, &spec, &cache).unwrap();
+        let b = tran(&c, &spec).unwrap();
+        assert_eq!(a.times(), b.times());
+        assert_eq!(
+            a.wave("out").unwrap().values(),
+            b.wave("out").unwrap().values()
+        );
+        // Second cached run reuses the symbolic factorisations (one
+        // pattern serves both the DC op and the transient).
+        let _ = tran_cached(&c, &spec, &cache).unwrap();
+        assert!(cache.hits() > 0, "second run must hit the pattern cache");
     }
 
     #[test]

@@ -144,6 +144,11 @@ impl Wave {
     /// A deviation at time `t` only counts when **no** nominal value in
     /// the window `[t − t_tol, t + t_tol]` lies within `v_tol` of the
     /// faulty value: phase wobble inside the time tolerance is forgiven.
+    ///
+    /// A non-finite sample (NaN/∞ from a diverged faulty solve) is
+    /// always a detected deviation: a simulation that blows up is the
+    /// opposite of tracking the nominal, and NaN comparison semantics
+    /// must not be allowed to classify it as silently undetected.
     pub fn first_detection(&self, nominal: &Wave, v_tol: f64, t_tol: f64) -> Option<f64> {
         for (&t, &v) in self.times.iter().zip(&self.values) {
             if !nominal.tracks(t, v, v_tol, t_tol) {
@@ -160,6 +165,12 @@ impl Wave {
     /// an early-stopping fault campaign) can evaluate detection sample
     /// by sample with identical semantics.
     pub fn tracks(&self, t: f64, v: f64, v_tol: f64, t_tol: f64) -> bool {
+        // A non-finite sample can never be explained by a (finite)
+        // nominal — and must not slip through via NaN/∞ comparison
+        // edge cases (e.g. `∞ − ∞ = NaN`, or an infinite `v_tol`).
+        if !v.is_finite() {
+            return false;
+        }
         let (lo, hi) = (t - t_tol, t + t_tol);
         // Check the window end-points (interpolated) …
         if (self.value_at(lo) - v).abs() <= v_tol || (self.value_at(hi) - v).abs() <= v_tol {
@@ -270,6 +281,26 @@ mod tests {
         assert_eq!(shifted.first_detection(&nominal, 0.5, 0.15), None);
         // Without time tolerance it is detected immediately.
         assert!(shifted.first_detection(&nominal, 0.5, 0.0).is_some());
+    }
+
+    #[test]
+    fn non_finite_samples_always_detect() {
+        let nominal = Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.0, 0.0, 0.0]);
+        // NaN injected mid-record (a diverged Newton solve): detected
+        // at the first non-finite sample even with huge tolerances.
+        let faulty = Wave::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.0, f64::NAN, 0.0]);
+        assert_eq!(faulty.first_detection(&nominal, 1e9, 1.0), Some(2.0));
+        // Same for +/- infinity — including the `∞ − ∞ = NaN` trap
+        // when the tolerance itself is infinite.
+        let faulty = Wave::new(vec![0.0, 1.0], vec![0.0, f64::INFINITY]);
+        assert_eq!(
+            faulty.first_detection(&nominal, f64::INFINITY, 0.0),
+            Some(1.0)
+        );
+        let faulty = Wave::new(vec![0.0, 1.0], vec![0.0, f64::NEG_INFINITY]);
+        assert_eq!(faulty.first_detection(&nominal, 2.0, 0.5), Some(1.0));
+        // The per-sample predicate agrees.
+        assert!(!nominal.tracks(1.0, f64::NAN, 1e9, 1.0));
     }
 
     #[test]

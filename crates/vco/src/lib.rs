@@ -26,4 +26,6 @@ pub mod layout;
 pub mod schematic;
 
 pub use layout::{vco_layout, vco_library};
-pub use schematic::{attach_sources, vco_schematic, vco_testbench, TestbenchParams, OBSERVED_NODE};
+pub use schematic::{
+    attach_sources, vco_dc_testbench, vco_schematic, vco_testbench, TestbenchParams, OBSERVED_NODE,
+};

@@ -402,6 +402,32 @@ pub fn vco_testbench(params: &TestbenchParams) -> Circuit {
     c
 }
 
+/// The VCO biased with *settled* DC sources (no supply ramp): `vdd`
+/// held at `params.vdd`, the control node at `params.vin`. The
+/// operating-point workload used by the kernel benchmarks and the
+/// solver-agreement tests — a transient from this circuit is
+/// uninteresting, but its DC solve exercises every device region.
+pub fn vco_dc_testbench(params: &TestbenchParams) -> Circuit {
+    let mut c = vco_schematic();
+    let vdd = c.node("vdd");
+    let vin = c.node("1");
+    c.add(
+        "VDD",
+        vec![vdd, Circuit::GROUND],
+        ElementKind::Vsource {
+            wave: Waveform::Dc(params.vdd),
+        },
+    );
+    c.add(
+        "VIN",
+        vec![vin, Circuit::GROUND],
+        ElementKind::Vsource {
+            wave: Waveform::Dc(params.vin),
+        },
+    );
+    c
+}
+
 /// Device count helpers used by the experiment tables.
 pub fn transistor_count(c: &Circuit) -> usize {
     c.elements()

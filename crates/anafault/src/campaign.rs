@@ -54,11 +54,12 @@
 use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
 use crate::fault::Fault;
 use crate::inject::{inject, HardFaultModel};
-use spice::tran::{tran_with_cached, TranSpec};
-use spice::{Circuit, PatternCache, SpiceError, Wave};
+use cat_telemetry::{HistogramSnapshot, StaticCounter};
+use spice::tran::{tran_with_cached, TranSpec, TranStats};
+use spice::{Circuit, PatternCache, SolverStats, SpiceError, Wave};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What happened to one fault during the campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -80,6 +81,43 @@ pub enum FaultOutcome {
     SimulationFailed(String),
 }
 
+/// Per-fault kernel work counters, captured alongside the outcome.
+///
+/// Every field is taken from the single transient run of that fault
+/// ([`spice::tran::TranStats`]), plus the wall-clock [`Duration`]
+/// measured around injection + simulation + detection.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultTelemetry {
+    /// Wall-clock time spent on this fault (injection through verdict).
+    pub wall: Duration,
+    /// Accepted transient steps (halved sub-steps included).
+    pub steps: u64,
+    /// Timestep halvings forced by convergence rescues.
+    pub halvings: u64,
+    /// Accepted Newton solves across the whole transient.
+    pub newton_iterations: u64,
+    /// Sparse-solver work counters (refactorisations, re-pivots,
+    /// dense fallbacks, demotions).
+    pub solver: SolverStats,
+    /// Whether fault dropping abandoned the remaining simulation time.
+    pub early_stopped: bool,
+}
+
+impl FaultTelemetry {
+    /// Lifts a kernel [`TranStats`] into a fault-level record; `wall`
+    /// and `early_stopped` are filled in by the campaign afterwards.
+    fn from_tran(stats: &TranStats) -> Self {
+        FaultTelemetry {
+            wall: Duration::ZERO,
+            steps: stats.steps,
+            halvings: stats.halvings,
+            newton_iterations: stats.newton_iterations,
+            solver: stats.solver,
+            early_stopped: false,
+        }
+    }
+}
+
 /// Per-fault protocol record.
 #[derive(Debug, Clone)]
 pub struct FaultRecord {
@@ -91,6 +129,8 @@ pub struct FaultRecord {
     pub sim_seconds: f64,
     /// Kernel work measure (accepted Newton solves).
     pub newton_iterations: u64,
+    /// Kernel work counters for this fault's simulation.
+    pub telemetry: FaultTelemetry,
 }
 
 /// A configuration error from [`CampaignBuilder::build`].
@@ -279,6 +319,20 @@ pub struct CampaignSession<'c> {
     faults: &'c [Fault],
 }
 
+/// Campaign-level telemetry: pattern-cache behaviour across the whole
+/// session (the per-fault counters live in [`FaultTelemetry`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignTelemetry {
+    /// Symbolic patterns reused from the session cache.
+    pub pattern_cache_hits: u64,
+    /// Lookups that forced a fresh symbolic analysis.
+    pub pattern_cache_misses: u64,
+    /// Distinct stamp topologies cached by the end of the session.
+    pub pattern_cache_entries: usize,
+    /// Faults whose remaining simulation time was dropped on detection.
+    pub early_stops: u64,
+}
+
 /// The campaign result: nominal response plus per-fault records.
 #[derive(Debug, Clone)]
 pub struct CampaignResult {
@@ -292,6 +346,8 @@ pub struct CampaignResult {
     pub nominal_seconds: f64,
     /// Wall-clock seconds for the whole campaign.
     pub total_seconds: f64,
+    /// Session-wide telemetry (pattern cache, early stops).
+    pub telemetry: CampaignTelemetry,
 }
 
 impl Campaign {
@@ -351,36 +407,40 @@ impl Campaign {
     }
 
     fn simulate_one(&self, fault: &Fault, nominals: &[Wave], cache: &PatternCache) -> FaultRecord {
+        let _span = cat_telemetry::span!("anafault.fault");
         let t0 = Instant::now();
         let faulty = match inject(&self.circuit, fault, self.model) {
             Ok(c) => c,
             Err(e) => {
+                let wall = t0.elapsed();
                 return FaultRecord {
                     fault: fault.clone(),
                     outcome: FaultOutcome::InjectionFailed(e.to_string()),
-                    sim_seconds: t0.elapsed().as_secs_f64(),
+                    sim_seconds: wall.as_secs_f64(),
                     newton_iterations: 0,
-                }
+                    telemetry: FaultTelemetry {
+                        wall,
+                        ..FaultTelemetry::default()
+                    },
+                };
             }
         };
-        let (outcome, newton_iterations) = if self.early_stop {
+        let (outcome, mut telemetry) = if self.early_stop {
             self.simulate_dropping(&faulty, nominals, cache)
         } else {
             self.simulate_full(&faulty, nominals, cache)
         };
-        match outcome {
-            Ok(outcome) => FaultRecord {
-                fault: fault.clone(),
-                outcome,
-                sim_seconds: t0.elapsed().as_secs_f64(),
-                newton_iterations,
-            },
-            Err(e) => FaultRecord {
-                fault: fault.clone(),
-                outcome: FaultOutcome::SimulationFailed(e.to_string()),
-                sim_seconds: t0.elapsed().as_secs_f64(),
-                newton_iterations,
-            },
+        telemetry.wall = t0.elapsed();
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) => FaultOutcome::SimulationFailed(e.to_string()),
+        };
+        FaultRecord {
+            fault: fault.clone(),
+            outcome,
+            sim_seconds: telemetry.wall.as_secs_f64(),
+            newton_iterations: telemetry.newton_iterations,
+            telemetry,
         }
     }
 
@@ -392,16 +452,16 @@ impl Campaign {
         faulty: &Circuit,
         nominals: &[Wave],
         cache: &PatternCache,
-    ) -> (Result<FaultOutcome, SpiceError>, u64) {
+    ) -> (Result<FaultOutcome, SpiceError>, FaultTelemetry) {
         let res = match tran_with_cached(faulty, &self.tran, Some(cache), |_, _| true) {
             Ok(res) => res,
-            Err(e) => return (Err(e), 0),
+            Err(e) => return (Err(e), FaultTelemetry::default()),
         };
-        let iterations = res.newton_iterations;
+        let telemetry = FaultTelemetry::from_tran(&res.stats);
         let mut first: Option<(f64, usize)> = None;
         for (k, (name, nominal)) in self.observe.iter().zip(nominals).enumerate() {
             let Some(wave) = res.wave(name) else {
-                return (Ok(missing_observed(name)), iterations);
+                return (Ok(missing_observed(name)), telemetry);
             };
             if let Some(at) = self.detection.first_detection(&wave, nominal) {
                 if first.is_none_or(|(best, _)| at < best) {
@@ -416,7 +476,7 @@ impl Campaign {
             },
             None => FaultOutcome::NotDetected,
         };
-        (Ok(outcome), iterations)
+        (Ok(outcome), telemetry)
     }
 
     /// Streaming simulation with fault dropping: evaluates the same
@@ -432,14 +492,14 @@ impl Campaign {
         faulty: &Circuit,
         nominals: &[Wave],
         cache: &PatternCache,
-    ) -> (Result<FaultOutcome, SpiceError>, u64) {
+    ) -> (Result<FaultOutcome, SpiceError>, FaultTelemetry) {
         // Resolve each observed node to its sample column up front; a
         // fault cannot remove a node, but guard anyway.
         let mut columns = Vec::with_capacity(self.observe.len());
         for name in &self.observe {
             match faulty.find_node(name) {
                 Some(id) if id != Circuit::GROUND => columns.push(id - 1),
-                _ => return (Ok(missing_observed(name)), 0),
+                _ => return (Ok(missing_observed(name)), FaultTelemetry::default()),
             }
         }
         let mut detected: Option<(f64, usize)> = None;
@@ -454,6 +514,8 @@ impl Campaign {
         });
         match res {
             Ok(res) => {
+                let mut telemetry = FaultTelemetry::from_tran(&res.stats);
+                telemetry.early_stopped = detected.is_some();
                 let outcome = match detected {
                     Some((at, k)) => FaultOutcome::Detected {
                         at,
@@ -461,9 +523,9 @@ impl Campaign {
                     },
                     None => FaultOutcome::NotDetected,
                 };
-                (Ok(outcome), res.newton_iterations)
+                (Ok(outcome), telemetry)
             }
-            Err(e) => (Err(e), 0),
+            Err(e) => (Err(e), FaultTelemetry::default()),
         }
     }
 }
@@ -570,14 +632,49 @@ impl CampaignSession<'_> {
             .map(|r| r.expect("every fault reports exactly once"))
             .collect();
 
-        Ok(CampaignResult {
+        let telemetry = CampaignTelemetry {
+            pattern_cache_hits: cache.hits(),
+            pattern_cache_misses: cache.misses(),
+            pattern_cache_entries: cache.len(),
+            early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+        };
+        let result = CampaignResult {
             observed: campaign.observe.clone(),
             nominals,
             records,
             nominal_seconds,
             total_seconds: t_start.elapsed().as_secs_f64(),
-        })
+            telemetry,
+        };
+        flush_campaign_counters(&result);
+        Ok(result)
     }
+}
+
+/// Campaign runs completed (successful `run_with_progress` returns).
+static CAMPAIGN_RUNS: StaticCounter = StaticCounter::new("anafault.campaign.runs");
+/// Faults simulated across all campaigns.
+static CAMPAIGN_FAULTS: StaticCounter = StaticCounter::new("anafault.campaign.faults");
+/// Faults whose outcome was `Detected`.
+static CAMPAIGN_DETECTED: StaticCounter = StaticCounter::new("anafault.campaign.detected");
+/// Faults abandoned early by fault dropping.
+static CAMPAIGN_EARLY_STOPS: StaticCounter = StaticCounter::new("anafault.campaign.early_stops");
+
+/// One flush at campaign end — the per-fault hot path stays free of
+/// atomic traffic on the global registry.
+fn flush_campaign_counters(result: &CampaignResult) {
+    if !cat_telemetry::enabled() {
+        return;
+    }
+    CAMPAIGN_RUNS.inc();
+    CAMPAIGN_FAULTS.add(result.records.len() as u64);
+    let detected = result
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, FaultOutcome::Detected { .. }))
+        .count() as u64;
+    CAMPAIGN_DETECTED.add(detected);
+    CAMPAIGN_EARLY_STOPS.add(result.telemetry.early_stops);
 }
 
 impl CampaignResult {
@@ -629,6 +726,156 @@ impl CampaignResult {
                 )
             })
             .collect()
+    }
+
+    /// Aggregates the per-fault records into a [`CampaignReport`]:
+    /// verdict counts, summed kernel work, solver counters and the
+    /// per-fault time/iteration distributions.
+    pub fn report(&self) -> CampaignReport {
+        let mut report = CampaignReport {
+            faults: self.records.len() as u64,
+            coverage_percent: self.final_coverage(),
+            wall_seconds: self.total_seconds,
+            nominal_seconds: self.nominal_seconds,
+            fault_sim_seconds: self.fault_sim_seconds(),
+            telemetry: self.telemetry,
+            sim_seconds: HistogramSnapshot::empty(SIM_SECONDS_EDGES),
+            iterations: HistogramSnapshot::empty(ITERATIONS_EDGES),
+            ..CampaignReport::default()
+        };
+        let sim_hist = cat_telemetry::Histogram::new(SIM_SECONDS_EDGES);
+        let iter_hist = cat_telemetry::Histogram::new(ITERATIONS_EDGES);
+        for r in &self.records {
+            match r.outcome {
+                FaultOutcome::Detected { .. } => report.detected += 1,
+                FaultOutcome::NotDetected => report.not_detected += 1,
+                FaultOutcome::InjectionFailed(_) => report.injection_failed += 1,
+                FaultOutcome::SimulationFailed(_) => report.simulation_failed += 1,
+            }
+            report.newton_iterations += r.telemetry.newton_iterations;
+            report.steps += r.telemetry.steps;
+            report.halvings += r.telemetry.halvings;
+            report.solver.merge(&r.telemetry.solver);
+            sim_hist.record(r.sim_seconds);
+            iter_hist.record(r.telemetry.newton_iterations as f64);
+        }
+        report.sim_seconds = sim_hist.snapshot();
+        report.iterations = iter_hist.snapshot();
+        report
+    }
+}
+
+/// Bucket upper bounds for the per-fault wall-clock distribution (s).
+const SIM_SECONDS_EDGES: &[f64] = &[1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+/// Bucket upper bounds for the per-fault Newton-iteration distribution.
+const ITERATIONS_EDGES: &[f64] = &[1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6];
+
+/// Aggregated campaign run report, built by [`CampaignResult::report`]
+/// and persisted by bench binaries under `--metrics`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Faults simulated.
+    pub faults: u64,
+    /// Faults whose response left the tolerance band.
+    pub detected: u64,
+    /// Faults that stayed within tolerance for the whole test.
+    pub not_detected: u64,
+    /// Faults whose injection failed.
+    pub injection_failed: u64,
+    /// Faults whose kernel simulation failed.
+    pub simulation_failed: u64,
+    /// Final fault coverage in percent.
+    pub coverage_percent: f64,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_seconds: f64,
+    /// Seconds spent on the nominal simulation.
+    pub nominal_seconds: f64,
+    /// Summed per-fault simulation seconds (across workers, so this
+    /// exceeds `wall_seconds` on multi-threaded runs).
+    pub fault_sim_seconds: f64,
+    /// Accepted Newton solves across all fault simulations.
+    pub newton_iterations: u64,
+    /// Accepted transient steps across all fault simulations.
+    pub steps: u64,
+    /// Timestep halvings across all fault simulations.
+    pub halvings: u64,
+    /// Sparse-solver work counters summed over all fault simulations.
+    pub solver: SolverStats,
+    /// Session-wide pattern-cache and early-stop telemetry.
+    pub telemetry: CampaignTelemetry,
+    /// Distribution of per-fault wall-clock seconds.
+    pub sim_seconds: HistogramSnapshot,
+    /// Distribution of per-fault Newton iterations.
+    pub iterations: HistogramSnapshot,
+}
+
+impl Default for CampaignReport {
+    fn default() -> Self {
+        CampaignReport {
+            faults: 0,
+            detected: 0,
+            not_detected: 0,
+            injection_failed: 0,
+            simulation_failed: 0,
+            coverage_percent: 0.0,
+            wall_seconds: 0.0,
+            nominal_seconds: 0.0,
+            fault_sim_seconds: 0.0,
+            newton_iterations: 0,
+            steps: 0,
+            halvings: 0,
+            solver: SolverStats::default(),
+            telemetry: CampaignTelemetry::default(),
+            sim_seconds: HistogramSnapshot::empty(SIM_SECONDS_EDGES),
+            iterations: HistogramSnapshot::empty(ITERATIONS_EDGES),
+        }
+    }
+}
+
+impl CampaignReport {
+    /// Serialises the report as a single JSON object, following the
+    /// same hand-rolled conventions as [`crate::protocol`].
+    pub fn to_json(&self) -> String {
+        use cat_telemetry::json::num;
+        let t = &self.telemetry;
+        format!(
+            concat!(
+                "{{\"faults\": {}, \"detected\": {}, \"not_detected\": {}, ",
+                "\"injection_failed\": {}, \"simulation_failed\": {}, ",
+                "\"coverage_percent\": {}, \"wall_seconds\": {}, ",
+                "\"nominal_seconds\": {}, \"fault_sim_seconds\": {}, ",
+                "\"newton_iterations\": {}, \"steps\": {}, \"halvings\": {}, ",
+                "\"early_stops\": {}, \"pattern_builds\": {}, ",
+                "\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, ",
+                "\"pattern_cache_entries\": {}, \"refactorisations\": {}, ",
+                "\"repivots\": {}, \"dense_fallbacks\": {}, \"demotions\": {}, ",
+                "\"sim_seconds_distribution\": {}, ",
+                "\"newton_iterations_distribution\": {}}}"
+            ),
+            self.faults,
+            self.detected,
+            self.not_detected,
+            self.injection_failed,
+            self.simulation_failed,
+            num(self.coverage_percent),
+            num(self.wall_seconds),
+            num(self.nominal_seconds),
+            num(self.fault_sim_seconds),
+            self.newton_iterations,
+            self.steps,
+            self.halvings,
+            t.early_stops,
+            t.pattern_cache_misses,
+            t.pattern_cache_hits,
+            t.pattern_cache_misses,
+            t.pattern_cache_entries,
+            self.solver.refactorisations,
+            self.solver.repivots,
+            self.solver.dense_fallbacks,
+            self.solver.demotions,
+            self.sim_seconds.to_json(),
+            self.iterations.to_json(),
+        )
     }
 }
 
@@ -936,5 +1183,104 @@ mod tests {
         assert_eq!(result.records.len(), 2);
         assert_eq!(result.records[0].fault.id, 1);
         assert_eq!(result.records[1].fault.id, 2);
+    }
+
+    #[test]
+    fn per_fault_telemetry_is_populated() {
+        let result = campaign().run(&fault_set()).unwrap();
+        for r in &result.records {
+            assert_eq!(r.telemetry.wall.as_secs_f64(), r.sim_seconds);
+            assert_eq!(r.telemetry.newton_iterations, r.newton_iterations);
+            match &r.outcome {
+                FaultOutcome::InjectionFailed(_) => {
+                    assert_eq!(r.telemetry.steps, 0);
+                    assert_eq!(r.telemetry.newton_iterations, 0);
+                }
+                _ => {
+                    // Simulated faults took real transient steps and
+                    // at least one Newton solve per step.
+                    assert!(r.telemetry.steps > 0);
+                    assert!(r.telemetry.newton_iterations >= r.telemetry.steps);
+                    assert!(r.telemetry.wall > Duration::ZERO);
+                }
+            }
+            // This RC testbench is below the sparse cutoff, so the
+            // sparse counters stay untouched.
+            assert_eq!(r.telemetry.solver, spice::SolverStats::default());
+            assert!(!r.telemetry.early_stopped, "full runs never early-stop");
+        }
+    }
+
+    #[test]
+    fn session_telemetry_counts_cache_and_early_stops() {
+        let faults = fault_set();
+        let result = campaign_builder()
+            .early_stop(true)
+            .build()
+            .unwrap()
+            .run(&faults)
+            .unwrap();
+        let t = result.telemetry;
+        // Dense-only campaign: nothing ever reaches the sparse cache.
+        assert_eq!(t.pattern_cache_hits + t.pattern_cache_misses, 0);
+        assert_eq!(t.pattern_cache_entries, 0);
+        // The three detected faults dropped their remaining transient.
+        assert_eq!(t.early_stops, 3);
+        let flagged = result
+            .records
+            .iter()
+            .filter(|r| r.telemetry.early_stopped)
+            .count() as u64;
+        assert_eq!(flagged, t.early_stops);
+    }
+
+    #[test]
+    fn report_aggregates_records() {
+        let result = campaign().run(&fault_set()).unwrap();
+        let report = result.report();
+        assert_eq!(report.faults, 5);
+        assert_eq!(report.detected, 3);
+        assert_eq!(report.not_detected, 1);
+        assert_eq!(report.injection_failed, 1);
+        assert_eq!(report.simulation_failed, 0);
+        assert_eq!(report.coverage_percent, 60.0);
+        assert_eq!(
+            report.newton_iterations,
+            result.total_newton_iterations(),
+            "report sums the same counters as the result accessors"
+        );
+        assert_eq!(report.fault_sim_seconds, result.fault_sim_seconds());
+        assert_eq!(report.sim_seconds.count, 5);
+        assert_eq!(report.iterations.count, 5);
+        assert!(report.sim_seconds.sum > 0.0);
+
+        // The JSON rendering exposes every counter and both
+        // distributions, and parses back through the protocol parser.
+        let json = report.to_json();
+        let doc = crate::protocol::parse_json(&json).expect("report JSON parses");
+        assert_eq!(doc.field("faults").unwrap().as_u64().unwrap(), 5);
+        assert_eq!(doc.field("detected").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(
+            doc.field("coverage_percent").unwrap().as_f64().unwrap(),
+            60.0
+        );
+        for key in [
+            "pattern_builds",
+            "pattern_cache_hits",
+            "refactorisations",
+            "repivots",
+            "dense_fallbacks",
+            "demotions",
+            "early_stops",
+            "steps",
+            "halvings",
+        ] {
+            assert!(doc.field(key).is_ok(), "missing report key `{key}`");
+        }
+        let dist = doc.field("sim_seconds_distribution").unwrap();
+        let edges = dist.field("edges").unwrap().as_f64_array().unwrap();
+        let counts = dist.field("counts").unwrap().as_array().unwrap();
+        assert_eq!(counts.len(), edges.len() + 1);
+        assert_eq!(dist.field("count").unwrap().as_u64().unwrap(), 5);
     }
 }

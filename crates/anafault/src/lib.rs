@@ -45,8 +45,8 @@ pub mod report;
 pub mod soft;
 
 pub use campaign::{
-    Campaign, CampaignBuilder, CampaignProgress, CampaignResult, CampaignSession, ConfigError,
-    FaultOutcome, FaultRecord,
+    Campaign, CampaignBuilder, CampaignProgress, CampaignReport, CampaignResult, CampaignSession,
+    CampaignTelemetry, ConfigError, FaultOutcome, FaultRecord, FaultTelemetry,
 };
 pub use coverage::{coverage_curve, DetectionSpec};
 pub use fault::{Fault, FaultEffect, MosTerminal};

@@ -9,11 +9,14 @@
 //! `vendor/README.md`), covering exactly the subset of JSON the schema
 //! needs.
 
-use crate::campaign::{CampaignResult, FaultOutcome, FaultRecord};
+use crate::campaign::{
+    CampaignResult, CampaignTelemetry, FaultOutcome, FaultRecord, FaultTelemetry,
+};
 use crate::fault::{Fault, FaultEffect};
-use spice::Wave;
+use spice::{SolverStats, Wave};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Schema version stamped into every protocol file.
 pub const PROTOCOL_VERSION: u64 = 1;
@@ -59,6 +62,13 @@ pub fn to_json(result: &CampaignResult) -> String {
     );
     let _ = writeln!(s, "  \"nominal_seconds\": {},", num(result.nominal_seconds));
     let _ = writeln!(s, "  \"total_seconds\": {},", num(result.total_seconds));
+    let t = &result.telemetry;
+    let _ = writeln!(
+        s,
+        "  \"telemetry\": {{\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, \
+         \"pattern_cache_entries\": {}, \"early_stops\": {}}},",
+        t.pattern_cache_hits, t.pattern_cache_misses, t.pattern_cache_entries, t.early_stops
+    );
     s.push_str("  \"nominals\": [\n");
     for (i, wave) in result.nominals.iter().enumerate() {
         let comma = if i + 1 < result.nominals.len() {
@@ -89,11 +99,30 @@ pub fn to_json(result: &CampaignResult) -> String {
 
 fn record_json(record: &FaultRecord) -> String {
     format!(
-        "{{\"fault\": {}, \"outcome\": {}, \"sim_seconds\": {}, \"newton_iterations\": {}}}",
+        "{{\"fault\": {}, \"outcome\": {}, \"sim_seconds\": {}, \"newton_iterations\": {}, \
+         \"telemetry\": {}}}",
         fault_json(&record.fault),
         outcome_json(&record.outcome),
         num(record.sim_seconds),
-        record.newton_iterations
+        record.newton_iterations,
+        fault_telemetry_json(&record.telemetry)
+    )
+}
+
+fn fault_telemetry_json(t: &FaultTelemetry) -> String {
+    format!(
+        "{{\"wall_seconds\": {}, \"steps\": {}, \"halvings\": {}, \"newton_iterations\": {}, \
+         \"refactorisations\": {}, \"repivots\": {}, \"dense_fallbacks\": {}, \
+         \"demotions\": {}, \"early_stopped\": {}}}",
+        num(t.wall.as_secs_f64()),
+        t.steps,
+        t.halvings,
+        t.newton_iterations,
+        t.solver.refactorisations,
+        t.solver.repivots,
+        t.solver.dense_fallbacks,
+        t.solver.demotions,
+        t.early_stopped
     )
 }
 
@@ -219,15 +248,40 @@ fn quote(text: &str) -> String {
 // Parser
 // ---------------------------------------------------------------------
 
-/// A parsed JSON value (internal; only what the schema needs).
+/// A parsed JSON value. Public so telemetry consumers (NDJSON event
+/// streams, bench run reports) can reuse the protocol parser instead
+/// of growing a second one; the protocol schema mapping below covers
+/// only what the campaign document needs.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (always read as `f64`).
     Number(f64),
+    /// A string, unescaped.
     String(String),
+    /// An ordered array.
     Array(Vec<Json>),
+    /// An object (key order not preserved).
     Object(BTreeMap<String, Json>),
+}
+
+/// Parses one standalone JSON value (rejecting trailing data). This is
+/// the generic entry point behind [`from_json`]; NDJSON consumers call
+/// it once per line.
+///
+/// # Errors
+/// [`ProtocolError::Parse`] on malformed JSON.
+pub fn parse_json(text: &str) -> Result<Json, ProtocolError> {
+    let mut parser = Parser::new(text);
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data"));
+    }
+    Ok(value)
 }
 
 struct Parser<'a> {
@@ -452,7 +506,9 @@ fn schema_err(message: impl Into<String>) -> ProtocolError {
 }
 
 impl Json {
-    fn field<'a>(&'a self, key: &str) -> Result<&'a Json, ProtocolError> {
+    /// The value under `key`, or a schema error when absent (or when
+    /// `self` is not an object). Use [`Json::get`] for optional fields.
+    pub fn field<'a>(&'a self, key: &str) -> Result<&'a Json, ProtocolError> {
         match self {
             Json::Object(map) => map
                 .get(key)
@@ -461,14 +517,25 @@ impl Json {
         }
     }
 
-    fn as_f64(&self) -> Result<f64, ProtocolError> {
+    /// The value under `key`, `None` when absent or when `self` is not
+    /// an object — for schema fields newer than the capture being read.
+    pub fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, or a schema error.
+    pub fn as_f64(&self) -> Result<f64, ProtocolError> {
         match self {
             Json::Number(x) => Ok(*x),
             _ => Err(schema_err("expected a number")),
         }
     }
 
-    fn as_usize(&self) -> Result<usize, ProtocolError> {
+    /// The value as a non-negative integer, or a schema error.
+    pub fn as_usize(&self) -> Result<usize, ProtocolError> {
         let x = self.as_f64()?;
         if x >= 0.0 && x.fract() == 0.0 {
             Ok(x as usize)
@@ -477,21 +544,37 @@ impl Json {
         }
     }
 
-    fn as_str(&self) -> Result<&str, ProtocolError> {
+    /// The value as a `u64` counter, or a schema error.
+    pub fn as_u64(&self) -> Result<u64, ProtocolError> {
+        Ok(self.as_usize()? as u64)
+    }
+
+    /// The value as a boolean, or a schema error.
+    pub fn as_bool(&self) -> Result<bool, ProtocolError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(schema_err("expected a boolean")),
+        }
+    }
+
+    /// The string contents, or a schema error.
+    pub fn as_str(&self) -> Result<&str, ProtocolError> {
         match self {
             Json::String(s) => Ok(s),
             _ => Err(schema_err("expected a string")),
         }
     }
 
-    fn as_array(&self) -> Result<&[Json], ProtocolError> {
+    /// The array items, or a schema error.
+    pub fn as_array(&self) -> Result<&[Json], ProtocolError> {
         match self {
             Json::Array(items) => Ok(items),
             _ => Err(schema_err("expected an array")),
         }
     }
 
-    fn as_f64_array(&self) -> Result<Vec<f64>, ProtocolError> {
+    /// The array items as `f64`, or a schema error.
+    pub fn as_f64_array(&self) -> Result<Vec<f64>, ProtocolError> {
         self.as_array()?.iter().map(Json::as_f64).collect()
     }
 }
@@ -542,6 +625,46 @@ pub fn from_json(text: &str) -> Result<CampaignResult, ProtocolError> {
         records,
         nominal_seconds: doc.field("nominal_seconds")?.as_f64()?,
         total_seconds: doc.field("total_seconds")?.as_f64()?,
+        telemetry: campaign_telemetry_from_json(doc.get("telemetry"))?,
+    })
+}
+
+/// Campaign-level telemetry is *optional* in the document — protocol
+/// files captured before the telemetry layer existed parse to
+/// [`CampaignTelemetry::default`].
+fn campaign_telemetry_from_json(v: Option<&Json>) -> Result<CampaignTelemetry, ProtocolError> {
+    let Some(v) = v else {
+        return Ok(CampaignTelemetry::default());
+    };
+    Ok(CampaignTelemetry {
+        pattern_cache_hits: v.field("pattern_cache_hits")?.as_u64()?,
+        pattern_cache_misses: v.field("pattern_cache_misses")?.as_u64()?,
+        pattern_cache_entries: v.field("pattern_cache_entries")?.as_usize()?,
+        early_stops: v.field("early_stops")?.as_u64()?,
+    })
+}
+
+/// Per-record telemetry is *optional* for the same reason.
+fn fault_telemetry_from_json(v: Option<&Json>) -> Result<FaultTelemetry, ProtocolError> {
+    let Some(v) = v else {
+        return Ok(FaultTelemetry::default());
+    };
+    let wall_seconds = v.field("wall_seconds")?.as_f64()?;
+    if !wall_seconds.is_finite() || wall_seconds < 0.0 {
+        return Err(schema_err("wall_seconds must be finite and non-negative"));
+    }
+    Ok(FaultTelemetry {
+        wall: Duration::from_secs_f64(wall_seconds),
+        steps: v.field("steps")?.as_u64()?,
+        halvings: v.field("halvings")?.as_u64()?,
+        newton_iterations: v.field("newton_iterations")?.as_u64()?,
+        solver: SolverStats {
+            refactorisations: v.field("refactorisations")?.as_u64()?,
+            repivots: v.field("repivots")?.as_u64()?,
+            dense_fallbacks: v.field("dense_fallbacks")?.as_u64()?,
+            demotions: v.field("demotions")?.as_u64()?,
+        },
+        early_stopped: v.field("early_stopped")?.as_bool()?,
     })
 }
 
@@ -560,6 +683,7 @@ fn record_from_json(v: &Json) -> Result<FaultRecord, ProtocolError> {
         outcome: outcome_from_json(v.field("outcome")?)?,
         sim_seconds: v.field("sim_seconds")?.as_f64()?,
         newton_iterations: v.field("newton_iterations")?.as_usize()? as u64,
+        telemetry: fault_telemetry_from_json(v.get("telemetry"))?,
     })
 }
 
@@ -662,6 +786,19 @@ mod tests {
                     },
                     sim_seconds: 0.01,
                     newton_iterations: 400,
+                    telemetry: FaultTelemetry {
+                        wall: Duration::from_millis(10),
+                        steps: 120,
+                        halvings: 3,
+                        newton_iterations: 400,
+                        solver: SolverStats {
+                            refactorisations: 123,
+                            repivots: 1,
+                            dense_fallbacks: 1,
+                            demotions: 0,
+                        },
+                        early_stopped: true,
+                    },
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -675,6 +812,7 @@ mod tests {
                     outcome: FaultOutcome::NotDetected,
                     sim_seconds: 0.02,
                     newton_iterations: 410,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -688,6 +826,7 @@ mod tests {
                     outcome: FaultOutcome::InjectionFailed("unknown node `zz`".into()),
                     sim_seconds: 0.001,
                     newton_iterations: 0,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -702,6 +841,7 @@ mod tests {
                     outcome: FaultOutcome::SimulationFailed("tran failed to converge".into()),
                     sim_seconds: 0.5,
                     newton_iterations: 12,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -715,10 +855,17 @@ mod tests {
                     outcome: FaultOutcome::NotDetected,
                     sim_seconds: 0.015,
                     newton_iterations: 380,
+                    telemetry: FaultTelemetry::default(),
                 },
             ],
             nominal_seconds: 0.0123,
             total_seconds: 0.25,
+            telemetry: CampaignTelemetry {
+                pattern_cache_hits: 5,
+                pattern_cache_misses: 2,
+                pattern_cache_entries: 2,
+                early_stops: 1,
+            },
         }
     }
 
@@ -737,10 +884,48 @@ mod tests {
             assert_eq!(a.outcome, b.outcome);
             assert_eq!(a.sim_seconds, b.sim_seconds);
             assert_eq!(a.newton_iterations, b.newton_iterations);
+            assert_eq!(a.telemetry, b.telemetry);
         }
+        assert_eq!(back.telemetry, original.telemetry);
         // Derived statistics survive too.
         assert_eq!(back.final_coverage(), original.final_coverage());
         assert_eq!(back.detections(), original.detections());
+    }
+
+    /// Protocol files written before the telemetry layer existed lack
+    /// both the top-level and the per-record `telemetry` objects; they
+    /// must keep parsing, with defaults filled in.
+    #[test]
+    fn pre_telemetry_captures_still_parse() {
+        let old_capture = r#"{
+  "version": 1,
+  "observed": ["out"],
+  "nominal_seconds": 0.01,
+  "total_seconds": 0.05,
+  "nominals": [
+    {"times": [0.0, 1e-6], "values": [0.0, 5.0]}
+  ],
+  "records": [
+    {"fault": {"id": 1, "label": "BRI a->b", "probability": null,
+      "effect": {"kind": "short", "a": "a", "b": "b"}},
+     "outcome": {"status": "not_detected"},
+     "sim_seconds": 0.02, "newton_iterations": 40}
+  ]
+}"#;
+        let back = from_json(old_capture).expect("old capture parses");
+        assert_eq!(back.telemetry, CampaignTelemetry::default());
+        assert_eq!(back.records[0].telemetry, FaultTelemetry::default());
+        assert_eq!(back.records[0].newton_iterations, 40);
+    }
+
+    /// A *present but malformed* telemetry object is a schema error,
+    /// not silently defaulted.
+    #[test]
+    fn malformed_telemetry_rejected() {
+        let mut result = sample_result();
+        result.records.truncate(1);
+        let text = to_json(&result).replace("\"wall_seconds\": 0.01", "\"wall_seconds\": null");
+        assert!(matches!(from_json(&text), Err(ProtocolError::Schema(_))));
     }
 
     #[test]

@@ -90,7 +90,7 @@ fn truncate(s: &str, n: usize) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::FaultRecord;
+    use crate::campaign::{CampaignTelemetry, FaultRecord, FaultTelemetry};
     use crate::fault::{Fault, FaultEffect};
     use spice::Wave;
 
@@ -115,6 +115,7 @@ mod tests {
                     },
                     sim_seconds: 0.01,
                     newton_iterations: 400,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -128,6 +129,7 @@ mod tests {
                     outcome: FaultOutcome::NotDetected,
                     sim_seconds: 0.02,
                     newton_iterations: 400,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -143,6 +145,7 @@ mod tests {
                     ),
                     sim_seconds: 0.001,
                     newton_iterations: 0,
+                    telemetry: FaultTelemetry::default(),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -156,10 +159,12 @@ mod tests {
                     outcome: FaultOutcome::SimulationFailed("tran failed to converge".into()),
                     sim_seconds: 0.5,
                     newton_iterations: 12,
+                    telemetry: FaultTelemetry::default(),
                 },
             ],
             nominal_seconds: 0.01,
             total_seconds: 0.04,
+            telemetry: CampaignTelemetry::default(),
         }
     }
 

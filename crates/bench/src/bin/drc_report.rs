@@ -4,9 +4,12 @@
 //! practice), and the conservative width check flags rectangle
 //! decomposition slivers at wire joints.
 
+use bench::Metrics;
 use std::collections::BTreeMap;
 
 fn main() {
+    let mut metrics = Metrics::from_args("drc_report");
+    metrics.phase("drc");
     let (flat, tech) = vco::vco_layout();
     let violations = layout::drc_check(&flat, &tech);
     println!("VCO layout DRC: {} findings\n", violations.len());
@@ -24,4 +27,5 @@ fn main() {
     println!("\nknown-benign classes: doubled-cut pairs (cont/via spacing),");
     println!("decomposition slivers (poly min-width at riser joints), and");
     println!("same-net pad-to-track gaps in the routing channel.");
+    metrics.finish();
 }

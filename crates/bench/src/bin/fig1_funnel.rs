@@ -1,11 +1,14 @@
 //! FIG1 — regenerates the fault-list funnel of Fig. 1: all faults →
 //! L²RFM → GLRFM, arrow width ∝ list size.
 
-use bench::fault_funnel;
+use bench::{fault_funnel, Metrics};
 
 fn main() {
+    let mut metrics = Metrics::from_args("fig1_funnel");
+    metrics.phase("funnel");
     let funnel = fault_funnel();
     println!("Fig. 1 — analogue fault simulation from concept and schematic");
     println!("         to layout (arrow width ∝ fault-list size)\n");
     print!("{}", funnel.render(50));
+    metrics.finish();
 }

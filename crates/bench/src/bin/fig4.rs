@@ -2,9 +2,11 @@
 //! V(11), fault #6 (`BRI n_ds_short 5->6`, changes the oscillation
 //! frequency) and fault #339-style (`BRI metal1_short 1->5`).
 
-use bench::{ascii_wave, fig4_waveforms};
+use bench::{ascii_wave, fig4_waveforms, Metrics};
 
 fn main() {
+    let mut metrics = Metrics::from_args("fig4");
+    metrics.phase("waveforms");
     let fig = fig4_waveforms();
     println!("Fig. 4 — faults extracted by LIFT, simulated by AnaFAULT");
     println!("         (V(11) over the 4 µs / 400-step transient)\n");
@@ -34,4 +36,5 @@ fn main() {
 
     println!("\npaper's observation: some short faults change the oscillation");
     println!("frequency (top fault), others force a constant output (bottom).");
+    metrics.finish();
 }

@@ -8,24 +8,48 @@
 
 use anafault::report::{coverage_plot, protocol_table};
 use anafault::HardFaultModel;
-use bench::{fig5_campaign, fig5_curve, fig5_solver_comparison};
+use bench::{fig5_campaign_limited, fig5_curve, fig5_solver_comparison, Metrics};
+
+/// Parses `--max-faults <n>` from the process arguments.
+fn max_faults_arg() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--max-faults" {
+            let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("--max-faults requires a positive integer");
+                std::process::exit(2);
+            });
+            return Some(n);
+        }
+    }
+    None
+}
 
 fn main() {
+    let mut metrics = Metrics::from_args("fig5");
     let skip_compare = std::env::args().any(|a| a == "--skip-solver-compare");
+    let max_faults = max_faults_arg();
     // `--json` emits the machine-readable protocol document instead of
     // the hand-formatted report (pipe into a file or a service).
     if std::env::args().any(|a| a == "--json") {
-        let (result, _) = fig5_campaign(HardFaultModel::Source);
+        metrics.phase("campaign");
+        let (result, _) = fig5_campaign_limited(HardFaultModel::Source, max_faults);
         print!("{}", anafault::protocol::to_json(&result));
+        metrics.attach_campaign(result.report());
+        metrics.finish();
         return;
     }
     let (comparison, result) = if skip_compare {
-        let (result, _) = fig5_campaign(HardFaultModel::Source);
+        metrics.phase("campaign");
+        let (result, _) = fig5_campaign_limited(HardFaultModel::Source, max_faults);
         (None, result)
     } else {
+        metrics.phase("solver-comparison");
         let (cmp, sparse_result) = fig5_solver_comparison(HardFaultModel::Source);
         (Some(cmp), sparse_result)
     };
+    metrics.attach_campaign(result.report());
+    metrics.phase("render");
     let curve = fig5_curve(&result);
     println!("Fig. 5 — fault coverage plot (source model, 2 V / 0.2 µs tolerance)\n");
     print!("{}", coverage_plot(&curve, 80, 16));
@@ -90,4 +114,5 @@ fn main() {
             println!("  verdicts      DISAGREE on faults {:?}", cmp.disagreements);
         }
     }
+    metrics.finish();
 }

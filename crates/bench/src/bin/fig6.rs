@@ -3,9 +3,11 @@
 //! values 1 kΩ (barely visible), 41 Ω, 21 Ω and 1 Ω (oscillation stops
 //! after one cycle).
 
-use bench::{ascii_wave, fig6_sweep};
+use bench::{ascii_wave, fig6_sweep, Metrics};
 
 fn main() {
+    let mut metrics = Metrics::from_args("fig6");
+    metrics.phase("sweep");
     let sweep = fig6_sweep(&[1000.0, 41.0, 21.0, 1.0]);
     println!("Fig. 6 — effect of the bridge resistor value, M11 drain -> GND");
     println!("         (V(11) over 4 µs)\n");
@@ -22,4 +24,5 @@ fn main() {
     println!("paper's observation: 1 kΩ leaves the waveform almost nominal;");
     println!("decreasing R degrades the oscillation until it stops (R = 1 Ω),");
     println!("i.e. the optimal modelling resistance depends on the location.");
+    metrics.finish();
 }

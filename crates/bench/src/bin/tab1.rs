@@ -1,9 +1,12 @@
 //! TAB1 — regenerates Tab. 1: likely physical failure modes and their
 //! relative defect densities.
 
+use bench::Metrics;
 use defect::{FailureClass, MechanismTable};
 
 fn main() {
+    let mut metrics = Metrics::from_args("tab1");
+    metrics.phase("table");
     let table = MechanismTable::paper_defaults();
     println!("Tab. 1 — Likely physical failure modes in a digital CMOS process");
     println!("         and typical relative failure densities\n");
@@ -29,4 +32,5 @@ fn main() {
     println!("normalisation: metal-1 short density = 1 defect/cm² (paper §IV)");
     println!("\n(paper values reproduced verbatim — this table is the input");
     println!(" to every probability LIFT computes)");
+    metrics.finish();
 }

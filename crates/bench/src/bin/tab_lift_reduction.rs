@@ -2,9 +2,11 @@
 //! failures (55 bridging, 8 line opens, 7 transistor stuck-opens), a
 //! 53 % reduction against the schematic-complete list.
 
-use bench::lift_reduction;
+use bench::{lift_reduction, Metrics};
 
 fn main() {
+    let mut metrics = Metrics::from_args("tab_lift_reduction");
+    metrics.phase("lift");
     let report = lift_reduction();
     let s = &report.lift.stats;
     println!("LIFT fault extraction on the VCO layout (paper §VI)\n");
@@ -46,4 +48,5 @@ fn main() {
     println!("riser (floating-gate opens dominate the open population),");
     println!("whereas the fabricated chip's abutment-style layout spreads");
     println!("opens across interconnect. Totals and reduction match.");
+    metrics.finish();
 }

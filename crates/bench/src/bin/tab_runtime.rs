@@ -2,9 +2,11 @@
 //! campaign took 43 % longer than the resistor-model one (4383 s vs
 //! 3068 s on the paper's workstation).
 
-use bench::runtime_comparison;
+use bench::{runtime_comparison, Metrics};
 
 fn main() {
+    let mut metrics = Metrics::from_args("tab_runtime");
+    metrics.phase("campaigns");
     println!("Fault-model runtime comparison (full campaign, both models)\n");
     let cmp = runtime_comparison();
     println!("{:<40} {:>10} {:>12}", "", "paper", "measured");
@@ -45,4 +47,5 @@ fn main() {
     println!("reproduce is the paper's actionable conclusion: both models");
     println!("yield identical fault coverage (\"nearly identical plots\"),");
     println!("and the choice of resistor value is the delicate part (Fig. 6).");
+    metrics.finish();
 }

@@ -2,10 +2,13 @@
 //! opens on the transistors + 1 capacitor open, and 73 shorts (six
 //! gate-drain pairs are designed shorts).
 
+use bench::Metrics;
 use lift::schematic::schematic_faults;
 use vco::vco_schematic;
 
 fn main() {
+    let mut metrics = Metrics::from_args("tab_schematic_faults");
+    metrics.phase("faults");
     let ckt = vco_schematic();
     let n_mos = vco::schematic::transistor_count(&ckt);
     let n_diode = vco::schematic::diode_connected_count(&ckt);
@@ -43,4 +46,5 @@ fn main() {
         78 + 1 + 73,
         faults.total()
     );
+    metrics.finish();
 }

@@ -6,6 +6,10 @@
 //! measure the performance dimensions (fault-model runtime ratio,
 //! kernel/extraction throughput).
 
+pub mod metrics;
+
+pub use metrics::{render_report, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS};
+
 use anafault::{Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, HardFaultModel};
 use cat_core::{CatSystem, FaultFunnel};
 use defect::SizeDistribution;
@@ -185,8 +189,29 @@ pub fn fig5_curve(result: &CampaignResult) -> Vec<(f64, f64)> {
 /// Runs the full fault-simulation campaign and returns the result plus
 /// the coverage curve sampled each 1 % of test time.
 pub fn fig5_campaign(model: HardFaultModel) -> (CampaignResult, Vec<(f64, f64)>) {
+    fig5_campaign_limited(model, None)
+}
+
+/// [`fig5_campaign`] with an optional fault budget — the CI smoke job
+/// runs a trimmed list (`--max-faults`) so the report pipeline is
+/// exercised in seconds rather than the full campaign's minutes.
+pub fn fig5_campaign_limited(
+    model: HardFaultModel,
+    max_faults: Option<usize>,
+) -> (CampaignResult, Vec<(f64, f64)>) {
     let (sys, tb) = vco_system();
-    let result = paper_campaign(tb, model)
+    let mut builder = Campaign::builder()
+        .testbench(tb)
+        .tran(paper_tran())
+        .observe(OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(model);
+    if let Some(n) = max_faults {
+        builder = builder.max_faults(n);
+    }
+    let result = builder
+        .build()
+        .expect("paper campaign settings are complete")
         .run(&sys.fault_list())
         .expect("nominal simulation succeeds");
     let curve = fig5_curve(&result);

@@ -45,8 +45,8 @@
 //! `model`).
 
 use anafault::{
-    Campaign, CampaignBuilder, CampaignProgress, CampaignResult, ConfigError, DetectionSpec, Fault,
-    HardFaultModel, InjectError,
+    Campaign, CampaignBuilder, CampaignProgress, CampaignReport, CampaignResult, ConfigError,
+    DetectionSpec, Fault, HardFaultModel, InjectError,
 };
 use extract::{ExtractError, ExtractOptions, ExtractedNetlist};
 use layout::{FlatLayout, Technology};
@@ -183,6 +183,21 @@ impl CatSystem {
     ) -> Result<CampaignResult, CatError> {
         let faults = self.fault_list();
         Ok(campaign.session(&faults).run_with_progress(on_event)?)
+    }
+
+    /// Runs `campaign` and aggregates the records into a
+    /// [`CampaignReport`] — the one-call entry point for flows that
+    /// only need the run's summary statistics and telemetry.
+    ///
+    /// # Errors
+    /// Fails when the nominal simulation fails ([`CatError::Spice`]).
+    pub fn simulate_reported(
+        &self,
+        campaign: &Campaign,
+    ) -> Result<(CampaignResult, CampaignReport), CatError> {
+        let result = self.simulate(campaign)?;
+        let report = result.report();
+        Ok((result, report))
     }
 
     /// Builds a campaign over a caller-prepared testbench circuit.

@@ -10,7 +10,7 @@ use crate::devices::{
 };
 use crate::mna::Stamper;
 use crate::netlist::Circuit;
-use crate::sparse::{MnaSolver, PatternCache, SolverKind};
+use crate::sparse::{MnaSolver, PatternCache, SolverBackend, SolverKind};
 use crate::SpiceError;
 
 /// Newton iteration controls.
@@ -84,18 +84,18 @@ pub fn solve_newton_in(
     analysis: &str,
 ) -> Result<(Vec<f64>, usize), SpiceError> {
     let mut x = x0.to_vec();
-    if let MnaSolver::Sparse(sys) = solver {
+    if let Some(sys) = solver.sparse_mut() {
         sys.clear();
         stamp_linear(ckt, map, sys, params);
         sys.snapshot_baseline();
     }
     for iter in 0..opts.max_iter {
-        match solver {
-            MnaSolver::Sparse(sys) => {
+        match solver.backend_mut() {
+            SolverBackend::Sparse(sys) => {
                 sys.restore_baseline();
                 stamp_nonlinear(ckt, map, plan, &x, sys, params);
             }
-            MnaSolver::Dense(sys) => {
+            SolverBackend::Dense(sys) => {
                 stamp_all_planned(ckt, map, plan, &x, sys, params);
             }
         }
@@ -105,6 +105,7 @@ pub fn solve_newton_in(
         // otherwise read as "converged" and hand a poisoned solution
         // to the caller — fail the analysis instead.
         if x_new.iter().any(|v| !v.is_finite()) {
+            NONFINITE_ABORTS.inc();
             return Err(SpiceError::NoConvergence {
                 analysis: analysis.to_string(),
                 detail: format!("non-finite solution at iteration {}", iter + 1),
@@ -123,11 +124,22 @@ pub fn solve_newton_in(
             return Ok((x, iter + 1));
         }
     }
+    CONVERGENCE_FAILURES.inc();
     Err(SpiceError::NoConvergence {
         analysis: analysis.to_string(),
         detail: format!("no convergence in {} iterations", opts.max_iter),
     })
 }
+
+/// Newton runs that exhausted `max_iter` (includes rungs of the dcop
+/// ladder that are *expected* to fail before a later rung succeeds).
+static CONVERGENCE_FAILURES: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.newton.convergence_failures");
+/// Newton runs aborted on a non-finite iterate.
+static NONFINITE_ABORTS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.newton.nonfinite_aborts");
+static DCOP_RUNS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.dcop.runs");
 
 /// Computes the DC operating point (capacitors open, sources at their
 /// DC values).
@@ -152,17 +164,29 @@ pub fn dc_operating_point_with(
     kind: SolverKind,
     cache: Option<&PatternCache>,
 ) -> Result<Vec<f64>, SpiceError> {
+    let _span = cat_telemetry::span!("spice.dcop");
+    DCOP_RUNS.inc();
     let map = UnknownMap::new(ckt);
     let plan = StampPlan::new(ckt)?;
     let mut solver = MnaSolver::for_circuit(ckt, &map, kind, cache);
+    let out = dcop_ladder(ckt, &map, &plan, &mut solver);
+    solver.stats().flush_to_telemetry();
+    out
+}
+
+/// The fallback ladder itself, over a caller-owned solver.
+fn dcop_ladder(
+    ckt: &Circuit,
+    map: &UnknownMap,
+    plan: &StampPlan<'_>,
+    solver: &mut MnaSolver,
+) -> Result<Vec<f64>, SpiceError> {
     let opts = NewtonOpts::default();
     let zeros = vec![0.0; map.dim()];
 
     // 1. Plain Newton from zero.
     let base = StampParams::default();
-    if let Ok((x, _)) =
-        solve_newton_in(&mut solver, ckt, &map, &plan, &zeros, &base, &opts, "dc op")
-    {
+    if let Ok((x, _)) = solve_newton_in(solver, ckt, map, plan, &zeros, &base, &opts, "dc op") {
         return Ok(x);
     }
 
@@ -177,10 +201,10 @@ pub fn dc_operating_point_with(
             ..StampParams::default()
         };
         match solve_newton_in(
-            &mut solver,
+            solver,
             ckt,
-            &map,
-            &plan,
+            map,
+            plan,
             &x,
             &params,
             &opts,
@@ -197,10 +221,10 @@ pub fn dc_operating_point_with(
     if ok {
         let params = StampParams::default();
         if let Ok((final_x, _)) = solve_newton_in(
-            &mut solver,
+            solver,
             ckt,
-            &map,
-            &plan,
+            map,
+            plan,
             &x,
             &params,
             &opts,
@@ -218,10 +242,10 @@ pub fn dc_operating_point_with(
             ..StampParams::default()
         };
         x = solve_newton_in(
-            &mut solver,
+            solver,
             ckt,
-            &map,
-            &plan,
+            map,
+            plan,
             &x,
             &params,
             &opts,

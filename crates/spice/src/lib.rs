@@ -69,8 +69,8 @@ pub mod waveform;
 
 pub use mna::Stamper;
 pub use netlist::{Circuit, Element, ElementKind, MosModel, MosPolarity, NodeId, Waveform};
-pub use sparse::{MnaSolver, Pattern, PatternCache, SolverKind};
-pub use tran::{tran, tran_cached, tran_with, tran_with_cached, TranResult, TranSpec};
+pub use sparse::{MnaSolver, Pattern, PatternCache, SolverBackend, SolverKind, SolverStats};
+pub use tran::{tran, tran_cached, tran_with, tran_with_cached, TranResult, TranSpec, TranStats};
 pub use waveform::Wave;
 
 /// Errors surfaced by parsing or simulation.

@@ -21,9 +21,11 @@
 //!   preserve the stamp structure (soft deviations) hit the cache
 //!   outright; bridges and opens add a handful of known slots and get
 //!   their variant pattern built exactly once.
-//! * [`MnaSolver`] — the dispatch enum: dense [`MnaSystem`] for tiny
+//! * [`MnaSolver`] — the dispatcher: a dense [`MnaSystem`] for tiny
 //!   systems (below [`DENSE_CUTOFF`] unknowns dense pivoting is both
-//!   faster and more robust), sparse otherwise.
+//!   faster and more robust), sparse otherwise. It also keeps
+//!   [`SolverStats`] work counters alive across the sparse → dense
+//!   demotion.
 //!
 //! ## Numeric robustness under a frozen pivot order
 //!
@@ -314,6 +316,7 @@ impl Pattern {
         for (slot, &(r, c)) in coords.iter().enumerate() {
             slot_of[r as usize * n + c as usize] = slot as u32;
         }
+        PATTERN_BUILDS.inc();
         Some(Pattern {
             n,
             coords,
@@ -433,6 +436,63 @@ pub fn sparse_dense_fallbacks() -> u64 {
     DENSE_FALLBACKS.load(Ordering::Relaxed)
 }
 
+/// Symbolic pattern builds (cold: once per topology).
+static PATTERN_BUILDS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.pattern_builds");
+static CACHE_HITS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.pattern_cache.hits");
+static CACHE_MISSES: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.pattern_cache.misses");
+static FLUSH_REFACTORISATIONS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.refactorisations");
+static FLUSH_REPIVOTS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.repivots");
+static FLUSH_DENSE_FALLBACKS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.dense_fallbacks");
+static FLUSH_DEMOTIONS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.sparse.demotions");
+
+/// Per-solver work counters, kept as plain integers on the hot path
+/// and flushed into the global [`cat_telemetry`] registry at the end
+/// of an analysis (so the per-solve cost of telemetry is a couple of
+/// ordinary increments, enabled or not).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Numeric refactorisation + solve passes that ran to completion
+    /// or failure over a frozen structure (includes the retry after a
+    /// re-pivot, excludes dense solves).
+    pub refactorisations: u64,
+    /// Threshold re-pivots: the frozen order died numerically and a
+    /// fresh values-aware ordering was computed.
+    pub repivots: u64,
+    /// Dense partial-pivoting rescues after even the re-pivoted plan
+    /// failed.
+    pub dense_fallbacks: u64,
+    /// Sparse solvers demoted to dense for the rest of their analysis
+    /// after repeated consecutive rescues.
+    pub demotions: u64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self` (used when merging the stats of
+    /// a demoted backend, per-fault totals, campaign aggregates …).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.refactorisations += other.refactorisations;
+        self.repivots += other.repivots;
+        self.dense_fallbacks += other.dense_fallbacks;
+        self.demotions += other.demotions;
+    }
+
+    /// Adds these stats to the global telemetry counters
+    /// (`spice.sparse.*`). Cheap no-op while telemetry is disabled.
+    pub fn flush_to_telemetry(&self) {
+        FLUSH_REFACTORISATIONS.add(self.refactorisations);
+        FLUSH_REPIVOTS.add(self.repivots);
+        FLUSH_DENSE_FALLBACKS.add(self.dense_fallbacks);
+        FLUSH_DEMOTIONS.add(self.demotions);
+    }
+}
+
 /// Per-solver numeric state over a shared [`Pattern`]: assembled values,
 /// right-hand side, and the LU workspace for numeric-only refactoring.
 #[derive(Debug, Clone)]
@@ -456,6 +516,8 @@ pub struct SparseSystem {
     /// keeps happening the dispatcher demotes the solver to dense
     /// outright (see [`MnaSolver::solve`]).
     consecutive_fallbacks: u32,
+    /// Work counters for this solver's lifetime.
+    stats: SolverStats,
 }
 
 impl Stamper for SparseSystem {
@@ -598,6 +660,7 @@ impl SparseSystem {
             base_rhs: vec![0.0; n],
             local_plan: None,
             consecutive_fallbacks: 0,
+            stats: SolverStats::default(),
         }
     }
 
@@ -627,6 +690,11 @@ impl SparseSystem {
         self.local_plan.is_some()
     }
 
+    /// Work counters accumulated over this solver's lifetime.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
     /// Numeric-only refactorisation + solve over the frozen structure,
     /// re-pivoting from the current values when a pivot dies relative
     /// to its row scale ([`REL_PIVOT_TOL`]). Assembled values and the
@@ -639,6 +707,7 @@ impl SparseSystem {
     /// partial pivoting before declaring the system unsolvable.
     pub fn solve(&mut self, analysis: &str) -> Result<Vec<f64>, SpiceError> {
         let n = self.pattern.n;
+        self.stats.refactorisations += 1;
         let plan = self.local_plan.as_deref().unwrap_or(&self.pattern.plan);
         match refactor_and_solve(
             plan,
@@ -656,11 +725,13 @@ impl SparseSystem {
                 // The frozen order died at this operating point:
                 // re-pivot from the values actually on hand and retry.
                 REPIVOTS.fetch_add(1, Ordering::Relaxed);
+                self.stats.repivots += 1;
                 let fresh = numeric_plan(n, &self.pattern.coords, &self.vals).ok_or_else(|| {
                     SpiceError::Singular {
                         analysis: analysis.to_string(),
                     }
                 })?;
+                self.stats.refactorisations += 1;
                 let x = refactor_and_solve(
                     &fresh,
                     n,
@@ -680,8 +751,9 @@ impl SparseSystem {
 
     /// Rebuilds the assembled system densely and solves it with partial
     /// pivoting — the robustness net under the frozen pivot orders.
-    fn solve_dense_fallback(&self, analysis: &str) -> Result<Vec<f64>, SpiceError> {
+    fn solve_dense_fallback(&mut self, analysis: &str) -> Result<Vec<f64>, SpiceError> {
         DENSE_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        self.stats.dense_fallbacks += 1;
         let mut dense = MnaSystem::new(self.pattern.n);
         for (slot, &(r, c)) in self.pattern.coords.iter().enumerate() {
             dense.add(r as usize, c as usize, self.vals[slot]);
@@ -810,9 +882,11 @@ impl PatternCache {
         let bucket = map.entry(h).or_default();
         if let Some((_, pat)) = bucket.iter().find(|(k, _)| *k == coords) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            CACHE_HITS.inc();
             return pat.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        CACHE_MISSES.inc();
         let pat = Pattern::build(n, coords.clone()).map(Arc::new);
         bucket.push((coords, pat.clone()));
         pat
@@ -827,18 +901,46 @@ impl PatternCache {
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Number of cached topologies (including negatively cached
+    /// structurally singular ones). Every miss inserts exactly one
+    /// entry, so `len() == misses()` at any quiescent point — the
+    /// invariant that proves each topology paid its symbolic analysis
+    /// exactly once.
+    pub fn len(&self) -> usize {
+        self.map
+            .lock()
+            .expect("pattern cache poisoned")
+            .values()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// True when no topology has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The concrete linear-solver backend inside an [`MnaSolver`].
+#[derive(Debug)]
+pub enum SolverBackend {
+    /// Dense row-major LU with partial pivoting.
+    Dense(MnaSystem),
+    /// Sparse slot-stamped LU with reusable symbolic factorisation.
+    Sparse(SparseSystem),
 }
 
 /// The linear-solver dispatch used by Newton: dense for tiny systems,
 /// the pattern-reusing sparse engine otherwise, with dense partial
 /// pivoting as the last-resort fallback when even a numeric re-pivot
-/// dies.
+/// dies. Carries the work counters of any backend it demoted, so
+/// [`MnaSolver::stats`] survives the sparse → dense demotion.
 #[derive(Debug)]
-pub enum MnaSolver {
-    /// Dense row-major LU with partial pivoting.
-    Dense(MnaSystem),
-    /// Sparse slot-stamped LU with reusable symbolic factorisation.
-    Sparse(SparseSystem),
+pub struct MnaSolver {
+    backend: SolverBackend,
+    /// Stats inherited from a demoted sparse backend.
+    carried: SolverStats,
 }
 
 impl MnaSolver {
@@ -865,15 +967,55 @@ impl MnaSolver {
                 None => Pattern::build(dim, coords).map(Arc::new),
             };
             if let Some(pattern) = pattern {
-                return MnaSolver::Sparse(SparseSystem::new(pattern));
+                return MnaSolver::sparse(SparseSystem::new(pattern));
             }
         }
-        MnaSolver::Dense(MnaSystem::new(dim))
+        MnaSolver::dense(MnaSystem::new(dim))
+    }
+
+    /// Wraps a dense system.
+    pub fn dense(sys: MnaSystem) -> MnaSolver {
+        MnaSolver {
+            backend: SolverBackend::Dense(sys),
+            carried: SolverStats::default(),
+        }
+    }
+
+    /// Wraps a sparse system.
+    pub fn sparse(sys: SparseSystem) -> MnaSolver {
+        MnaSolver {
+            backend: SolverBackend::Sparse(sys),
+            carried: SolverStats::default(),
+        }
+    }
+
+    /// The active backend (Newton drivers use this to take the
+    /// baseline-snapshot shortcut on the sparse engine).
+    pub fn backend_mut(&mut self) -> &mut SolverBackend {
+        &mut self.backend
+    }
+
+    /// The sparse backend, when active.
+    pub fn sparse_mut(&mut self) -> Option<&mut SparseSystem> {
+        match &mut self.backend {
+            SolverBackend::Sparse(sys) => Some(sys),
+            SolverBackend::Dense(_) => None,
+        }
     }
 
     /// True when the sparse engine is active.
     pub fn is_sparse(&self) -> bool {
-        matches!(self, MnaSolver::Sparse(_))
+        matches!(self.backend, SolverBackend::Sparse(_))
+    }
+
+    /// Work counters over the solver's whole lifetime, including any
+    /// sparse backend that has since been demoted to dense.
+    pub fn stats(&self) -> SolverStats {
+        let mut out = self.carried;
+        if let SolverBackend::Sparse(sys) = &self.backend {
+            out.merge(&sys.stats());
+        }
+        out
     }
 
     /// Solves the assembled system.
@@ -890,9 +1032,9 @@ impl MnaSolver {
     /// dense partial pivoting.
     pub fn solve(&mut self, analysis: &str) -> Result<Vec<f64>, SpiceError> {
         let mut demote = false;
-        let out = match self {
-            MnaSolver::Dense(sys) => sys.solve(analysis),
-            MnaSolver::Sparse(sys) => match sys.solve(analysis) {
+        let out = match &mut self.backend {
+            SolverBackend::Dense(sys) => sys.solve(analysis),
+            SolverBackend::Sparse(sys) => match sys.solve(analysis) {
                 Err(SpiceError::Singular { .. }) => {
                     let rescued = sys.solve_dense_fallback(analysis);
                     if rescued.is_ok() {
@@ -908,7 +1050,11 @@ impl MnaSolver {
             },
         };
         if demote {
-            *self = MnaSolver::Dense(MnaSystem::new(Stamper::dim(self)));
+            if let SolverBackend::Sparse(sys) = &self.backend {
+                self.carried.merge(&sys.stats());
+            }
+            self.carried.demotions += 1;
+            self.backend = SolverBackend::Dense(MnaSystem::new(Stamper::dim(self)));
         }
         out
     }
@@ -916,32 +1062,32 @@ impl MnaSolver {
 
 impl Stamper for MnaSolver {
     fn dim(&self) -> usize {
-        match self {
-            MnaSolver::Dense(sys) => Stamper::dim(sys),
-            MnaSolver::Sparse(sys) => Stamper::dim(sys),
+        match &self.backend {
+            SolverBackend::Dense(sys) => Stamper::dim(sys),
+            SolverBackend::Sparse(sys) => Stamper::dim(sys),
         }
     }
 
     #[inline]
     fn add(&mut self, row: usize, col: usize, g: f64) {
-        match self {
-            MnaSolver::Dense(sys) => sys.add(row, col, g),
-            MnaSolver::Sparse(sys) => sys.add(row, col, g),
+        match &mut self.backend {
+            SolverBackend::Dense(sys) => sys.add(row, col, g),
+            SolverBackend::Sparse(sys) => sys.add(row, col, g),
         }
     }
 
     #[inline]
     fn add_rhs(&mut self, row: usize, v: f64) {
-        match self {
-            MnaSolver::Dense(sys) => sys.add_rhs(row, v),
-            MnaSolver::Sparse(sys) => sys.add_rhs(row, v),
+        match &mut self.backend {
+            SolverBackend::Dense(sys) => sys.add_rhs(row, v),
+            SolverBackend::Sparse(sys) => sys.add_rhs(row, v),
         }
     }
 
     fn clear(&mut self) {
-        match self {
-            MnaSolver::Dense(sys) => sys.clear(),
-            MnaSolver::Sparse(sys) => sys.clear(),
+        match &mut self.backend {
+            SolverBackend::Dense(sys) => sys.clear(),
+            SolverBackend::Sparse(sys) => sys.clear(),
         }
     }
 }
@@ -1036,7 +1182,7 @@ mod tests {
     fn numerically_singular_falls_back_to_dense_and_reports() {
         let coords = vec![(0, 0), (0, 1), (1, 0), (1, 1)];
         let pattern = Arc::new(Pattern::build(2, coords).unwrap());
-        let mut solver = MnaSolver::Sparse(SparseSystem::new(pattern));
+        let mut solver = MnaSolver::sparse(SparseSystem::new(pattern));
         // Numerically dependent rows: the sparse pivot check trips, the
         // re-pivot cannot help, the dense fallback runs, and still
         // (correctly) reports Singular.
@@ -1049,6 +1195,53 @@ mod tests {
             solver.solve("fallback"),
             Err(SpiceError::Singular { .. })
         ));
+        let stats = solver.stats();
+        // The re-pivot attempt finds no usable pivot (numeric_plan
+        // fails outright), so only the frozen refactor ran.
+        assert_eq!(stats.refactorisations, 1);
+        assert_eq!(stats.repivots, 1);
+        assert_eq!(stats.dense_fallbacks, 1);
+    }
+
+    #[test]
+    fn stats_survive_demotion_to_dense() {
+        // A solvable-only-densely system: each solve takes the frozen
+        // try, the re-pivot, and the dense rescue; after the second
+        // consecutive rescue the dispatcher demotes, and the counters
+        // accumulated by the sparse backend must remain visible.
+        // Column 0 is a singleton holding 1e-20, so both the
+        // structural order (Markowitz cost 0) and the threshold
+        // re-pivot (sole entry ⇒ ratio 1) must pivot on (0,0) — a
+        // pivot twenty decades below its own row scale, which trips
+        // the sparse engine's row-relative test twice per solve. The
+        // dense rescue judges pivots against their *column* scale
+        // (tiny but consistent here) and solves it.
+        let coords = vec![(0, 0), (0, 1), (1, 1)];
+        let pattern = Arc::new(Pattern::build(2, coords).unwrap());
+        let mut solver = MnaSolver::sparse(SparseSystem::new(pattern));
+        for round in 0..2 {
+            solver.clear();
+            solver.add(0, 0, 1e-20);
+            solver.add(0, 1, 1.0);
+            solver.add(1, 1, 1.0);
+            solver.add_rhs(0, 1.0);
+            solver.add_rhs(1, 1.0);
+            let x = solver.solve("demote").expect("dense rescue solves");
+            assert!(x[0].abs() < 1e-9 && (x[1] - 1.0).abs() < 1e-12, "{x:?}");
+            let expect_sparse = round == 0;
+            assert_eq!(solver.is_sparse(), expect_sparse, "round {round}");
+        }
+        let stats = solver.stats();
+        assert_eq!(stats.dense_fallbacks, 2);
+        assert_eq!(stats.demotions, 1);
+        assert_eq!(stats.repivots, 2);
+        assert_eq!(stats.refactorisations, 4, "frozen try + retry, twice");
+        // Further dense solves leave the carried stats untouched.
+        solver.clear();
+        solver.add(0, 0, 1.0);
+        solver.add(1, 1, 1.0);
+        solver.solve("post-demotion").unwrap();
+        assert_eq!(solver.stats(), stats);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use crate::dcop::{dc_operating_point_with, solve_newton_in, NewtonOpts};
 use crate::devices::{CapCompanion, StampParams, StampPlan, UnknownMap};
 use crate::netlist::{Circuit, ElementKind, NodeId};
-use crate::sparse::{MnaSolver, PatternCache, SolverKind};
+use crate::sparse::{MnaSolver, PatternCache, SolverKind, SolverStats};
 use crate::waveform::Wave;
 use crate::SpiceError;
 
@@ -99,6 +99,24 @@ impl TranSpec {
     }
 }
 
+/// Work counters for one transient run, accumulated as plain integers
+/// on the hot path and flushed into the global telemetry registry
+/// (`spice.tran.*`, `spice.sparse.*`) once at the end of the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranStats {
+    /// Accepted integration steps, *including* the sub-steps produced
+    /// by halving (so a rescued grid step contributes ≥ 2).
+    pub steps: u64,
+    /// Step-halving events: a Newton failure that split the step in
+    /// two (each recursion level counts once).
+    pub halvings: u64,
+    /// Newton iterations consumed over the whole run.
+    pub newton_iterations: u64,
+    /// Linear-solver work counters (sparse refactorisations, re-pivots,
+    /// dense fallbacks, demotions), surviving any demotion to dense.
+    pub solver: SolverStats,
+}
+
 /// Result of a transient run: one [`Wave`] per non-ground node.
 #[derive(Debug, Clone)]
 pub struct TranResult {
@@ -107,7 +125,11 @@ pub struct TranResult {
     data: Vec<Vec<f64>>, // indexed [node-1][sample]
     /// Newton iterations consumed over the whole run (a work measure —
     /// the paper compares fault-model runtimes via such counters).
+    /// Equal to `stats.newton_iterations`; kept as a field because it
+    /// predates [`TranStats`].
     pub newton_iterations: u64,
+    /// Full work counters for the run.
+    pub stats: TranStats,
 }
 
 impl TranResult {
@@ -248,6 +270,8 @@ pub fn tran_with_cached<F>(
 where
     F: FnMut(f64, &[f64]) -> bool,
 {
+    let _span = cat_telemetry::span!("spice.tran");
+    TRAN_RUNS.inc();
     ckt.validate().map_err(SpiceError::Elaboration)?;
     let map = UnknownMap::new(ckt);
     let dim = map.dim();
@@ -301,7 +325,7 @@ where
     let n_nodes = ckt.node_count() - 1;
     let mut times = vec![0.0];
     let mut data: Vec<Vec<f64>> = (0..n_nodes).map(|i| vec![x[i]]).collect();
-    let mut newton_iterations: u64 = 0;
+    let mut stats = TranStats::default();
 
     // The output grid is derived from the integer step index: step k
     // ends at exactly `k · tstep`, so a 10⁵-step run lands on the same
@@ -346,7 +370,7 @@ where
                 t,
                 t_next,
                 0,
-                &mut newton_iterations,
+                &mut stats,
             )?;
             t = t_next;
             if !record(t, &x, &mut times, &mut data) {
@@ -374,7 +398,7 @@ where
                     t,
                     t_stop,
                     0,
-                    &mut newton_iterations,
+                    &mut stats,
                 )?;
                 record(t_stop, &x, &mut times, &mut data);
             }
@@ -384,12 +408,34 @@ where
     let names = (1..ckt.node_count())
         .map(|n| ckt.node_name(n).to_string())
         .collect();
+    stats.solver = solver.stats();
+    flush_tran_stats(&stats);
     Ok(TranResult {
         times,
         names,
         data,
-        newton_iterations,
+        newton_iterations: stats.newton_iterations,
+        stats,
     })
+}
+
+static TRAN_RUNS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.tran.runs");
+static TRAN_STEPS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.tran.steps");
+static TRAN_HALVINGS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.tran.halvings");
+static NEWTON_ITERATIONS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("spice.newton.iterations");
+
+/// Adds a finished run's counters to the global registry. Each `add`
+/// is a no-op while telemetry is disabled, so the cost off the record
+/// path is a handful of relaxed loads per *run*.
+fn flush_tran_stats(stats: &TranStats) {
+    TRAN_STEPS.add(stats.steps);
+    TRAN_HALVINGS.add(stats.halvings);
+    NEWTON_ITERATIONS.add(stats.newton_iterations);
+    stats.solver.flush_to_telemetry();
 }
 
 /// Advances the solution from `t0` to `t1`, recursively halving on
@@ -408,7 +454,7 @@ fn advance(
     t0: f64,
     t1: f64,
     depth: u32,
-    newton_iterations: &mut u64,
+    stats: &mut TranStats,
 ) -> Result<(), SpiceError> {
     let dt = t1 - t0;
     // Build companions for this step.
@@ -452,7 +498,8 @@ fn advance(
         });
     match solved {
         Ok((next, iters)) => {
-            *newton_iterations += iters as u64;
+            stats.steps += 1;
+            stats.newton_iterations += iters as u64;
             // Commit capacitance states.
             for ((inst, st), cc) in instances.iter().zip(caps.iter_mut()).zip(&companions) {
                 let v_new = map.voltage(&next, inst.a) - map.voltage(&next, inst.b);
@@ -466,6 +513,7 @@ fn advance(
             if depth >= spec.max_halvings {
                 return Err(e);
             }
+            stats.halvings += 1;
             let tm = 0.5 * (t0 + t1);
             advance(
                 ckt,
@@ -480,7 +528,7 @@ fn advance(
                 t0,
                 tm,
                 depth + 1,
-                newton_iterations,
+                stats,
             )?;
             advance(
                 ckt,
@@ -495,7 +543,7 @@ fn advance(
                 tm,
                 t1,
                 depth + 1,
-                newton_iterations,
+                stats,
             )
         }
     }

@@ -1,0 +1,90 @@
+//! Minimal hand-rolled JSON emission, matching the conventions of
+//! `anafault::protocol`: shortest round-trip float formatting and
+//! non-finite numbers written as `null` so every document stays
+//! strictly standard JSON.
+
+/// Formats a float with the shortest representation that round-trips.
+/// Non-finite values serialize as `null`.
+pub fn num(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".into();
+    }
+    let short = format!("{x}");
+    if short.parse::<f64>() == Ok(x) {
+        short
+    } else {
+        format!("{x:e}")
+    }
+}
+
+/// Quotes and escapes a string for JSON.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a slice of floats as a JSON array.
+pub fn num_array(xs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&num(*x));
+    }
+    out.push(']');
+    out
+}
+
+/// Formats a slice of unsigned integers as a JSON array.
+pub fn uint_array(xs: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&x.to_string());
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_round_trip() {
+        for x in [0.0, -1.5, 1e-300, 0.1 + 0.2, f64::MAX] {
+            assert_eq!(num(x).parse::<f64>().unwrap(), x);
+        }
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(quote("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_format() {
+        assert_eq!(num_array(&[1.0, 2.5]), "[1, 2.5]");
+        assert_eq!(uint_array(&[3, 4]), "[3, 4]");
+        assert_eq!(num_array(&[]), "[]");
+    }
+}

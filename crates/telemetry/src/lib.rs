@@ -1,0 +1,59 @@
+//! Dependency-free telemetry for the CAT stack: atomic counters,
+//! bounded histograms, scoped spans and an NDJSON event sink.
+//!
+//! The whole crate is **zero-cost when disabled** (the default):
+//! every entry point first checks one relaxed atomic flag and bails
+//! out without allocating, locking or reading the clock. Hot code in
+//! `spice` therefore keeps plain `u64` statistics and *flushes* them
+//! here at the end of a run, while genuinely cold sites (pattern
+//! builds, cache lookups, convergence failures) use [`StaticCounter`]
+//! directly.
+//!
+//! Naming scheme (see `docs/observability.md` in the workspace root):
+//! dot-separated, `crate.subsystem.metric`, e.g.
+//! `spice.sparse.refactorisations` or `anafault.campaign.faults`.
+//! Span histograms are registered as `span.<name>`.
+//!
+//! ```
+//! cat_telemetry::set_enabled(true);
+//! let c = cat_telemetry::global().counter("demo.events");
+//! c.inc();
+//! {
+//!     let _outer = cat_telemetry::span!("demo.outer");
+//!     let _inner = cat_telemetry::span!("demo.inner"); // depth 1
+//! }
+//! assert_eq!(cat_telemetry::global().counter_values()["demo.events"], 1);
+//! cat_telemetry::set_enabled(false);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, Registry, StaticCounter};
+pub use sink::{set_sink, Event, EventSink, MemorySink};
+pub use span::{span, Span, SPAN_EDGES};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns telemetry collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when telemetry collection is on. One relaxed load — callers
+/// on hot paths gate all other work behind this.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The process-wide registry that named counters and histograms live
+/// in. Instrumented crates resolve their metrics here lazily.
+pub fn global() -> &'static Registry {
+    static GLOBAL: Registry = Registry::new();
+    &GLOBAL
+}

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .detection(DetectionSpec::paper_fig5())
         .model(HardFaultModel::paper_resistor())
         .build()?;
-    let result = sys.simulate(&campaign)?;
+    let (result, report) = sys.simulate_reported(&campaign)?;
 
     // `--json` emits the machine-readable protocol file instead of the
     // hand-formatted tables.
@@ -61,6 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         coverage_plot(&result.coverage_curve(&samples), 80, 14)
+    );
+    // How much work the solver shared across the campaign.
+    println!(
+        "solver: {} symbolic patterns for {} faults ({} cache hits), \
+         {} refactorisations, {} Newton iterations over {} steps",
+        report.telemetry.pattern_cache_entries,
+        report.faults,
+        report.telemetry.pattern_cache_hits,
+        report.solver.refactorisations,
+        report.newton_iterations,
+        report.steps,
     );
     Ok(())
 }

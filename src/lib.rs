@@ -54,6 +54,7 @@
 
 pub use anafault;
 pub use cat_core;
+pub use cat_telemetry;
 pub use defect;
 pub use extract;
 pub use geom;
@@ -65,8 +66,8 @@ pub use vco;
 /// The names most flows need.
 pub mod prelude {
     pub use anafault::{
-        Campaign, CampaignBuilder, CampaignProgress, CampaignResult, DetectionSpec, Fault,
-        FaultEffect, HardFaultModel,
+        Campaign, CampaignBuilder, CampaignProgress, CampaignReport, CampaignResult,
+        CampaignTelemetry, DetectionSpec, Fault, FaultEffect, FaultTelemetry, HardFaultModel,
     };
     pub use cat_core::{CatError, CatSystem, FaultFunnel};
     pub use defect::{MechanismTable, SizeDistribution};

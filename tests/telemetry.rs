@@ -1,0 +1,177 @@
+//! Integration tests for the telemetry layer: pattern sharing across a
+//! full fig5-style campaign, and the NDJSON event stream parsing back
+//! through the `anafault::protocol` reader.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use anafault::{Campaign, DetectionSpec, HardFaultModel};
+use cat_telemetry::{MemorySink, Registry};
+use spice::devices::UnknownMap;
+use spice::sparse::{pattern_coords, DENSE_CUTOFF};
+use spice::tran::TranSpec;
+use vco::OBSERVED_NODE;
+
+/// The fig5 fault list shares symbolic patterns aggressively: a
+/// campaign over all ~71 extracted faults must build **exactly one
+/// pattern per distinct stamp topology** — every further fault on the
+/// same topology is a cache hit. The expected topology count is
+/// derived independently here by injecting each fault and collecting
+/// its stamp coordinates into a set.
+#[test]
+fn fig5_campaign_builds_one_pattern_per_topology() {
+    let (sys, tb) = bench::vco_system();
+    let faults = sys.fault_list();
+    assert!(
+        faults.len() >= 60,
+        "fig5 fault list unexpectedly small: {} faults",
+        faults.len()
+    );
+
+    let model = HardFaultModel::paper_resistor();
+    // Trimmed transient (40 output steps instead of 400) with fault
+    // dropping: the cache invariants don't depend on test length, and
+    // this keeps the debug-mode campaign to a few seconds.
+    let campaign = Campaign::builder()
+        .testbench(tb.clone())
+        .tran(TranSpec::new(10e-9, 0.4e-6).with_uic())
+        .observe(OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(model)
+        .early_stop(true)
+        .build()
+        .expect("complete configuration");
+    let result = campaign.run(&faults).expect("nominal run succeeds");
+
+    // Independent ground truth: the distinct stamp-coordinate sets of
+    // the nominal circuit plus every injectable, valid faulty circuit.
+    // Injection failures and invalid circuits never reach the solver,
+    // so they take no cache lookup.
+    let mut distinct: HashSet<Vec<(u32, u32)>> = HashSet::new();
+    let nominal_map = UnknownMap::new(&tb);
+    assert!(
+        nominal_map.dim() >= DENSE_CUTOFF,
+        "the VCO testbench must use the sparse engine for this test to bite"
+    );
+    distinct.insert(pattern_coords(&tb, &nominal_map));
+    let mut lookups = 1u64; // the nominal simulation
+    for fault in &faults {
+        let Ok(faulty) = anafault::inject(&tb, fault, model) else {
+            continue;
+        };
+        if faulty.validate().is_err() {
+            continue;
+        }
+        let map = UnknownMap::new(&faulty);
+        distinct.insert(pattern_coords(&faulty, &map));
+        lookups += 1;
+    }
+
+    let t = result.telemetry;
+    assert_eq!(
+        t.pattern_cache_misses as usize,
+        distinct.len(),
+        "exactly one symbolic analysis per distinct topology"
+    );
+    assert_eq!(
+        t.pattern_cache_entries,
+        distinct.len(),
+        "every miss inserts exactly one cache entry"
+    );
+    assert_eq!(
+        t.pattern_cache_hits,
+        lookups - distinct.len() as u64,
+        "every other lookup reuses a cached pattern"
+    );
+    // The whole point of the cache: topologies are far fewer than
+    // simulations.
+    assert!(
+        (distinct.len() as u64) < t.pattern_cache_hits,
+        "pattern sharing should dominate ({} topologies, {} hits)",
+        distinct.len(),
+        t.pattern_cache_hits
+    );
+    // Fault dropping fired on this trimmed run.
+    assert!(t.early_stops > 0);
+}
+
+/// Every NDJSON event the telemetry sink emits — counters, histograms
+/// with their bucket edges, nested spans — parses back through the
+/// `anafault::protocol` JSON reader.
+#[test]
+fn ndjson_events_round_trip_through_protocol_parser() {
+    let sink = Arc::new(MemorySink::new());
+    cat_telemetry::set_sink(Some(sink.clone()));
+    cat_telemetry::set_enabled(true);
+
+    // A private registry keeps this test's counters isolated from
+    // whatever other tests in this binary do to the global one.
+    let reg = Registry::new();
+    reg.counter("t.test.counter").add(7);
+    let h = reg.histogram("t.test.hist", &[1.0, 10.0, 100.0]);
+    // Edge-boundary values: a sample equal to an edge belongs to that
+    // edge's bucket; one sample overflows past the last edge.
+    for v in [0.5, 1.0, 10.0, 100.0, 1000.0] {
+        h.record(v);
+    }
+    {
+        let _outer = cat_telemetry::span!("t.test.outer");
+        let _inner = cat_telemetry::span!("t.test.inner"); // depth 1
+    }
+    cat_telemetry::sink::emit_registry(&reg);
+    cat_telemetry::set_sink(None);
+    cat_telemetry::set_enabled(false);
+
+    let lines = sink.lines();
+    assert!(!lines.is_empty());
+    let mut span_depths: HashSet<u64> = HashSet::new();
+    let mut hist_checked = false;
+    for line in &lines {
+        let doc = anafault::protocol::parse_json(line)
+            .unwrap_or_else(|e| panic!("NDJSON line must parse: {e}\n{line}"));
+        match doc.field("type").unwrap().as_str().unwrap() {
+            "counter" => {
+                doc.field("name").unwrap().as_str().unwrap();
+                doc.field("value").unwrap().as_u64().unwrap();
+            }
+            "histogram" => {
+                let edges = doc.field("edges").unwrap().as_f64_array().unwrap();
+                let counts = doc.field("counts").unwrap().as_array().unwrap();
+                assert_eq!(
+                    counts.len(),
+                    edges.len() + 1,
+                    "one bucket per edge plus the overflow bucket"
+                );
+                if doc.field("name").unwrap().as_str().unwrap() == "t.test.hist" {
+                    assert_eq!(edges, vec![1.0, 10.0, 100.0]);
+                    let counts: Vec<u64> = counts.iter().map(|c| c.as_u64().unwrap()).collect();
+                    assert_eq!(counts, vec![2, 1, 1, 1]);
+                    assert_eq!(doc.field("count").unwrap().as_u64().unwrap(), 5);
+                    assert_eq!(doc.field("min").unwrap().as_f64().unwrap(), 0.5);
+                    assert_eq!(doc.field("max").unwrap().as_f64().unwrap(), 1000.0);
+                    hist_checked = true;
+                }
+            }
+            "span" => {
+                let seconds = doc.field("seconds").unwrap().as_f64().unwrap();
+                assert!(seconds >= 0.0);
+                span_depths.insert(doc.field("depth").unwrap().as_u64().unwrap());
+            }
+            other => panic!("unknown event type `{other}`"),
+        }
+    }
+    assert!(hist_checked, "the test histogram must appear in the stream");
+    assert!(
+        span_depths.contains(&0) && span_depths.contains(&1),
+        "nested spans must report their depths (saw {span_depths:?})"
+    );
+
+    // The counter event of the private registry made it through with
+    // its value intact.
+    let counter_line = lines
+        .iter()
+        .find(|l| l.contains("\"t.test.counter\""))
+        .expect("counter event present");
+    let doc = anafault::protocol::parse_json(counter_line).unwrap();
+    assert_eq!(doc.field("value").unwrap().as_u64().unwrap(), 7);
+}

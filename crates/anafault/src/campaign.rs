@@ -55,11 +55,49 @@ use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
 use crate::fault::Fault;
 use crate::inject::{inject, HardFaultModel};
 use cat_telemetry::{HistogramSnapshot, StaticCounter};
+use spice::batch::{run_group, BatchGroup, LaneJob};
+use spice::devices::UnknownMap;
 use spice::tran::{tran_with_cached, TranSpec, TranStats};
 use spice::{Circuit, PatternCache, SolverStats, SpiceError, Wave};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// How a session schedules faults onto the kernel simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// One scalar transient per fault (the default).
+    #[default]
+    Off,
+    /// Lockstep batches at [`DEFAULT_BATCH_WIDTH`] lanes.
+    Auto,
+    /// Lockstep batches at an explicit lane width (clamped to ≥ 1).
+    Width(usize),
+}
+
+/// Lane width chosen by [`BatchMode::Auto`]. Eight lanes keep the
+/// lane-major value rows inside one or two cache lines per slot while
+/// giving the compactor enough room to retire detected faults early.
+pub const DEFAULT_BATCH_WIDTH: usize = 8;
+
+/// Splits a batch's wall-clock time across its lanes proportionally to
+/// the Newton iterations each lane consumed (equal split when no lane
+/// did any work). The shares sum back to `total` up to float rounding,
+/// so per-fault accounting stays comparable with scalar campaigns.
+pub fn share_wall(total: Duration, iterations: &[u64]) -> Vec<Duration> {
+    if iterations.is_empty() {
+        return Vec::new();
+    }
+    let sum: u64 = iterations.iter().sum();
+    if sum == 0 {
+        return vec![total / iterations.len() as u32; iterations.len()];
+    }
+    iterations
+        .iter()
+        .map(|&it| total.mul_f64(it as f64 / sum as f64))
+        .collect()
+}
 
 /// What happened to one fault during the campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,6 +139,13 @@ pub struct FaultTelemetry {
     pub solver: SolverStats,
     /// Whether fault dropping abandoned the remaining simulation time.
     pub early_stopped: bool,
+    /// Lane width of the batched run that produced this record; 0 for
+    /// scalar simulations (including batch-mode scalar fallbacks).
+    pub batch_width: u32,
+    /// The lockstep kernel ejected this fault's lane; the verdict comes
+    /// from the scalar re-run and `wall` includes the wasted share of
+    /// the batch.
+    pub ejected: bool,
 }
 
 impl FaultTelemetry {
@@ -114,6 +159,8 @@ impl FaultTelemetry {
             newton_iterations: stats.newton_iterations,
             solver: stats.solver,
             early_stopped: false,
+            batch_width: 0,
+            ejected: false,
         }
     }
 }
@@ -175,6 +222,7 @@ pub struct CampaignBuilder {
     threads: usize,
     max_faults: Option<usize>,
     early_stop: bool,
+    batch: BatchMode,
 }
 
 impl CampaignBuilder {
@@ -255,6 +303,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Batched scheduling: stamp-compatible faults are packed into
+    /// lockstep lanes over one shared matrix structure
+    /// ([`spice::batch`]). Batched sessions always simulate with fault
+    /// dropping — compacting a detected lane is where the speedup comes
+    /// from — so verdicts match a scalar `early_stop(true)` run; lanes
+    /// the lockstep kernel cannot finish are re-run through the scalar
+    /// path. Default: [`BatchMode::Off`].
+    pub fn batch(mut self, mode: BatchMode) -> Self {
+        self.batch = mode;
+        self
+    }
+
     /// Validates the configuration into a [`Campaign`].
     ///
     /// # Errors
@@ -275,6 +335,7 @@ impl CampaignBuilder {
             threads: self.threads,
             max_faults: self.max_faults,
             early_stop: self.early_stop,
+            batch: self.batch,
         })
     }
 }
@@ -292,6 +353,7 @@ pub struct Campaign {
     threads: usize,
     max_faults: Option<usize>,
     early_stop: bool,
+    batch: BatchMode,
 }
 
 /// One progress event: a fault finished simulating. Emitted exactly
@@ -331,6 +393,17 @@ pub struct CampaignTelemetry {
     pub pattern_cache_entries: usize,
     /// Faults whose remaining simulation time was dropped on detection.
     pub early_stops: u64,
+    /// Lockstep group runs launched by the batched scheduler.
+    pub batches: u64,
+    /// Faults whose verdict came from the lockstep kernel (the rest of
+    /// a batched session ran through the scalar fallback).
+    pub batched_faults: u64,
+    /// Lanes retired before the end of the shared time grid.
+    pub lane_compactions: u64,
+    /// Lanes started from the pending queue after a slot freed up.
+    pub lane_refills: u64,
+    /// Lanes ejected from the lockstep kernel to the scalar path.
+    pub ejections: u64,
 }
 
 /// The campaign result: nominal response plus per-fault records.
@@ -384,6 +457,21 @@ impl Campaign {
     /// Whether fault dropping (early stop on detection) is enabled.
     pub fn early_stop_enabled(&self) -> bool {
         self.early_stop
+    }
+
+    /// The configured batch scheduling mode.
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch
+    }
+
+    /// The lane width batched sessions will run at, or `None` when
+    /// batching is off.
+    pub fn batch_width(&self) -> Option<usize> {
+        match self.batch {
+            BatchMode::Off => None,
+            BatchMode::Auto => Some(DEFAULT_BATCH_WIDTH),
+            BatchMode::Width(k) => Some(k.max(1)),
+        }
     }
 
     /// Opens a session over `faults`, applying the fault budget.
@@ -528,6 +616,34 @@ impl Campaign {
             Err(e) => (Err(e), FaultTelemetry::default()),
         }
     }
+
+    /// Scalar simulation used by the batched scheduler — for groups
+    /// whose shared pattern cannot be built and for ejected lanes.
+    /// Always simulates with fault dropping (batch-mode semantics),
+    /// independent of the campaign's `early_stop` flag.
+    fn simulate_scalar(
+        &self,
+        fault: &Fault,
+        faulty: &Circuit,
+        nominals: &[Wave],
+        cache: &PatternCache,
+    ) -> FaultRecord {
+        let _span = cat_telemetry::span!("anafault.fault");
+        let t0 = Instant::now();
+        let (outcome, mut telemetry) = self.simulate_dropping(faulty, nominals, cache);
+        telemetry.wall = t0.elapsed();
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(e) => FaultOutcome::SimulationFailed(e.to_string()),
+        };
+        FaultRecord {
+            fault: fault.clone(),
+            outcome,
+            sim_seconds: telemetry.wall.as_secs_f64(),
+            newton_iterations: telemetry.newton_iterations,
+            telemetry,
+        }
+    }
 }
 
 /// The shared guard outcome for an observed node that vanished from
@@ -581,6 +697,10 @@ impl CampaignSession<'_> {
                 SpiceError::Elaboration(format!("observed node `{name}` not found"))
             })?;
             nominals.push(wave);
+        }
+
+        if let Some(width) = campaign.batch_width() {
+            return self.run_batched(width, &cache, nominals, nominal_seconds, t_start, on_event);
         }
 
         let n_threads = if campaign.threads == 0 {
@@ -637,6 +757,7 @@ impl CampaignSession<'_> {
             pattern_cache_misses: cache.misses(),
             pattern_cache_entries: cache.len(),
             early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+            ..CampaignTelemetry::default()
         };
         let result = CampaignResult {
             observed: campaign.observe.clone(),
@@ -649,6 +770,252 @@ impl CampaignSession<'_> {
         flush_campaign_counters(&result);
         Ok(result)
     }
+
+    /// Batched execution: every fault is injected up front, variants
+    /// are grouped by stamp-compatible topology (node count, unknown
+    /// dimension, border classification), and each group runs through
+    /// the lockstep kernel `width` lanes at a time over one shared
+    /// matrix structure. A lane is dropped (compacted, and its slot
+    /// refilled from the pending queue) at the first deviating sample;
+    /// lanes the kernel cannot finish are re-run scalar, and groups
+    /// whose shared restricted pattern refuses to build fall back to
+    /// scalar wholesale — so verdicts always match a scalar
+    /// `early_stop(true)` session.
+    fn run_batched(
+        self,
+        width: usize,
+        cache: &PatternCache,
+        nominals: Vec<Wave>,
+        nominal_seconds: f64,
+        t_start: Instant,
+        mut on_event: impl FnMut(&CampaignProgress),
+    ) -> Result<CampaignResult, SpiceError> {
+        let campaign = self.campaign;
+        let faults = self.faults;
+        let total = faults.len();
+        let mut slots: Vec<Option<FaultRecord>> = vec![None; total];
+        let mut completed = 0usize;
+        let mut batch_telemetry = CampaignTelemetry::default();
+
+        // Injection failures report (and stream) immediately.
+        let mut injected: Vec<Option<Circuit>> = Vec::with_capacity(total);
+        for (i, fault) in faults.iter().enumerate() {
+            let t0 = Instant::now();
+            match inject(&campaign.circuit, fault, campaign.model) {
+                Ok(c) => injected.push(Some(c)),
+                Err(e) => {
+                    injected.push(None);
+                    let wall = t0.elapsed();
+                    emit_record(
+                        &mut slots,
+                        &mut completed,
+                        total,
+                        &mut on_event,
+                        i,
+                        FaultRecord {
+                            fault: fault.clone(),
+                            outcome: FaultOutcome::InjectionFailed(e.to_string()),
+                            sim_seconds: wall.as_secs_f64(),
+                            newton_iterations: 0,
+                            telemetry: FaultTelemetry {
+                                wall,
+                                ..FaultTelemetry::default()
+                            },
+                        },
+                    );
+                }
+            }
+        }
+
+        let mut groups: BTreeMap<(usize, usize, bool), Vec<usize>> = BTreeMap::new();
+        for (i, faulty) in injected.iter().enumerate() {
+            let Some(faulty) = faulty else { continue };
+            let dim = UnknownMap::new(faulty).dim();
+            let border = BatchGroup::is_border(&campaign.circuit, faulty);
+            groups
+                .entry((faulty.node_count(), dim, border))
+                .or_default()
+                .push(i);
+        }
+
+        for (&(_, _, border), members) in &groups {
+            let refs: Vec<(usize, &Circuit)> = members
+                .iter()
+                .map(|&i| (i, injected[i].as_ref().expect("grouped faults injected")))
+                .collect();
+            let circuits: Vec<&Circuit> = refs.iter().map(|&(_, c)| c).collect();
+            let Some(group) = BatchGroup::build(&circuits, border) else {
+                for &(i, faulty) in &refs {
+                    let record = campaign.simulate_scalar(&faults[i], faulty, &nominals, cache);
+                    emit_record(&mut slots, &mut completed, total, &mut on_event, i, record);
+                }
+                continue;
+            };
+
+            // Resolve observed sample columns per member up front (the
+            // same guard as the scalar dropping path).
+            let mut jobs: Vec<LaneJob<'_>> = Vec::with_capacity(refs.len());
+            let mut cols: Vec<Vec<usize>> = vec![Vec::new(); total];
+            'member: for &(i, faulty) in &refs {
+                let mut columns = Vec::with_capacity(campaign.observe.len());
+                for name in &campaign.observe {
+                    match faulty.find_node(name) {
+                        Some(id) if id != Circuit::GROUND => columns.push(id - 1),
+                        _ => {
+                            emit_record(
+                                &mut slots,
+                                &mut completed,
+                                total,
+                                &mut on_event,
+                                i,
+                                FaultRecord {
+                                    fault: faults[i].clone(),
+                                    outcome: missing_observed(name),
+                                    sim_seconds: 0.0,
+                                    newton_iterations: 0,
+                                    telemetry: FaultTelemetry::default(),
+                                },
+                            );
+                            continue 'member;
+                        }
+                    }
+                }
+                cols[i] = columns;
+                jobs.push(LaneJob {
+                    id: i,
+                    circuit: faulty,
+                });
+            }
+            if jobs.is_empty() {
+                continue;
+            }
+
+            let mut detected: Vec<Option<(f64, usize)>> = vec![None; total];
+            let g0 = Instant::now();
+            let (reports, stats) = run_group(
+                &group,
+                width,
+                &campaign.tran,
+                &jobs,
+                Some(cache),
+                |id, t, x| {
+                    for (k, (&col, nominal)) in cols[id].iter().zip(&nominals).enumerate() {
+                        if !nominal.tracks(
+                            t,
+                            x[col],
+                            campaign.detection.v_tol,
+                            campaign.detection.t_tol,
+                        ) {
+                            detected[id] = Some((t, k));
+                            return false;
+                        }
+                    }
+                    true
+                },
+            );
+            let group_wall = g0.elapsed();
+
+            batch_telemetry.batches += 1;
+            batch_telemetry.lane_compactions += stats.compactions;
+            batch_telemetry.lane_refills += stats.refills;
+            batch_telemetry.ejections += stats.ejections;
+
+            // Wall-clock attribution: every lane — ejected ones too,
+            // their partial work was real — gets a share of the group's
+            // wall time proportional to its Newton iterations.
+            let iters: Vec<u64> = reports.iter().map(|r| r.newton_iterations).collect();
+            let shares = share_wall(group_wall, &iters);
+            for (report, share) in reports.iter().zip(shares) {
+                let i = report.id;
+                if report.completed {
+                    batch_telemetry.batched_faults += 1;
+                    let outcome = match detected[i] {
+                        Some((at, k)) => FaultOutcome::Detected {
+                            at,
+                            node: campaign.observe[k].clone(),
+                        },
+                        None => FaultOutcome::NotDetected,
+                    };
+                    let telemetry = FaultTelemetry {
+                        wall: share,
+                        steps: report.steps,
+                        halvings: 0,
+                        newton_iterations: report.newton_iterations,
+                        solver: SolverStats::default(),
+                        early_stopped: detected[i].is_some(),
+                        batch_width: stats.width as u32,
+                        ejected: false,
+                    };
+                    emit_record(
+                        &mut slots,
+                        &mut completed,
+                        total,
+                        &mut on_event,
+                        i,
+                        FaultRecord {
+                            fault: faults[i].clone(),
+                            outcome,
+                            sim_seconds: share.as_secs_f64(),
+                            newton_iterations: report.newton_iterations,
+                            telemetry,
+                        },
+                    );
+                } else {
+                    // Ejected: re-run scalar from t = 0; the wasted
+                    // batch share stays on this fault's bill.
+                    let faulty = injected[i].as_ref().expect("ejected lanes were injected");
+                    let mut record = campaign.simulate_scalar(&faults[i], faulty, &nominals, cache);
+                    record.telemetry.wall += share;
+                    record.telemetry.ejected = true;
+                    record.sim_seconds = record.telemetry.wall.as_secs_f64();
+                    emit_record(&mut slots, &mut completed, total, &mut on_event, i, record);
+                }
+            }
+        }
+
+        let records: Vec<FaultRecord> = slots
+            .into_iter()
+            .map(|r| r.expect("every fault reports exactly once"))
+            .collect();
+        let telemetry = CampaignTelemetry {
+            pattern_cache_hits: cache.hits(),
+            pattern_cache_misses: cache.misses(),
+            pattern_cache_entries: cache.len(),
+            early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+            ..batch_telemetry
+        };
+        let result = CampaignResult {
+            observed: campaign.observe.clone(),
+            nominals,
+            records,
+            nominal_seconds,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+            telemetry,
+        };
+        flush_campaign_counters(&result);
+        Ok(result)
+    }
+}
+
+/// Records one finished fault and streams its progress event (shared
+/// by the batched path's several completion sites).
+fn emit_record(
+    slots: &mut [Option<FaultRecord>],
+    completed: &mut usize,
+    total: usize,
+    on_event: &mut impl FnMut(&CampaignProgress),
+    index: usize,
+    record: FaultRecord,
+) {
+    *completed += 1;
+    let event = CampaignProgress {
+        index,
+        completed: *completed,
+        total,
+        record,
+    };
+    on_event(&event);
+    slots[index] = Some(event.record);
 }
 
 /// Campaign runs completed (successful `run_with_progress` returns).
@@ -845,7 +1212,9 @@ impl CampaignReport {
                 "\"coverage_percent\": {}, \"wall_seconds\": {}, ",
                 "\"nominal_seconds\": {}, \"fault_sim_seconds\": {}, ",
                 "\"newton_iterations\": {}, \"steps\": {}, \"halvings\": {}, ",
-                "\"early_stops\": {}, \"pattern_builds\": {}, ",
+                "\"early_stops\": {}, \"batches\": {}, \"batched_faults\": {}, ",
+                "\"lane_compactions\": {}, \"lane_refills\": {}, ",
+                "\"ejections\": {}, \"pattern_builds\": {}, ",
                 "\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, ",
                 "\"pattern_cache_entries\": {}, \"refactorisations\": {}, ",
                 "\"repivots\": {}, \"dense_fallbacks\": {}, \"demotions\": {}, ",
@@ -865,6 +1234,11 @@ impl CampaignReport {
             self.steps,
             self.halvings,
             t.early_stops,
+            t.batches,
+            t.batched_faults,
+            t.lane_compactions,
+            t.lane_refills,
+            t.ejections,
             t.pattern_cache_misses,
             t.pattern_cache_hits,
             t.pattern_cache_misses,
@@ -1232,6 +1606,246 @@ mod tests {
             .filter(|r| r.telemetry.early_stopped)
             .count() as u64;
         assert_eq!(flagged, t.early_stops);
+    }
+
+    #[test]
+    fn share_wall_conserves_total() {
+        let total = Duration::from_micros(12_345);
+        let shares = share_wall(total, &[3, 1, 0, 4]);
+        assert_eq!(shares.len(), 4);
+        let sum: Duration = shares.iter().sum();
+        let diff = sum.abs_diff(total);
+        assert!(diff < Duration::from_nanos(1_000), "off by {diff:?}");
+        assert_eq!(shares[2], Duration::ZERO);
+        // More iterations ⇒ a larger share.
+        assert!(shares[3] > shares[0] && shares[0] > shares[1]);
+        // No recorded work: the time still has to go somewhere — split
+        // it equally so totals stay conserved.
+        let eq = share_wall(total, &[0, 0]);
+        assert_eq!(eq[0], eq[1]);
+        assert!(share_wall(total, &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_mode_selects_lane_width() {
+        assert_eq!(campaign().batch_width(), None);
+        let auto = campaign_builder().batch(BatchMode::Auto).build().unwrap();
+        assert_eq!(auto.batch_mode(), BatchMode::Auto);
+        assert_eq!(auto.batch_width(), Some(DEFAULT_BATCH_WIDTH));
+        let fixed = campaign_builder()
+            .batch(BatchMode::Width(3))
+            .build()
+            .unwrap();
+        assert_eq!(fixed.batch_width(), Some(3));
+        // Width 0 is nonsense; clamp instead of dividing by zero later.
+        let clamped = campaign_builder()
+            .batch(BatchMode::Width(0))
+            .build()
+            .unwrap();
+        assert_eq!(clamped.batch_width(), Some(1));
+    }
+
+    /// A 12-section RC ladder driven by a pulse: 14 unknowns, enough to
+    /// clear the sparse cutoff so batched groups actually build.
+    fn ladder_testbench() -> Circuit {
+        let mut s = String::from("ladder\nV1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n");
+        let mut prev = "in".to_string();
+        for i in 1..=12 {
+            s.push_str(&format!("R{i} {prev} n{i} 1k\nC{i} n{i} 0 1n ic=0\n"));
+            prev = format!("n{i}");
+        }
+        s.push_str(".end\n");
+        parse_netlist(&s).unwrap()
+    }
+
+    /// Shorts near and far from the observed node, an open, a soft
+    /// deviation and a broken fault — a mix of detected, undetected,
+    /// structural and failing injections.
+    fn ladder_faults() -> Vec<Fault> {
+        let mut faults = vec![Fault::new(
+            1,
+            "BRI in->n1",
+            FaultEffect::Short {
+                a: "in".into(),
+                b: "n1".into(),
+            },
+        )];
+        for i in 2..=6 {
+            faults.push(Fault::new(
+                i,
+                format!("BRI n{}->n{}", i - 1, i),
+                FaultEffect::Short {
+                    a: format!("n{}", i - 1),
+                    b: format!("n{i}"),
+                },
+            ));
+        }
+        faults.push(Fault::new(
+            7,
+            "BRI n12->0",
+            FaultEffect::Short {
+                a: "n12".into(),
+                b: "0".into(),
+            },
+        ));
+        faults.push(Fault::new(
+            8,
+            "SOFT R6 x1.02",
+            FaultEffect::ParamDeviation {
+                element: "R6".into(),
+                factor: 1.02,
+            },
+        ));
+        faults.push(Fault::new(
+            9,
+            "OPN R3.0",
+            FaultEffect::OpenTerminal {
+                element: "R3".into(),
+                terminal: 0,
+            },
+        ));
+        faults.push(Fault::new(
+            10,
+            "BAD",
+            FaultEffect::Short {
+                a: "nope".into(),
+                b: "n1".into(),
+            },
+        ));
+        faults
+    }
+
+    fn ladder_campaign(model: HardFaultModel) -> CampaignBuilder {
+        Campaign::builder()
+            .testbench(ladder_testbench())
+            .tran(TranSpec::new(0.5e-6, 50e-6).with_uic())
+            .observe("n12")
+            .detection(DetectionSpec {
+                v_tol: 1.0,
+                t_tol: 1e-6,
+            })
+            .model(model)
+            .threads(1)
+    }
+
+    /// The tentpole invariant: batched scheduling must reproduce the
+    /// scalar fault-dropping verdicts exactly — outcome variant,
+    /// detection time and detecting node — for both the resistor model
+    /// (plain union groups) and the source model (bordered groups), at
+    /// several lane widths.
+    #[test]
+    fn batched_campaign_matches_scalar_verdicts() {
+        let faults = ladder_faults();
+        for model in [HardFaultModel::paper_resistor(), HardFaultModel::Source] {
+            let scalar = ladder_campaign(model)
+                .early_stop(true)
+                .build()
+                .unwrap()
+                .run(&faults)
+                .unwrap();
+            let expected: Vec<_> = scalar.records.iter().map(|r| r.outcome.clone()).collect();
+            for width in [1, 3, 8] {
+                let batched = ladder_campaign(model)
+                    .batch(BatchMode::Width(width))
+                    .build()
+                    .unwrap()
+                    .run(&faults)
+                    .unwrap();
+                let got: Vec<_> = batched.records.iter().map(|r| r.outcome.clone()).collect();
+                assert_eq!(got, expected, "model {model:?} width {width}");
+                assert!(batched.telemetry.batches >= 1);
+                assert!(batched.telemetry.batched_faults >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_records_attribute_shared_wall_clock() {
+        let faults = ladder_faults();
+        let result = ladder_campaign(HardFaultModel::paper_resistor())
+            .batch(BatchMode::Width(4))
+            .build()
+            .unwrap()
+            .run(&faults)
+            .unwrap();
+        let mut batched = 0;
+        for r in &result.records {
+            if matches!(r.outcome, FaultOutcome::InjectionFailed(_)) {
+                continue;
+            }
+            if r.telemetry.batch_width > 0 {
+                batched += 1;
+                // Width is clamped to the group size, so singleton
+                // groups (e.g. the open, which adds a node) run at 1.
+                assert!(r.telemetry.batch_width <= 4);
+                assert!(!r.telemetry.ejected);
+                assert!(r.telemetry.wall > Duration::ZERO);
+                assert_eq!(r.sim_seconds, r.telemetry.wall.as_secs_f64());
+                assert!(r.telemetry.steps > 0);
+                assert!(r.telemetry.newton_iterations >= r.telemetry.steps);
+            }
+        }
+        assert_eq!(batched as u64, result.telemetry.batched_faults);
+        assert!(batched > 0, "ladder faults must actually batch");
+        // The short/soft group has 8 members, so it runs at full width.
+        assert!(result.records.iter().any(|r| r.telemetry.batch_width == 4));
+        // Detected faults dropped their lanes early, so the compactor
+        // must have retired lanes and refilled from the queue.
+        assert!(result.telemetry.lane_compactions > 0);
+        assert!(result.telemetry.lane_refills > 0);
+        assert!(result.telemetry.early_stops > 0);
+    }
+
+    /// Circuits below the sparse cutoff cannot build a batch group; the
+    /// session must fall back to scalar dropping and still agree.
+    #[test]
+    fn batched_small_circuit_falls_back_to_scalar() {
+        let faults = fault_set();
+        let scalar = campaign_builder()
+            .early_stop(true)
+            .build()
+            .unwrap()
+            .run(&faults)
+            .unwrap();
+        let batched = campaign_builder()
+            .batch(BatchMode::Auto)
+            .build()
+            .unwrap()
+            .run(&faults)
+            .unwrap();
+        let oa: Vec<_> = scalar.records.iter().map(|r| r.outcome.clone()).collect();
+        let ob: Vec<_> = batched.records.iter().map(|r| r.outcome.clone()).collect();
+        assert_eq!(oa, ob);
+        assert_eq!(batched.telemetry.batched_faults, 0);
+        assert_eq!(batched.telemetry.batches, 0);
+        for r in &batched.records {
+            assert_eq!(r.telemetry.batch_width, 0);
+            assert!(!r.telemetry.ejected);
+        }
+    }
+
+    /// The streaming interface fires once per fault in batch mode too.
+    #[test]
+    fn batched_progress_stream_emits_one_event_per_fault() {
+        let faults = ladder_faults();
+        let c = ladder_campaign(HardFaultModel::paper_resistor())
+            .batch(BatchMode::Width(4))
+            .build()
+            .unwrap();
+        let mut events: Vec<(usize, usize, usize)> = Vec::new();
+        let result = c
+            .session(&faults)
+            .run_with_progress(|p| events.push((p.index, p.completed, p.total)))
+            .unwrap();
+        assert_eq!(events.len(), faults.len());
+        for (n, &(_, completed, total)) in events.iter().enumerate() {
+            assert_eq!(completed, n + 1);
+            assert_eq!(total, faults.len());
+        }
+        let mut indices: Vec<usize> = events.iter().map(|e| e.0).collect();
+        indices.sort_unstable();
+        assert_eq!(indices, (0..faults.len()).collect::<Vec<_>>());
+        assert_eq!(result.records.len(), faults.len());
     }
 
     #[test]

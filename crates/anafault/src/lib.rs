@@ -45,8 +45,9 @@ pub mod report;
 pub mod soft;
 
 pub use campaign::{
-    Campaign, CampaignBuilder, CampaignProgress, CampaignReport, CampaignResult, CampaignSession,
-    CampaignTelemetry, ConfigError, FaultOutcome, FaultRecord, FaultTelemetry,
+    share_wall, BatchMode, Campaign, CampaignBuilder, CampaignProgress, CampaignReport,
+    CampaignResult, CampaignSession, CampaignTelemetry, ConfigError, FaultOutcome, FaultRecord,
+    FaultTelemetry, DEFAULT_BATCH_WIDTH,
 };
 pub use coverage::{coverage_curve, DetectionSpec};
 pub use fault::{Fault, FaultEffect, MosTerminal};

@@ -66,8 +66,18 @@ pub fn to_json(result: &CampaignResult) -> String {
     let _ = writeln!(
         s,
         "  \"telemetry\": {{\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, \
-         \"pattern_cache_entries\": {}, \"early_stops\": {}}},",
-        t.pattern_cache_hits, t.pattern_cache_misses, t.pattern_cache_entries, t.early_stops
+         \"pattern_cache_entries\": {}, \"early_stops\": {}, \"batches\": {}, \
+         \"batched_faults\": {}, \"lane_compactions\": {}, \"lane_refills\": {}, \
+         \"ejections\": {}}},",
+        t.pattern_cache_hits,
+        t.pattern_cache_misses,
+        t.pattern_cache_entries,
+        t.early_stops,
+        t.batches,
+        t.batched_faults,
+        t.lane_compactions,
+        t.lane_refills,
+        t.ejections
     );
     s.push_str("  \"nominals\": [\n");
     for (i, wave) in result.nominals.iter().enumerate() {
@@ -113,7 +123,7 @@ fn fault_telemetry_json(t: &FaultTelemetry) -> String {
     format!(
         "{{\"wall_seconds\": {}, \"steps\": {}, \"halvings\": {}, \"newton_iterations\": {}, \
          \"refactorisations\": {}, \"repivots\": {}, \"dense_fallbacks\": {}, \
-         \"demotions\": {}, \"early_stopped\": {}}}",
+         \"demotions\": {}, \"early_stopped\": {}, \"batch_width\": {}, \"ejected\": {}}}",
         num(t.wall.as_secs_f64()),
         t.steps,
         t.halvings,
@@ -122,7 +132,9 @@ fn fault_telemetry_json(t: &FaultTelemetry) -> String {
         t.solver.repivots,
         t.solver.dense_fallbacks,
         t.solver.demotions,
-        t.early_stopped
+        t.early_stopped,
+        t.batch_width,
+        t.ejected
     )
 }
 
@@ -641,7 +653,23 @@ fn campaign_telemetry_from_json(v: Option<&Json>) -> Result<CampaignTelemetry, P
         pattern_cache_misses: v.field("pattern_cache_misses")?.as_u64()?,
         pattern_cache_entries: v.field("pattern_cache_entries")?.as_usize()?,
         early_stops: v.field("early_stops")?.as_u64()?,
+        batches: opt_u64(v, "batches")?,
+        batched_faults: opt_u64(v, "batched_faults")?,
+        lane_compactions: opt_u64(v, "lane_compactions")?,
+        lane_refills: opt_u64(v, "lane_refills")?,
+        ejections: opt_u64(v, "ejections")?,
     })
+}
+
+/// Reads a counter that postdates the first telemetry schema: absent in
+/// older captures, so it defaults to zero instead of erroring.
+fn opt_u64(v: &Json, key: &str) -> Result<u64, ProtocolError> {
+    v.get(key).map_or(Ok(0), |j| j.as_u64())
+}
+
+/// Same back-compat rule for a boolean flag (absent ⇒ `false`).
+fn opt_bool(v: &Json, key: &str) -> Result<bool, ProtocolError> {
+    v.get(key).map_or(Ok(false), |j| j.as_bool())
 }
 
 /// Per-record telemetry is *optional* for the same reason.
@@ -665,6 +693,8 @@ fn fault_telemetry_from_json(v: Option<&Json>) -> Result<FaultTelemetry, Protoco
             demotions: v.field("demotions")?.as_u64()?,
         },
         early_stopped: v.field("early_stopped")?.as_bool()?,
+        batch_width: opt_u64(v, "batch_width")? as u32,
+        ejected: opt_bool(v, "ejected")?,
     })
 }
 
@@ -798,6 +828,8 @@ mod tests {
                             demotions: 0,
                         },
                         early_stopped: true,
+                        batch_width: 4,
+                        ejected: true,
                     },
                 },
                 FaultRecord {
@@ -865,6 +897,11 @@ mod tests {
                 pattern_cache_misses: 2,
                 pattern_cache_entries: 2,
                 early_stops: 1,
+                batches: 3,
+                batched_faults: 4,
+                lane_compactions: 2,
+                lane_refills: 1,
+                ejections: 1,
             },
         }
     }

@@ -1,0 +1,100 @@
+//! Property test for the batched campaign scheduler: for random RC
+//! ladder testbenches and random hard-fault sets, batched execution at
+//! every lane width must produce verdicts identical to the scalar
+//! fault-dropping path — same outcome variant, same detection time,
+//! same detecting node — under both hard-fault models.
+
+use anafault::{BatchMode, Campaign, DetectionSpec, Fault, FaultEffect, HardFaultModel};
+use proptest::prelude::*;
+use spice::parser::parse_netlist;
+use spice::tran::TranSpec;
+use spice::Circuit;
+
+/// An RC ladder testbench with one section per resistance in `rs`.
+fn ladder(rs: &[i64]) -> Circuit {
+    let mut s = String::from("ladder\nv1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n");
+    let mut prev = "in".to_string();
+    for (i, r) in rs.iter().enumerate() {
+        s.push_str(&format!("r{i} {prev} n{i} {r}\nc{i} n{i} 0 1n ic=0\n"));
+        prev = format!("n{i}");
+    }
+    s.push_str(".end\n");
+    parse_netlist(&s).expect("ladder parses")
+}
+
+/// Maps raw random pairs onto shorts between distinct ladder nodes
+/// (including ground for every third fault, so some faults detect and
+/// some do not).
+fn fault_set(pairs: &[(usize, usize)], n: usize) -> Vec<Fault> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(p, q))| {
+            let a = p % n;
+            let b = if i % 3 == 0 {
+                "0".to_string()
+            } else {
+                format!("n{}", (a + 1 + q % (n - 1)) % n)
+            };
+            Fault::new(
+                i + 1,
+                format!("BRI n{a}->{b}"),
+                FaultEffect::Short {
+                    a: format!("n{a}"),
+                    b,
+                },
+            )
+        })
+        .collect()
+}
+
+fn campaign(tb: &Circuit, model: HardFaultModel, batch: BatchMode, observe: &str) -> Campaign {
+    Campaign::builder()
+        .testbench(tb.clone())
+        .tran(TranSpec::new(0.5e-6, 3e-5).with_uic())
+        .observe(observe)
+        .detection(DetectionSpec {
+            v_tol: 1.0,
+            t_tol: 1e-6,
+        })
+        .model(model)
+        .threads(1)
+        .early_stop(batch == BatchMode::Off)
+        .batch(batch)
+        .build()
+        .expect("campaign configuration is complete")
+}
+
+fn arb_ladder() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(500i64..5000, 12..15)
+}
+
+fn arb_pairs() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..1000, 0usize..1000), 2..6)
+}
+
+proptest! {
+    #[test]
+    fn batched_verdicts_match_scalar_at_every_width(
+        rs in arb_ladder(),
+        pairs in arb_pairs(),
+    ) {
+        let tb = ladder(&rs);
+        let observe = format!("n{}", rs.len() - 1);
+        let faults = fault_set(&pairs, rs.len());
+        for model in [HardFaultModel::paper_resistor(), HardFaultModel::Source] {
+            let scalar = campaign(&tb, model, BatchMode::Off, &observe)
+                .run(&faults)
+                .expect("scalar campaign runs");
+            let expected: Vec<_> = scalar.records.iter().map(|r| r.outcome.clone()).collect();
+            for width in [1usize, 2, 4, 8, 16] {
+                let batched = campaign(&tb, model, BatchMode::Width(width), &observe)
+                    .run(&faults)
+                    .expect("batched campaign runs");
+                let got: Vec<_> =
+                    batched.records.iter().map(|r| r.outcome.clone()).collect();
+                prop_assert_eq!(&got, &expected, "model {:?} width {}", model, width);
+            }
+        }
+    }
+}

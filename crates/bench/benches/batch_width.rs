@@ -1,0 +1,35 @@
+//! Batch-width sweep on the Fig. 5 campaign: the same trimmed fault
+//! list through the lockstep batched scheduler at k = 1, 2, 4, 8, 16
+//! lanes, plus the per-fault scalar path as the baseline. The sweep
+//! shows where lane-compaction gains saturate against SoA overhead —
+//! the batching trajectory the `--metrics` reports track over PRs.
+
+use anafault::BatchMode;
+use bench::fig5_campaign_batched;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Faults per sweep point: enough to fill every width under test
+/// (16 lanes) while keeping a criterion iteration in seconds.
+const FAULT_BUDGET: usize = 24;
+
+fn bench_batch_width(c: &mut Criterion) {
+    let model = anafault::HardFaultModel::Source;
+    let mut group = c.benchmark_group("batch_width");
+    group.sample_size(10);
+    group.bench_function("scalar", |b| {
+        b.iter(|| fig5_campaign_batched(black_box(model), BatchMode::Off, Some(FAULT_BUDGET)).0)
+    });
+    for k in [1usize, 2, 4, 8, 16] {
+        let name = format!("k{k}");
+        group.bench_function(&name, |b| {
+            b.iter(|| {
+                fig5_campaign_batched(black_box(model), BatchMode::Width(k), Some(FAULT_BUDGET)).0
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_width);
+criterion_main!(benches);

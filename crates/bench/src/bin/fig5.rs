@@ -5,10 +5,20 @@
 //! dense-vs-sparse comparison is recorded alongside the report (the
 //! sparse run doubles as the report's data); `--skip-solver-compare`
 //! runs the campaign a single time instead.
+//!
+//! Batched scheduling (`spice::batch`) is on by default: `--batch <k>`
+//! pins the lane width, `--batch auto` picks the default, and
+//! `--batch off` restores the per-fault scalar path. When both the
+//! solver comparison and batching run, the batched campaign is timed
+//! against the scalar sparse run and the speedup lands in the
+//! `--metrics` report's `batch` entry.
 
 use anafault::report::{coverage_plot, protocol_table};
-use anafault::HardFaultModel;
-use bench::{fig5_campaign_limited, fig5_curve, fig5_solver_comparison, Metrics};
+use anafault::{BatchMode, HardFaultModel};
+use bench::{
+    batch_width_of, compare_batch, fig5_campaign_batched, fig5_curve, fig5_solver_comparison,
+    BatchSummary, Metrics,
+};
 
 /// Parses `--max-faults <n>` from the process arguments.
 fn max_faults_arg() -> Option<usize> {
@@ -25,30 +35,101 @@ fn max_faults_arg() -> Option<usize> {
     None
 }
 
+/// Parses `--batch <k|auto|off>`; the flag defaults to `auto`.
+fn batch_arg() -> BatchMode {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--batch" {
+            return match args.next().as_deref() {
+                Some("off") => BatchMode::Off,
+                Some("auto") => BatchMode::Auto,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(k) if k >= 1 => BatchMode::Width(k),
+                    _ => {
+                        eprintln!("--batch requires a positive lane width, `auto` or `off`");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--batch requires a positive lane width, `auto` or `off`");
+                    std::process::exit(2);
+                }
+            };
+        }
+    }
+    BatchMode::Auto
+}
+
 fn main() {
     let mut metrics = Metrics::from_args("fig5");
     let skip_compare = std::env::args().any(|a| a == "--skip-solver-compare");
     let max_faults = max_faults_arg();
+    let batch = batch_arg();
     // `--json` emits the machine-readable protocol document instead of
     // the hand-formatted report (pipe into a file or a service).
     if std::env::args().any(|a| a == "--json") {
         metrics.phase("campaign");
-        let (result, _) = fig5_campaign_limited(HardFaultModel::Source, max_faults);
+        let (result, _) = fig5_campaign_batched(HardFaultModel::Source, batch, max_faults);
         print!("{}", anafault::protocol::to_json(&result));
         metrics.attach_campaign(result.report());
         metrics.finish();
         return;
     }
+    let mut batch_summary: Option<BatchSummary> = None;
     let (comparison, result) = if skip_compare {
         metrics.phase("campaign");
-        let (result, _) = fig5_campaign_limited(HardFaultModel::Source, max_faults);
+        let (result, _) = fig5_campaign_batched(HardFaultModel::Source, batch, max_faults);
+        if batch != BatchMode::Off {
+            batch_summary = Some(BatchSummary {
+                width: batch_width_of(batch),
+                speedup: None,
+                verdicts_agree: None,
+            });
+        }
         (None, result)
     } else {
         metrics.phase("solver-comparison");
         let (cmp, sparse_result) = fig5_solver_comparison(HardFaultModel::Source);
+        if batch != BatchMode::Off {
+            // Time the batched scheduler against the scalar sparse run
+            // it is meant to replace (both over the full fault list,
+            // like the solver comparison).
+            metrics.phase("batch-comparison");
+            let (batched, _) = fig5_campaign_batched(HardFaultModel::Source, batch, None);
+            let bc = compare_batch(&sparse_result, &batched, batch_width_of(batch));
+            println!(
+                "batch comparison ({} faults, width {}):",
+                bc.n_faults, bc.width
+            );
+            println!(
+                "  scalar        {:>8.2} s   ({} Newton iterations)",
+                bc.scalar_seconds, bc.scalar_work
+            );
+            println!(
+                "  batched       {:>8.2} s   ({} Newton iterations)",
+                bc.batched_seconds, bc.batched_work
+            );
+            println!("  speedup       {:>8.2} x  (wall-clock)", bc.speedup());
+            if bc.verdicts_agree() {
+                println!("  verdicts      identical on every fault\n");
+            } else {
+                println!(
+                    "  verdicts      DISAGREE on faults {:?}\n",
+                    bc.disagreements
+                );
+            }
+            batch_summary = Some(BatchSummary {
+                width: bc.width,
+                speedup: Some(bc.speedup()),
+                verdicts_agree: Some(bc.verdicts_agree()),
+            });
+        }
         (Some(cmp), sparse_result)
     };
     metrics.attach_campaign(result.report());
+    if let Some(b) = batch_summary {
+        metrics.attach_batch(b);
+    }
     metrics.phase("render");
     let curve = fig5_curve(&result);
     println!("Fig. 5 — fault coverage plot (source model, 2 V / 0.2 µs tolerance)\n");

@@ -8,9 +8,12 @@
 
 pub mod metrics;
 
-pub use metrics::{render_report, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS};
+pub use metrics::{render_report, BatchSummary, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS};
 
-use anafault::{Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, HardFaultModel};
+use anafault::{
+    BatchMode, Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, HardFaultModel,
+    DEFAULT_BATCH_WIDTH,
+};
 use cat_core::{CatSystem, FaultFunnel};
 use defect::SizeDistribution;
 use extract::ExtractOptions;
@@ -199,13 +202,26 @@ pub fn fig5_campaign_limited(
     model: HardFaultModel,
     max_faults: Option<usize>,
 ) -> (CampaignResult, Vec<(f64, f64)>) {
+    fig5_campaign_batched(model, BatchMode::Off, max_faults)
+}
+
+/// [`fig5_campaign_limited`] with a batch scheduling mode: anything but
+/// [`BatchMode::Off`] runs same-topology faults in SIMD-friendly
+/// lockstep lanes over one shared matrix structure (`spice::batch`),
+/// with fault dropping implied.
+pub fn fig5_campaign_batched(
+    model: HardFaultModel,
+    batch: BatchMode,
+    max_faults: Option<usize>,
+) -> (CampaignResult, Vec<(f64, f64)>) {
     let (sys, tb) = vco_system();
     let mut builder = Campaign::builder()
         .testbench(tb)
         .tran(paper_tran())
         .observe(OBSERVED_NODE)
         .detection(DetectionSpec::paper_fig5())
-        .model(model);
+        .model(model)
+        .batch(batch);
     if let Some(n) = max_faults {
         builder = builder.max_faults(n);
     }
@@ -283,22 +299,7 @@ pub fn fig5_solver_comparison(model: HardFaultModel) -> (SolverComparison, Campa
     };
     let dense = run(SolverKind::Dense);
     let sparse = run(SolverKind::Sparse);
-    let disagreements = dense
-        .records
-        .iter()
-        .zip(&sparse.records)
-        .filter(|(d, s)| {
-            use anafault::FaultOutcome::*;
-            !matches!(
-                (&d.outcome, &s.outcome),
-                (Detected { .. }, Detected { .. })
-                    | (NotDetected, NotDetected)
-                    | (InjectionFailed(_), InjectionFailed(_))
-                    | (SimulationFailed(_), SimulationFailed(_))
-            )
-        })
-        .map(|(d, _)| d.fault.id)
-        .collect();
+    let disagreements = verdict_disagreements(&dense, &sparse);
     let comparison = SolverComparison {
         dense_seconds: dense.total_seconds,
         sparse_seconds: sparse.total_seconds,
@@ -308,6 +309,103 @@ pub fn fig5_solver_comparison(model: HardFaultModel) -> (SolverComparison, Campa
         disagreements,
     };
     (comparison, sparse)
+}
+
+/// Fault ids whose Detected/NotDetected/failure verdict class differs
+/// between two runs of the same fault list (detection *times* may move
+/// within tolerance between engines; the verdict class must not).
+fn verdict_disagreements(a: &CampaignResult, b: &CampaignResult) -> Vec<usize> {
+    a.records
+        .iter()
+        .zip(&b.records)
+        .filter(|(x, y)| {
+            use anafault::FaultOutcome::*;
+            !matches!(
+                (&x.outcome, &y.outcome),
+                (Detected { .. }, Detected { .. })
+                    | (NotDetected, NotDetected)
+                    | (InjectionFailed(_), InjectionFailed(_))
+                    | (SimulationFailed(_), SimulationFailed(_))
+            )
+        })
+        .map(|(x, _)| x.fault.id)
+        .collect()
+}
+
+/// Scalar-vs-batched comparison on the Fig. 5 campaign: the same fault
+/// list and fault model through the per-fault scalar path (the PR 6
+/// baseline) and through the lockstep batched scheduler.
+#[derive(Debug, Clone)]
+pub struct BatchComparison {
+    /// Wall-clock seconds for the whole campaign, per-fault scalar.
+    pub scalar_seconds: f64,
+    /// Wall-clock seconds for the whole campaign, batched lockstep.
+    pub batched_seconds: f64,
+    /// Kernel work (accepted Newton iterations), scalar.
+    pub scalar_work: u64,
+    /// Kernel work, batched (including any ejected-lane re-runs).
+    pub batched_work: u64,
+    /// The lane width the batched run was configured with.
+    pub width: usize,
+    /// Faults simulated.
+    pub n_faults: usize,
+    /// Faults whose verdict class differs (must be empty).
+    pub disagreements: Vec<usize>,
+}
+
+impl BatchComparison {
+    /// Scalar/batched wall-clock ratio (> 1 means batching wins).
+    pub fn speedup(&self) -> f64 {
+        self.scalar_seconds / self.batched_seconds
+    }
+
+    /// True when both schedulers produced identical fault verdicts.
+    pub fn verdicts_agree(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// Compares an already-run scalar campaign against an already-run
+/// batched campaign over the same fault list. Split from
+/// [`fig5_batch_comparison`] so the fig5 binary can reuse its solver
+/// comparison's sparse run as the scalar baseline.
+pub fn compare_batch(
+    scalar: &CampaignResult,
+    batched: &CampaignResult,
+    width: usize,
+) -> BatchComparison {
+    BatchComparison {
+        scalar_seconds: scalar.total_seconds,
+        batched_seconds: batched.total_seconds,
+        scalar_work: scalar.total_newton_iterations(),
+        batched_work: batched.total_newton_iterations(),
+        width,
+        n_faults: scalar.records.len(),
+        disagreements: verdict_disagreements(scalar, batched),
+    }
+}
+
+/// The lane width a [`BatchMode`] resolves to (0 for `Off`).
+pub fn batch_width_of(batch: BatchMode) -> usize {
+    match batch {
+        BatchMode::Off => 0,
+        BatchMode::Auto => DEFAULT_BATCH_WIDTH,
+        BatchMode::Width(k) => k.max(1),
+    }
+}
+
+/// Runs the Fig. 5 campaign once scalar and once batched and compares
+/// runtime and verdicts. Also returns the batched run's full result so
+/// the caller can render the coverage report from it.
+pub fn fig5_batch_comparison(
+    model: HardFaultModel,
+    batch: BatchMode,
+    max_faults: Option<usize>,
+) -> (BatchComparison, CampaignResult) {
+    let (scalar, _) = fig5_campaign_limited(model, max_faults);
+    let (batched, _) = fig5_campaign_batched(model, batch, max_faults);
+    let comparison = compare_batch(&scalar, &batched, batch_width_of(batch));
+    (comparison, batched)
 }
 
 // ---------------------------------------------------------------------

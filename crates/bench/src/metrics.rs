@@ -29,6 +29,11 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "spice.tran.runs",
     "spice.tran.steps",
     "spice.newton.iterations",
+    "spice.batch.batches",
+    "spice.batch.lanes",
+    "spice.batch.compactions",
+    "spice.batch.refills",
+    "spice.batch.ejections",
 ];
 
 /// Schema tag stamped into every run report.
@@ -45,6 +50,21 @@ pub struct Metrics {
     phases: Vec<(String, f64)>,
     current: Option<(String, Instant)>,
     campaign: Option<CampaignReport>,
+    batch: Option<BatchSummary>,
+}
+
+/// The batching trajectory entry written into the run report: which
+/// lane width ran and what it bought over the scalar baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSummary {
+    /// Configured lane width.
+    pub width: usize,
+    /// Scalar/batched wall-clock ratio (> 1 means batching wins), or
+    /// `None` when no scalar baseline ran alongside.
+    pub speedup: Option<f64>,
+    /// Whether scalar and batched verdicts agreed on every fault
+    /// (`None` without a baseline).
+    pub verdicts_agree: Option<bool>,
 }
 
 impl Metrics {
@@ -73,6 +93,7 @@ impl Metrics {
             phases: Vec::new(),
             current: None,
             campaign: None,
+            batch: None,
         }
     }
 
@@ -92,6 +113,12 @@ impl Metrics {
         self.campaign = Some(report);
     }
 
+    /// Attaches the batching summary (chosen lane width plus measured
+    /// speedup and verdict agreement when a scalar baseline ran).
+    pub fn attach_batch(&mut self, batch: BatchSummary) {
+        self.batch = Some(batch);
+    }
+
     /// Closes the session: when `--metrics` was given, renders the run
     /// report and writes it to the requested path.
     pub fn finish(mut self) {
@@ -104,6 +131,7 @@ impl Metrics {
             self.start.elapsed().as_secs_f64(),
             &self.phases,
             self.campaign.as_ref(),
+            self.batch,
         );
         match std::fs::write(&path, report) {
             Ok(()) => eprintln!("metrics report written to {path}"),
@@ -131,6 +159,7 @@ pub fn render_report(
     wall_seconds: f64,
     phases: &[(String, f64)],
     campaign: Option<&CampaignReport>,
+    batch: Option<BatchSummary>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -173,6 +202,24 @@ pub fn render_report(
         s.push_str(&format!("{}: {}", quote(name), snapshot.to_json()));
     }
     s.push_str("},\n");
+
+    match batch {
+        Some(b) => {
+            let speedup = match b.speedup {
+                Some(v) => num(v),
+                None => "null".to_string(),
+            };
+            let agree = match b.verdicts_agree {
+                Some(v) => v.to_string(),
+                None => "null".to_string(),
+            };
+            s.push_str(&format!(
+                "  \"batch\": {{\"width\": {}, \"speedup\": {}, \"verdicts_agree\": {}}},\n",
+                b.width, speedup, agree
+            ));
+        }
+        None => s.push_str("  \"batch\": null,\n"),
+    }
 
     match campaign {
         Some(report) => s.push_str(&format!("  \"campaign\": {}\n", report.to_json())),

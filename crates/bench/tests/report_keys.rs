@@ -3,7 +3,7 @@
 
 use anafault::protocol::parse_json;
 use anafault::{Campaign, DetectionSpec, HardFaultModel};
-use bench::{render_report, REPORT_SCHEMA, REQUIRED_COUNTERS};
+use bench::{render_report, BatchSummary, REPORT_SCHEMA, REQUIRED_COUNTERS};
 use spice::tran::TranSpec;
 use vco::OBSERVED_NODE;
 
@@ -25,7 +25,12 @@ fn report_contains_required_keys() {
     cat_telemetry::set_enabled(false);
 
     let phases = vec![("campaign".to_string(), 0.25)];
-    let text = render_report("smoke", 1.0, &phases, Some(&result.report()));
+    let batch = BatchSummary {
+        width: 4,
+        speedup: Some(2.5),
+        verdicts_agree: Some(true),
+    };
+    let text = render_report("smoke", 1.0, &phases, Some(&result.report()), Some(batch));
     let doc = parse_json(&text).expect("report is valid JSON");
 
     assert_eq!(
@@ -68,6 +73,16 @@ fn report_contains_required_keys() {
             > 0
     );
 
+    // The batching trajectory entry round-trips through the report.
+    let batch_json = doc.field("batch").expect("batch object");
+    assert_eq!(batch_json.field("width").unwrap().as_u64().unwrap(), 4);
+    assert_eq!(batch_json.field("speedup").unwrap().as_f64().unwrap(), 2.5);
+    assert!(batch_json
+        .field("verdicts_agree")
+        .unwrap()
+        .as_bool()
+        .unwrap());
+
     let campaign_json = doc.field("campaign").expect("campaign object");
     assert_eq!(
         campaign_json.field("faults").unwrap().as_u64().unwrap(),
@@ -77,6 +92,11 @@ fn report_contains_required_keys() {
         "coverage_percent",
         "wall_seconds",
         "pattern_builds",
+        "batches",
+        "batched_faults",
+        "lane_compactions",
+        "lane_refills",
+        "ejections",
         "sim_seconds_distribution",
         "newton_iterations_distribution",
     ] {
@@ -89,14 +109,15 @@ fn report_contains_required_keys() {
 
 #[test]
 fn report_without_campaign_has_null_campaign() {
-    let text = render_report("empty", 0.0, &[], None);
+    let text = render_report("empty", 0.0, &[], None, None);
     let doc = parse_json(&text).expect("report is valid JSON");
     assert_eq!(
         doc.field("schema").unwrap().as_str().unwrap(),
         REPORT_SCHEMA
     );
-    // `campaign` is present-but-null so consumers can distinguish
-    // "no campaign ran" from a truncated document.
+    // `campaign` and `batch` are present-but-null so consumers can
+    // distinguish "didn't run" from a truncated document.
     assert!(doc.get("campaign").is_some());
     assert!(doc.get("campaign").unwrap().as_f64().is_err());
+    assert!(doc.get("batch").is_some());
 }

@@ -111,16 +111,7 @@ pub fn solve_newton_in(
                 detail: format!("non-finite solution at iteration {}", iter + 1),
             });
         }
-        let mut converged = true;
-        for i in 0..x.len() {
-            let dx = x_new[i] - x[i];
-            let limited = dx.clamp(-opts.max_step, opts.max_step);
-            if dx.abs() > opts.reltol * x_new[i].abs() + opts.vabstol {
-                converged = false;
-            }
-            x[i] += limited;
-        }
-        if converged {
+        if newton_update(&mut x, &x_new, opts) {
             return Ok((x, iter + 1));
         }
     }
@@ -129,6 +120,24 @@ pub fn solve_newton_in(
         analysis: analysis.to_string(),
         detail: format!("no convergence in {} iterations", opts.max_iter),
     })
+}
+
+/// One damped Newton update: moves `x` towards `x_new` with each
+/// component's step clamped to `opts.max_step`, and reports whether the
+/// *unclamped* update already satisfied the mixed relative/absolute
+/// tolerance. Shared with the batched engine ([`crate::batch`]) so a
+/// lane's convergence decision is bit-identical to the scalar path.
+pub(crate) fn newton_update(x: &mut [f64], x_new: &[f64], opts: &NewtonOpts) -> bool {
+    let mut converged = true;
+    for i in 0..x.len() {
+        let dx = x_new[i] - x[i];
+        let limited = dx.clamp(-opts.max_step, opts.max_step);
+        if dx.abs() > opts.reltol * x_new[i].abs() + opts.vabstol {
+            converged = false;
+        }
+        x[i] += limited;
+    }
+    converged
 }
 
 /// Newton runs that exhausted `max_iter` (includes rungs of the dcop

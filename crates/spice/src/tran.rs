@@ -81,7 +81,7 @@ impl TranSpec {
     /// derived from the integer step index — never by accumulating
     /// `t += tstep`, which drifts by an ULP per step and desynchronises
     /// detection times over long runs.
-    fn grid(&self) -> (usize, Option<f64>) {
+    pub(crate) fn grid(&self) -> (usize, Option<f64>) {
         let ratio = self.tstop / self.tstep;
         let nearest = ratio.round();
         if nearest >= 1.0 && (ratio - nearest).abs() <= 1e-9 * nearest {
@@ -158,22 +158,22 @@ impl TranResult {
 /// Cgd = ⅓·Cox·W·L). Gate caps both smooth switching edges physically
 /// and give the Newton iteration a continuation path through
 /// regenerative transitions (Schmitt triggers, latches).
-struct CapInstance {
-    a: NodeId,
-    b: NodeId,
-    c: f64,
+pub(crate) struct CapInstance {
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) c: f64,
     /// Initial condition (UIC), explicit capacitors only.
-    ic: Option<f64>,
+    pub(crate) ic: Option<f64>,
 }
 
 /// Integration state per capacitance instance.
-struct CapState {
-    v_prev: f64,
-    i_prev: f64,
+pub(crate) struct CapState {
+    pub(crate) v_prev: f64,
+    pub(crate) i_prev: f64,
 }
 
 /// Collects all capacitance instances of the circuit.
-fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
+pub(crate) fn cap_instances(ckt: &Circuit) -> Vec<CapInstance> {
     let mut out = Vec::new();
     for e in ckt.elements() {
         match &e.kind {
@@ -421,11 +421,11 @@ where
 
 static TRAN_RUNS: cat_telemetry::StaticCounter =
     cat_telemetry::StaticCounter::new("spice.tran.runs");
-static TRAN_STEPS: cat_telemetry::StaticCounter =
+pub(crate) static TRAN_STEPS: cat_telemetry::StaticCounter =
     cat_telemetry::StaticCounter::new("spice.tran.steps");
 static TRAN_HALVINGS: cat_telemetry::StaticCounter =
     cat_telemetry::StaticCounter::new("spice.tran.halvings");
-static NEWTON_ITERATIONS: cat_telemetry::StaticCounter =
+pub(crate) static NEWTON_ITERATIONS: cat_telemetry::StaticCounter =
     cat_telemetry::StaticCounter::new("spice.newton.iterations");
 
 /// Adds a finished run's counters to the global registry. Each `add`

@@ -1,0 +1,147 @@
+//! Property tests for the batched lockstep transient engine: for random
+//! RC ladders and random fault-style variants, batched execution at
+//! every lane width must agree with the per-variant scalar path —
+//! bitwise-identical sample times and `|Δx| < 1e-9` voltages — or eject
+//! the lane (never silently diverge).
+
+use proptest::prelude::*;
+use spice::parser::parse_netlist;
+use spice::tran::{tran_with_cached, TranSpec};
+use spice::{run_group, BatchGroup, Circuit, LaneJob, PatternCache};
+
+/// Sample grid shared by all runs: 20 full steps.
+fn spec() -> TranSpec {
+    TranSpec::new(1e-6, 2e-5).with_uic()
+}
+
+/// An RC ladder netlist with one section per resistance in `rs`
+/// (`rs.len() + 2` unknowns — enough to clear the sparse cutoff).
+fn ladder_netlist(rs: &[i64]) -> String {
+    let mut s = String::from("ladder\nv1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n");
+    let mut prev = "in".to_string();
+    for (i, r) in rs.iter().enumerate() {
+        s.push_str(&format!("r{i} {prev} n{i} {r}\nc{i} n{i} 0 1n ic=0\n"));
+        prev = format!("n{i}");
+    }
+    s.push_str(".end\n");
+    s
+}
+
+/// Maps a raw random pair onto two *distinct* ladder node indices.
+fn node_pair(p: usize, q: usize, n: usize) -> (usize, usize) {
+    let a = p % n;
+    let b = (a + 1 + q % (n - 1)) % n;
+    (a, b)
+}
+
+/// The scalar reference: every accepted sample of one circuit.
+fn scalar_samples(ckt: &Circuit, cache: &PatternCache) -> Vec<(f64, Vec<f64>)> {
+    let mut samples = Vec::new();
+    tran_with_cached(ckt, &spec(), Some(cache), |t, x| {
+        samples.push((t, x.to_vec()));
+        true
+    })
+    .expect("scalar reference simulates");
+    samples
+}
+
+/// Runs `variants` through one batch group at `width` and checks every
+/// completed lane against its scalar reference.
+fn check_group(variants: &[Circuit], border: bool, width: usize) {
+    let cache = PatternCache::new();
+    let refs: Vec<&Circuit> = variants.iter().collect();
+    let Some(group) = BatchGroup::build(&refs, border) else {
+        // Refusing to build is a legal outcome (scalar fallback), not
+        // a correctness failure.
+        return;
+    };
+    let jobs: Vec<LaneJob<'_>> = refs
+        .iter()
+        .enumerate()
+        .map(|(id, c)| LaneJob { id, circuit: c })
+        .collect();
+    let mut batched: Vec<Vec<(f64, Vec<f64>)>> = vec![Vec::new(); jobs.len()];
+    let (reports, _) = run_group(&group, width, &spec(), &jobs, Some(&cache), |id, t, x| {
+        batched[id].push((t, x.to_vec()));
+        true
+    });
+    for report in &reports {
+        if !report.completed {
+            continue; // ejected lanes re-run scalar by contract
+        }
+        let reference = scalar_samples(&variants[report.id], &cache);
+        let got = &batched[report.id];
+        assert_eq!(
+            got.len(),
+            reference.len(),
+            "lane {} sample count (width {width})",
+            report.id
+        );
+        for ((tb, xb), (ts, xs)) in got.iter().zip(&reference) {
+            assert_eq!(tb, ts, "lane {} sample time (width {width})", report.id);
+            for (vb, vs) in xb.iter().zip(xs) {
+                assert!(
+                    (vb - vs).abs() < 1e-9,
+                    "lane {} width {width}: |Δx| = {}",
+                    report.id,
+                    (vb - vs).abs()
+                );
+            }
+        }
+    }
+}
+
+fn arb_ladder() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(500i64..5000, 12..16)
+}
+
+fn arb_shorts() -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0usize..1000, 0usize..1000), 2..6)
+}
+
+proptest! {
+    /// Plain groups: each variant bridges a random node pair with a
+    /// 10 Ω resistor (the paper's resistor short model).
+    #[test]
+    fn resistor_variants_agree_at_every_width(
+        rs in arb_ladder(),
+        shorts in arb_shorts(),
+    ) {
+        let n = rs.len();
+        let base = ladder_netlist(&rs);
+        let variants: Vec<Circuit> = shorts
+            .iter()
+            .map(|&(p, q)| {
+                let (a, b) = node_pair(p, q, n);
+                let faulted = base.replace(".end", &format!("rf n{a} n{b} 10\n.end"));
+                parse_netlist(&faulted).expect("variant parses")
+            })
+            .collect();
+        for width in [1usize, 2, 4, 8, 16] {
+            check_group(&variants, false, width);
+        }
+    }
+
+    /// Bordered groups: each variant shorts a random node pair with an
+    /// ideal 0 V source (the paper's source short model) appended as
+    /// the final element, exercising the rank-1 border solve.
+    #[test]
+    fn source_variants_agree_at_every_width(
+        rs in arb_ladder(),
+        shorts in arb_shorts(),
+    ) {
+        let n = rs.len();
+        let base = ladder_netlist(&rs);
+        let variants: Vec<Circuit> = shorts
+            .iter()
+            .map(|&(p, q)| {
+                let (a, b) = node_pair(p, q, n);
+                let faulted = base.replace(".end", &format!("vf n{a} n{b} dc 0\n.end"));
+                parse_netlist(&faulted).expect("variant parses")
+            })
+            .collect();
+        for width in [1usize, 2, 4, 8, 16] {
+            check_group(&variants, true, width);
+        }
+    }
+}

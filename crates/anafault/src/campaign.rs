@@ -404,6 +404,9 @@ pub struct CampaignTelemetry {
     pub lane_refills: u64,
     /// Lanes ejected from the lockstep kernel to the scalar path.
     pub ejections: u64,
+    /// Faults whose record was replayed from a checkpoint instead of
+    /// being re-simulated ([`CampaignSession::run_resumed`]).
+    pub replayed_faults: u64,
 }
 
 /// The campaign result: nominal response plus per-fault records.
@@ -492,6 +495,43 @@ impl Campaign {
     /// result instead.
     pub fn run(&self, faults: &[Fault]) -> Result<CampaignResult, SpiceError> {
         self.session(faults).run()
+    }
+
+    /// Runs the nominal simulation and resolves every observed node's
+    /// waveform — the shared front half of every session entry point.
+    fn nominal_pass(&self, cache: &PatternCache) -> Result<(Vec<Wave>, f64), SpiceError> {
+        let t0 = Instant::now();
+        let nominal_res = tran_with_cached(&self.circuit, &self.tran, Some(cache), |_, _| true)?;
+        let nominal_seconds = t0.elapsed().as_secs_f64();
+        let mut nominals = Vec::with_capacity(self.observe.len());
+        for name in &self.observe {
+            let wave = nominal_res.wave(name).ok_or_else(|| {
+                SpiceError::Elaboration(format!("observed node `{name}` not found"))
+            })?;
+            nominals.push(wave);
+        }
+        Ok((nominals, nominal_seconds))
+    }
+
+    /// Runs the nominal simulation once and freezes the campaign into a
+    /// [`PreparedCampaign`]: a `Send + Sync` handle that can simulate
+    /// individual faults on any thread and assemble a
+    /// [`CampaignResult`] at the end. This is the building block for
+    /// external schedulers (the `anafault-serve` daemon shards a
+    /// prepared campaign's fault list across its own worker pool).
+    ///
+    /// # Errors
+    /// Fails when the nominal simulation fails or an observed node does
+    /// not exist — the same contract as [`Campaign::run`].
+    pub fn prepare(self) -> Result<PreparedCampaign, SpiceError> {
+        let cache = PatternCache::new();
+        let (nominals, nominal_seconds) = self.nominal_pass(&cache)?;
+        Ok(PreparedCampaign {
+            campaign: self,
+            cache,
+            nominals,
+            nominal_seconds,
+        })
     }
 
     fn simulate_one(&self, fault: &Fault, nominals: &[Wave], cache: &PatternCache) -> FaultRecord {
@@ -653,6 +693,96 @@ fn missing_observed(name: &str) -> FaultOutcome {
     FaultOutcome::SimulationFailed(format!("observed node `{name}` missing in faulty circuit"))
 }
 
+/// A campaign frozen after its nominal pass: the configuration, the
+/// session-wide [`PatternCache`] and the resolved nominal waveforms.
+/// `Send + Sync`, so an external scheduler may call
+/// [`PreparedCampaign::simulate_fault`] from many threads at once and
+/// assemble the final document with [`PreparedCampaign::finish`] —
+/// exactly what [`CampaignSession::run_with_progress`] does internally,
+/// but with the scheduling loop inverted out of this crate.
+///
+/// Faults always run through the scalar path here (honouring the
+/// campaign's `early_stop` flag); the lockstep batched scheduler needs
+/// the whole fault list up front and stays behind
+/// [`CampaignSession::run`].
+#[derive(Debug)]
+pub struct PreparedCampaign {
+    campaign: Campaign,
+    cache: PatternCache,
+    nominals: Vec<Wave>,
+    nominal_seconds: f64,
+}
+
+impl PreparedCampaign {
+    /// The underlying campaign configuration.
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Nominal waveform per observed node (parallel to
+    /// [`Campaign::observed`]).
+    pub fn nominals(&self) -> &[Wave] {
+        &self.nominals
+    }
+
+    /// Seconds the nominal simulation took.
+    pub fn nominal_seconds(&self) -> f64 {
+        self.nominal_seconds
+    }
+
+    /// Applies the campaign's fault budget to a fault list, returning
+    /// the slice a session over the same list would simulate.
+    pub fn budgeted<'f>(&self, faults: &'f [Fault]) -> &'f [Fault] {
+        let n = self
+            .campaign
+            .max_faults
+            .unwrap_or(faults.len())
+            .min(faults.len());
+        &faults[..n]
+    }
+
+    /// Simulates one fault against the prepared nominal response.
+    /// Injection and simulation failures are folded into the record's
+    /// outcome, never returned — the same contract as a session worker.
+    pub fn simulate_fault(&self, fault: &Fault) -> FaultRecord {
+        self.campaign
+            .simulate_one(fault, &self.nominals, &self.cache)
+    }
+
+    /// Assembles the final [`CampaignResult`] from the completed
+    /// records (in input order). `replayed_faults` is the number of
+    /// records that came from a checkpoint rather than
+    /// [`PreparedCampaign::simulate_fault`]; `total_seconds` is the
+    /// caller's wall-clock measure for the whole campaign (an external
+    /// scheduler may span process restarts, so the clock cannot live
+    /// here). Flushes the `anafault.campaign.*` counters.
+    pub fn finish(
+        &self,
+        records: Vec<FaultRecord>,
+        replayed_faults: u64,
+        total_seconds: f64,
+    ) -> CampaignResult {
+        let telemetry = CampaignTelemetry {
+            pattern_cache_hits: self.cache.hits(),
+            pattern_cache_misses: self.cache.misses(),
+            pattern_cache_entries: self.cache.len(),
+            early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+            replayed_faults,
+            ..CampaignTelemetry::default()
+        };
+        let result = CampaignResult {
+            observed: self.campaign.observe.clone(),
+            nominals: self.nominals.clone(),
+            records,
+            nominal_seconds: self.nominal_seconds,
+            total_seconds,
+            telemetry,
+        };
+        flush_campaign_counters(&result);
+        result
+    }
+}
+
 impl CampaignSession<'_> {
     /// The faults this session will simulate (after the budget cut).
     pub fn faults(&self) -> &[Fault] {
@@ -687,17 +817,7 @@ impl CampaignSession<'_> {
         // fault, and each hard-fault stamp shape is analysed exactly
         // once no matter how many workers touch it.
         let cache = PatternCache::new();
-        let t0 = Instant::now();
-        let nominal_res =
-            tran_with_cached(&campaign.circuit, &campaign.tran, Some(&cache), |_, _| true)?;
-        let nominal_seconds = t0.elapsed().as_secs_f64();
-        let mut nominals = Vec::with_capacity(campaign.observe.len());
-        for name in &campaign.observe {
-            let wave = nominal_res.wave(name).ok_or_else(|| {
-                SpiceError::Elaboration(format!("observed node `{name}` not found"))
-            })?;
-            nominals.push(wave);
-        }
+        let (nominals, nominal_seconds) = campaign.nominal_pass(&cache)?;
 
         if let Some(width) = campaign.batch_width() {
             return self.run_batched(width, &cache, nominals, nominal_seconds, t_start, on_event);
@@ -757,6 +877,124 @@ impl CampaignSession<'_> {
             pattern_cache_misses: cache.misses(),
             pattern_cache_entries: cache.len(),
             early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+            ..CampaignTelemetry::default()
+        };
+        let result = CampaignResult {
+            observed: campaign.observe.clone(),
+            nominals,
+            records,
+            nominal_seconds,
+            total_seconds: t_start.elapsed().as_secs_f64(),
+            telemetry,
+        };
+        flush_campaign_counters(&result);
+        Ok(result)
+    }
+
+    /// Resumes a session from checkpointed records: every fault whose
+    /// id appears in `completed` is replayed verbatim — its record is
+    /// cloned, never re-simulated — and only the remaining faults run
+    /// through the scalar worker pool. Replay events stream first, in
+    /// input order, then live completions in completion order, so a
+    /// consumer sees every fault exactly once and
+    /// `telemetry.replayed_faults` counts the replays.
+    ///
+    /// Matching is by [`Fault::id`](crate::Fault); checkpoint records
+    /// whose id is not in this session's (budgeted) fault list are
+    /// ignored, and only the first record per id counts — a checkpoint
+    /// with a torn duplicate tail replays cleanly. The batched
+    /// scheduler is never used on resume: the tail of an interrupted
+    /// campaign runs scalar (honouring `early_stop`), so resumed
+    /// verdicts match an uninterrupted scalar run bit for bit.
+    ///
+    /// # Errors
+    /// See [`Campaign::run`].
+    pub fn run_resumed(
+        self,
+        completed: &[FaultRecord],
+        mut on_event: impl FnMut(&CampaignProgress),
+    ) -> Result<CampaignResult, SpiceError> {
+        let campaign = self.campaign;
+        let t_start = Instant::now();
+        let cache = PatternCache::new();
+        let (nominals, nominal_seconds) = campaign.nominal_pass(&cache)?;
+        let faults = self.faults;
+        let total = faults.len();
+
+        let mut done: BTreeMap<usize, &FaultRecord> = BTreeMap::new();
+        for record in completed {
+            done.entry(record.fault.id).or_insert(record);
+        }
+
+        let mut slots: Vec<Option<FaultRecord>> = vec![None; total];
+        let mut completed_count = 0usize;
+        let mut replayed = 0u64;
+        for (i, fault) in faults.iter().enumerate() {
+            if let Some(&record) = done.get(&fault.id) {
+                replayed += 1;
+                emit_record(
+                    &mut slots,
+                    &mut completed_count,
+                    total,
+                    &mut on_event,
+                    i,
+                    record.clone(),
+                );
+            }
+        }
+
+        let remaining: Vec<usize> = (0..total).filter(|&i| slots[i].is_none()).collect();
+        let n_threads = if campaign.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            campaign.threads
+        };
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, FaultRecord)>();
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.min(remaining.len().max(1)) {
+                let tx = tx.clone();
+                let next = &next;
+                let nominals = &nominals;
+                let cache = &cache;
+                let remaining = &remaining;
+                scope.spawn(move || loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= remaining.len() {
+                        break;
+                    }
+                    let i = remaining[k];
+                    let record = campaign.simulate_one(&faults[i], nominals, cache);
+                    if tx.send((i, record)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            while let Ok((index, record)) = rx.recv() {
+                emit_record(
+                    &mut slots,
+                    &mut completed_count,
+                    total,
+                    &mut on_event,
+                    index,
+                    record,
+                );
+            }
+        });
+        let records: Vec<FaultRecord> = slots
+            .into_iter()
+            .map(|r| r.expect("every fault reports exactly once"))
+            .collect();
+
+        let telemetry = CampaignTelemetry {
+            pattern_cache_hits: cache.hits(),
+            pattern_cache_misses: cache.misses(),
+            pattern_cache_entries: cache.len(),
+            early_stops: records.iter().filter(|r| r.telemetry.early_stopped).count() as u64,
+            replayed_faults: replayed,
             ..CampaignTelemetry::default()
         };
         let result = CampaignResult {
@@ -1896,5 +2134,99 @@ mod tests {
         let counts = dist.field("counts").unwrap().as_array().unwrap();
         assert_eq!(counts.len(), edges.len() + 1);
         assert_eq!(dist.field("count").unwrap().as_u64().unwrap(), 5);
+    }
+
+    #[test]
+    fn resume_replays_checkpoint_and_matches_uninterrupted_run() {
+        let faults = fault_set();
+        let reference = campaign().run(&faults).unwrap();
+        for k in [0, 1, 3, faults.len()] {
+            let checkpoint: Vec<FaultRecord> = reference.records[..k].to_vec();
+            let mut events = 0usize;
+            let resumed = campaign()
+                .session(&faults)
+                .run_resumed(&checkpoint, |p| {
+                    // Replays stream first, in input order, verbatim.
+                    if p.completed <= k {
+                        assert_eq!(p.index, p.completed - 1);
+                    }
+                    events += 1;
+                })
+                .unwrap();
+            assert_eq!(events, faults.len(), "one event per fault at k={k}");
+            assert_eq!(resumed.telemetry.replayed_faults, k as u64);
+            assert_eq!(resumed.records.len(), reference.records.len());
+            for (i, (res, refr)) in resumed.records.iter().zip(&reference.records).enumerate() {
+                assert_eq!(res.fault.id, refr.fault.id);
+                assert_eq!(res.outcome, refr.outcome, "verdict differs at {i}, k={k}");
+                if i < k {
+                    // Replayed records are clones of the checkpoint —
+                    // bitwise-equal timings prove nothing re-simulated.
+                    assert_eq!(res.sim_seconds, refr.sim_seconds);
+                    assert_eq!(res.telemetry, refr.telemetry);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_ignores_unknown_and_duplicate_checkpoint_records() {
+        let faults = fault_set();
+        let reference = campaign().run(&faults).unwrap();
+        let mut checkpoint = vec![reference.records[0].clone()];
+        // A torn rewrite can duplicate a record; only the first counts.
+        let mut dup = reference.records[0].clone();
+        dup.sim_seconds = -1.0;
+        checkpoint.push(dup);
+        // A record from some other campaign's fault list is ignored.
+        let mut alien = reference.records[1].clone();
+        alien.fault.id = 9999;
+        checkpoint.push(alien);
+        let resumed = campaign()
+            .session(&faults)
+            .run_resumed(&checkpoint, |_| {})
+            .unwrap();
+        assert_eq!(resumed.telemetry.replayed_faults, 1);
+        assert_eq!(
+            resumed.records[0].sim_seconds,
+            reference.records[0].sim_seconds
+        );
+        for (res, refr) in resumed.records.iter().zip(&reference.records) {
+            assert_eq!(res.outcome, refr.outcome);
+        }
+    }
+
+    #[test]
+    fn prepared_campaign_matches_session_run() {
+        let faults = fault_set();
+        let reference = campaign().run(&faults).unwrap();
+        let prepared = campaign().prepare().unwrap();
+        let budgeted = prepared.budgeted(&faults);
+        assert_eq!(budgeted.len(), faults.len());
+        let records: Vec<FaultRecord> = budgeted
+            .iter()
+            .map(|f| prepared.simulate_fault(f))
+            .collect();
+        let result = prepared.finish(records, 2, 1.5);
+        assert_eq!(result.observed, reference.observed);
+        assert_eq!(result.nominals, reference.nominals);
+        assert_eq!(result.records.len(), reference.records.len());
+        for (res, refr) in result.records.iter().zip(&reference.records) {
+            assert_eq!(res.outcome, refr.outcome);
+        }
+        assert_eq!(result.telemetry.replayed_faults, 2);
+        assert_eq!(result.total_seconds, 1.5);
+    }
+
+    #[test]
+    fn prepared_campaign_budget_applies() {
+        let prepared = campaign_builder()
+            .max_faults(2)
+            .build()
+            .unwrap()
+            .prepare()
+            .unwrap();
+        let faults = fault_set();
+        assert_eq!(prepared.budgeted(&faults).len(), 2);
     }
 }

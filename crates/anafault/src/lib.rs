@@ -47,10 +47,10 @@ pub mod soft;
 pub use campaign::{
     share_wall, BatchMode, Campaign, CampaignBuilder, CampaignProgress, CampaignReport,
     CampaignResult, CampaignSession, CampaignTelemetry, ConfigError, FaultOutcome, FaultRecord,
-    FaultTelemetry, DEFAULT_BATCH_WIDTH,
+    FaultTelemetry, PreparedCampaign, DEFAULT_BATCH_WIDTH,
 };
 pub use coverage::{coverage_curve, DetectionSpec};
 pub use fault::{Fault, FaultEffect, MosTerminal};
 pub use inject::{inject, HardFaultModel, InjectError};
-pub use protocol::ProtocolError;
+pub use protocol::{CampaignSpec, ProtocolError, StreamEvent};
 pub use soft::{MonteCarloSpec, SweepSpec};

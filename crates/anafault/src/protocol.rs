@@ -10,9 +10,12 @@
 //! needs.
 
 use crate::campaign::{
-    CampaignResult, CampaignTelemetry, FaultOutcome, FaultRecord, FaultTelemetry,
+    Campaign, CampaignProgress, CampaignResult, CampaignTelemetry, FaultOutcome, FaultRecord,
+    FaultTelemetry,
 };
+use crate::coverage::DetectionSpec;
 use crate::fault::{Fault, FaultEffect};
+use crate::inject::HardFaultModel;
 use spice::{SolverStats, Wave};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -68,7 +71,7 @@ pub fn to_json(result: &CampaignResult) -> String {
         "  \"telemetry\": {{\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, \
          \"pattern_cache_entries\": {}, \"early_stops\": {}, \"batches\": {}, \
          \"batched_faults\": {}, \"lane_compactions\": {}, \"lane_refills\": {}, \
-         \"ejections\": {}}},",
+         \"ejections\": {}, \"replayed_faults\": {}}},",
         t.pattern_cache_hits,
         t.pattern_cache_misses,
         t.pattern_cache_entries,
@@ -77,7 +80,8 @@ pub fn to_json(result: &CampaignResult) -> String {
         t.batched_faults,
         t.lane_compactions,
         t.lane_refills,
-        t.ejections
+        t.ejections,
+        t.replayed_faults
     );
     s.push_str("  \"nominals\": [\n");
     for (i, wave) in result.nominals.iter().enumerate() {
@@ -296,9 +300,17 @@ pub fn parse_json(text: &str) -> Result<Json, ProtocolError> {
     Ok(value)
 }
 
+/// Maximum container nesting the parser accepts. The daemon feeds this
+/// parser untrusted network input; without a bound, `[[[[…` recurses
+/// once per byte and overflows the stack (an abort, not a catchable
+/// error). The protocol schema nests four levels deep, so 128 is far
+/// beyond any legitimate document.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -306,6 +318,7 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -348,8 +361,8 @@ impl<'a> Parser<'a> {
     fn value(&mut self) -> Result<Json, ProtocolError> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(Json::String(self.string()?)),
             Some(b't') => {
                 self.expect_literal("true")?;
@@ -366,6 +379,20 @@ impl<'a> Parser<'a> {
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
             _ => Err(self.error("expected a JSON value")),
         }
+    }
+
+    /// Runs one container parse with the depth guard held.
+    fn nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<Json, ProtocolError>,
+    ) -> Result<Json, ProtocolError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.error("nesting deeper than 128 levels"));
+        }
+        self.depth += 1;
+        let value = parse(self);
+        self.depth -= 1;
+        value
     }
 
     fn object(&mut self) -> Result<Json, ProtocolError> {
@@ -597,13 +624,13 @@ impl Json {
 /// [`ProtocolError::Parse`] on malformed JSON, [`ProtocolError::Schema`]
 /// when the document does not match the protocol schema.
 pub fn from_json(text: &str) -> Result<CampaignResult, ProtocolError> {
-    let mut parser = Parser::new(text);
-    let doc = parser.value()?;
-    parser.skip_ws();
-    if parser.pos != parser.bytes.len() {
-        return Err(parser.error("trailing data"));
-    }
+    result_from_value(&parse_json(text)?)
+}
 
+/// Maps an already-parsed protocol document to a [`CampaignResult`] —
+/// the back half of [`from_json`], shared with the NDJSON stream
+/// terminator in [`event_from_json`].
+fn result_from_value(doc: &Json) -> Result<CampaignResult, ProtocolError> {
     let version = doc.field("version")?.as_usize()?;
     if version as u64 != PROTOCOL_VERSION {
         return Err(schema_err(format!(
@@ -658,6 +685,7 @@ fn campaign_telemetry_from_json(v: Option<&Json>) -> Result<CampaignTelemetry, P
         lane_compactions: opt_u64(v, "lane_compactions")?,
         lane_refills: opt_u64(v, "lane_refills")?,
         ejections: opt_u64(v, "ejections")?,
+        replayed_faults: opt_u64(v, "replayed_faults")?,
     })
 }
 
@@ -788,6 +816,269 @@ fn outcome_from_json(v: &Json) -> Result<FaultOutcome, ProtocolError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Campaign specification documents
+// ---------------------------------------------------------------------
+
+/// Schema version stamped into every campaign-spec document.
+pub const SPEC_VERSION: u64 = 1;
+
+/// A self-contained, serializable campaign request: everything a
+/// service front-end needs to rebuild and run a [`Campaign`] — the
+/// testbench as netlist text, the transient window, observed nodes,
+/// detection tolerances, fault model, execution knobs and the fault
+/// list itself. This is what clients `POST` to `anafault-serve` and
+/// what the daemon persists to its state directory so an interrupted
+/// campaign can be rebuilt after a restart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// The fault-free testbench circuit, as netlist text
+    /// ([`spice::Circuit::to_netlist`] round-trips through the parser).
+    pub netlist: String,
+    /// Transient timestep (s).
+    pub tstep: f64,
+    /// Transient stop time (s).
+    pub tstop: f64,
+    /// Start from the netlist's initial conditions (`uic`).
+    pub uic: bool,
+    /// Observed output nodes (any-detect).
+    pub observe: Vec<String>,
+    /// Detection tolerances.
+    pub detection: DetectionSpec,
+    /// Hard fault model.
+    pub model: HardFaultModel,
+    /// Abandon each faulty transient at first detection.
+    pub early_stop: bool,
+    /// Fault budget: simulate at most this many faults from the head
+    /// of the list.
+    pub max_faults: Option<usize>,
+    /// Client identity for the server's per-client fault budgets;
+    /// anonymous submissions share one bucket.
+    pub client: Option<String>,
+    /// The faults to simulate, in ranked order.
+    pub faults: Vec<Fault>,
+}
+
+impl CampaignSpec {
+    /// Serializes the spec to its JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"spec_version\": {SPEC_VERSION},");
+        let _ = writeln!(s, "  \"netlist\": {},", quote(&self.netlist));
+        let _ = writeln!(
+            s,
+            "  \"tran\": {{\"tstep\": {}, \"tstop\": {}, \"uic\": {}}},",
+            num(self.tstep),
+            num(self.tstop),
+            self.uic
+        );
+        let _ = writeln!(
+            s,
+            "  \"observe\": [{}],",
+            self.observe
+                .iter()
+                .map(|n| quote(n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        let _ = writeln!(
+            s,
+            "  \"detection\": {{\"v_tol\": {}, \"t_tol\": {}}},",
+            num(self.detection.v_tol),
+            num(self.detection.t_tol)
+        );
+        let _ = writeln!(s, "  \"model\": {},", model_json(&self.model));
+        let _ = writeln!(s, "  \"early_stop\": {},", self.early_stop);
+        if let Some(max) = self.max_faults {
+            let _ = writeln!(s, "  \"max_faults\": {max},");
+        }
+        if let Some(client) = &self.client {
+            let _ = writeln!(s, "  \"client\": {},", quote(client));
+        }
+        s.push_str("  \"faults\": [\n");
+        for (i, fault) in self.faults.iter().enumerate() {
+            let comma = if i + 1 < self.faults.len() { "," } else { "" };
+            let _ = writeln!(s, "    {}{comma}", fault_json(fault));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses and validates a campaign-spec document.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Parse`] on malformed JSON,
+    /// [`ProtocolError::Schema`] when the document does not match the
+    /// spec schema or carries non-physical values (non-positive
+    /// transient window, no observed nodes).
+    pub fn from_json(text: &str) -> Result<CampaignSpec, ProtocolError> {
+        let doc = parse_json(text)?;
+        let version = doc.field("spec_version")?.as_usize()?;
+        if version as u64 != SPEC_VERSION {
+            return Err(schema_err(format!("unsupported spec version {version}")));
+        }
+        let tran = doc.field("tran")?;
+        let tstep = tran.field("tstep")?.as_f64()?;
+        let tstop = tran.field("tstop")?.as_f64()?;
+        if !(tstep.is_finite() && tstop.is_finite()) || tstep <= 0.0 || tstop < tstep {
+            return Err(schema_err(
+                "transient window needs 0 < tstep <= tstop, both finite",
+            ));
+        }
+        let observe: Vec<String> = doc
+            .field("observe")?
+            .as_array()?
+            .iter()
+            .map(|v| v.as_str().map(str::to_string))
+            .collect::<Result<_, _>>()?;
+        if observe.is_empty() {
+            return Err(schema_err("spec observes no nodes"));
+        }
+        let detection = doc.field("detection")?;
+        let spec = CampaignSpec {
+            netlist: doc.field("netlist")?.as_str()?.to_string(),
+            tstep,
+            tstop,
+            uic: tran.field("uic")?.as_bool()?,
+            observe,
+            detection: DetectionSpec {
+                v_tol: detection.field("v_tol")?.as_f64()?,
+                t_tol: detection.field("t_tol")?.as_f64()?,
+            },
+            model: model_from_json(doc.field("model")?)?,
+            early_stop: opt_bool(&doc, "early_stop")?,
+            max_faults: match doc.get("max_faults") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_usize()?),
+            },
+            client: match doc.get("client") {
+                None | Some(Json::Null) => None,
+                Some(v) => Some(v.as_str()?.to_string()),
+            },
+            faults: doc
+                .field("faults")?
+                .as_array()?
+                .iter()
+                .map(fault_from_json)
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(spec)
+    }
+
+    /// Rebuilds the executable [`Campaign`] this spec describes: parses
+    /// the netlist and assembles the builder. The spec's fault list and
+    /// budget are *not* consumed here — open a session over
+    /// [`CampaignSpec::faults`] (the builder carries the budget).
+    ///
+    /// # Errors
+    /// [`ProtocolError::Schema`] when the netlist does not parse or the
+    /// configuration is incomplete.
+    pub fn build_campaign(&self) -> Result<Campaign, ProtocolError> {
+        let circuit = spice::parser::parse_netlist(&self.netlist)
+            .map_err(|e| schema_err(format!("spec netlist does not parse: {e}")))?;
+        let mut tran = spice::tran::TranSpec::new(self.tstep, self.tstop);
+        if self.uic {
+            tran = tran.with_uic();
+        }
+        let mut builder = Campaign::builder()
+            .testbench(circuit)
+            .tran(tran)
+            .observe_nodes(self.observe.iter().cloned())
+            .detection(self.detection)
+            .model(self.model)
+            .early_stop(self.early_stop);
+        if let Some(max) = self.max_faults {
+            builder = builder.max_faults(max);
+        }
+        builder
+            .build()
+            .map_err(|e| schema_err(format!("spec does not configure a campaign: {e}")))
+    }
+}
+
+fn model_json(model: &HardFaultModel) -> String {
+    match model {
+        HardFaultModel::Resistor { r_short, r_open } => format!(
+            "{{\"kind\": \"resistor\", \"r_short\": {}, \"r_open\": {}}}",
+            num(*r_short),
+            num(*r_open)
+        ),
+        HardFaultModel::Source => "{\"kind\": \"source\"}".to_string(),
+    }
+}
+
+fn model_from_json(v: &Json) -> Result<HardFaultModel, ProtocolError> {
+    match v.field("kind")?.as_str()? {
+        "resistor" => Ok(HardFaultModel::Resistor {
+            r_short: v.field("r_short")?.as_f64()?,
+            r_open: v.field("r_open")?.as_f64()?,
+        }),
+        "source" => Ok(HardFaultModel::Source),
+        kind => Err(schema_err(format!("unknown fault model kind `{kind}`"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// NDJSON event stream
+// ---------------------------------------------------------------------
+
+/// One line of a campaign event stream (and of the daemon's checkpoint
+/// files): either a per-fault progress event or the terminating full
+/// result document.
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// A fault completed.
+    Progress(CampaignProgress),
+    /// The campaign finished; this is the last line of a stream.
+    Result(CampaignResult),
+}
+
+/// Serializes one progress event as a single NDJSON line (no trailing
+/// newline). The embedded record uses the same schema as the `records`
+/// array of a protocol document.
+pub fn progress_to_json(progress: &CampaignProgress) -> String {
+    format!(
+        "{{\"event\": \"progress\", \"index\": {}, \"completed\": {}, \"total\": {}, \
+         \"record\": {}}}",
+        progress.index,
+        progress.completed,
+        progress.total,
+        record_json(&progress.record)
+    )
+}
+
+/// Serializes the stream-terminating result as a single NDJSON line (no
+/// trailing newline). The embedded document is byte-for-byte
+/// [`to_json`] with its newlines flattened to spaces — legal, because
+/// the writer escapes every control character inside strings.
+pub fn result_event_json(result: &CampaignResult) -> String {
+    let flat = to_json(result).replace('\n', " ");
+    format!("{{\"event\": \"result\", \"result\": {}}}", flat.trim())
+}
+
+/// Parses one NDJSON stream (or checkpoint) line.
+///
+/// # Errors
+/// [`ProtocolError::Parse`] on malformed JSON — a torn final checkpoint
+/// line surfaces here — and [`ProtocolError::Schema`] on an unknown
+/// event kind or a non-conforming payload.
+pub fn event_from_json(line: &str) -> Result<StreamEvent, ProtocolError> {
+    let doc = parse_json(line)?;
+    match doc.field("event")?.as_str()? {
+        "progress" => Ok(StreamEvent::Progress(CampaignProgress {
+            index: doc.field("index")?.as_usize()?,
+            completed: doc.field("completed")?.as_usize()?,
+            total: doc.field("total")?.as_usize()?,
+            record: record_from_json(doc.field("record")?)?,
+        })),
+        "result" => Ok(StreamEvent::Result(result_from_value(
+            doc.field("result")?,
+        )?)),
+        kind => Err(schema_err(format!("unknown stream event `{kind}`"))),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -902,6 +1193,7 @@ mod tests {
                 lane_compactions: 2,
                 lane_refills: 1,
                 ejections: 1,
+                replayed_faults: 2,
             },
         }
     }
@@ -1024,6 +1316,198 @@ mod tests {
         let text = to_json(&result);
         let back = from_json(&text).expect("document stays valid JSON");
         assert_eq!(back.records[0].fault.probability, None);
+    }
+
+    fn sample_spec() -> CampaignSpec {
+        CampaignSpec {
+            netlist: "rc µ-bench\nV1 in 0 pulse(0 5 0 1u 1u 40u 100u)\nR1 in out 10k\n\
+                      C1 out 0 1n ic=0\n.end\n"
+                .to_string(),
+            tstep: 0.5e-6,
+            tstop: 50e-6,
+            uic: true,
+            observe: vec!["out".to_string()],
+            detection: DetectionSpec {
+                v_tol: 1.0,
+                t_tol: 1e-6,
+            },
+            model: HardFaultModel::paper_resistor(),
+            early_stop: false,
+            max_faults: Some(8),
+            client: Some("ci".to_string()),
+            faults: vec![
+                Fault::new(
+                    1,
+                    "BRI in->out",
+                    FaultEffect::Short {
+                        a: "in".into(),
+                        b: "out".into(),
+                    },
+                )
+                .with_probability(1e-7),
+                Fault::new(
+                    2,
+                    "SOFT R1 ×1.05",
+                    FaultEffect::ParamDeviation {
+                        element: "R1".into(),
+                        factor: 1.05,
+                    },
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_and_builds() {
+        let spec = sample_spec();
+        let text = spec.to_json();
+        let back = CampaignSpec::from_json(&text).expect("spec round trip parses");
+        assert_eq!(back, spec);
+        let campaign = back.build_campaign().expect("spec builds a campaign");
+        assert_eq!(campaign.observed(), ["out".to_string()]);
+        assert_eq!(campaign.max_faults(), Some(8));
+        assert_eq!(campaign.model(), HardFaultModel::paper_resistor());
+        // A session honours the spec's budget over the spec's faults.
+        assert_eq!(campaign.session(&back.faults).faults().len(), 2);
+    }
+
+    #[test]
+    fn spec_source_model_and_optional_fields() {
+        let mut spec = sample_spec();
+        spec.model = HardFaultModel::Source;
+        spec.max_faults = None;
+        spec.client = None;
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_rejects_bad_documents() {
+        let spec = sample_spec();
+        // Non-physical transient window.
+        let bad = spec.to_json().replace("\"tstep\": 5e-7", "\"tstep\": -1.0");
+        assert!(matches!(
+            CampaignSpec::from_json(&bad),
+            Err(ProtocolError::Schema(_))
+        ));
+        // No observed nodes.
+        let bad = spec.to_json().replace("[\"out\"]", "[]");
+        assert!(matches!(
+            CampaignSpec::from_json(&bad),
+            Err(ProtocolError::Schema(_))
+        ));
+        // Unknown model kind.
+        let bad = spec
+            .to_json()
+            .replace("\"kind\": \"resistor\"", "\"kind\": \"laser\"");
+        assert!(matches!(
+            CampaignSpec::from_json(&bad),
+            Err(ProtocolError::Schema(_))
+        ));
+        // A netlist that does not parse fails at build time.
+        let mut broken = spec.clone();
+        broken.netlist = "broken\nR1 in\n.end\n".to_string();
+        assert!(CampaignSpec::from_json(&broken.to_json())
+            .unwrap()
+            .build_campaign()
+            .is_err());
+    }
+
+    #[test]
+    fn stream_events_round_trip() {
+        let result = sample_result();
+        let progress = CampaignProgress {
+            index: 3,
+            completed: 1,
+            total: 5,
+            record: result.records[0].clone(),
+        };
+        let line = progress_to_json(&progress);
+        assert!(!line.contains('\n'), "NDJSON lines are single-line");
+        match event_from_json(&line).unwrap() {
+            StreamEvent::Progress(p) => {
+                assert_eq!(p.index, 3);
+                assert_eq!(p.completed, 1);
+                assert_eq!(p.total, 5);
+                assert_eq!(p.record.fault, progress.record.fault);
+                assert_eq!(p.record.outcome, progress.record.outcome);
+                assert_eq!(p.record.telemetry, progress.record.telemetry);
+            }
+            StreamEvent::Result(_) => panic!("expected a progress event"),
+        }
+
+        let line = result_event_json(&result);
+        assert!(!line.contains('\n'), "NDJSON lines are single-line");
+        match event_from_json(&line).unwrap() {
+            StreamEvent::Result(r) => {
+                assert_eq!(r.observed, result.observed);
+                assert_eq!(r.nominals, result.nominals);
+                assert_eq!(r.telemetry, result.telemetry);
+                assert_eq!(r.records.len(), result.records.len());
+            }
+            StreamEvent::Progress(_) => panic!("expected a result event"),
+        }
+
+        assert!(matches!(
+            event_from_json("{\"event\": \"flush\"}"),
+            Err(ProtocolError::Schema(_))
+        ));
+    }
+
+    /// Every strict prefix of a golden document must come back as an
+    /// error — never a panic. This is what lets resume tolerate a
+    /// checkpoint whose final line was torn mid-write. (Prefixes that
+    /// only drop trailing whitespace still parse, hence the `trim_end`
+    /// cutoff.)
+    fn assert_prefixes_fail<T>(text: &str, parse: impl Fn(&str) -> Result<T, ProtocolError>) {
+        let end = text.trim_end().len();
+        for k in (0..text.len()).filter(|&k| text.is_char_boundary(k)) {
+            let prefix = &text[..k];
+            if k < end {
+                assert!(parse(prefix).is_err(), "prefix of {k} bytes parsed");
+            } else {
+                assert!(
+                    parse(prefix).is_ok(),
+                    "whitespace-trimmed tail failed at {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_result_documents_error_at_every_offset() {
+        assert_prefixes_fail(&to_json(&sample_result()), from_json);
+    }
+
+    #[test]
+    fn truncated_spec_documents_error_at_every_offset() {
+        assert_prefixes_fail(&sample_spec().to_json(), CampaignSpec::from_json);
+    }
+
+    #[test]
+    fn truncated_stream_lines_error_at_every_offset() {
+        let result = sample_result();
+        let progress = CampaignProgress {
+            index: 0,
+            completed: 1,
+            total: 5,
+            record: result.records[0].clone(),
+        };
+        assert_prefixes_fail(&progress_to_json(&progress), event_from_json);
+        assert_prefixes_fail(&result_event_json(&result), event_from_json);
+    }
+
+    /// Unbounded nesting must be a parse error, not a stack overflow —
+    /// the daemon feeds this parser raw network input.
+    #[test]
+    fn deep_nesting_is_rejected_not_fatal() {
+        for open in ["[", "{\"k\":["] {
+            let bomb = open.repeat(100_000);
+            assert!(matches!(parse_json(&bomb), Err(ProtocolError::Parse(_))));
+        }
+        // The limit leaves generous headroom over the real schema.
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&deep).is_ok());
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! The shared command-line parser for the bench binaries.
+//!
+//! Every binary declares its flags once in an [`ArgSpec`] and calls
+//! [`ArgSpec::parse_or_exit`]. Unknown flags, stray positionals and
+//! missing values are rejected with exit code 2 and the usage text —
+//! previously each binary rescanned `std::env::args()` per flag and a
+//! typo like `--max-fault 8` silently ran the full campaign.
+//!
+//! [`ArgSpec::parse_from`] is the pure core, so the rejection rules are
+//! unit-testable without spawning a process.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A binary's flag vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub struct ArgSpec {
+    /// Binary name, used as the error-message prefix.
+    pub bench: &'static str,
+    /// Usage text printed on `--help` (exit 0) and on errors (exit 2).
+    pub usage: &'static str,
+    /// Flags that consume the following argument as their value.
+    pub value_flags: &'static [&'static str],
+    /// Boolean flags (present or not).
+    pub bool_flags: &'static [&'static str],
+}
+
+/// The parsed result: which flags were set and their values.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    bools: BTreeSet<String>,
+    /// `--help` / `-h` was given.
+    pub help: bool,
+}
+
+impl Args {
+    /// The value of a value-flag, when given.
+    pub fn value(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&self, flag: &str) -> bool {
+        self.bools.contains(flag)
+    }
+
+    /// The value of a flag parsed into `T`, when given.
+    ///
+    /// # Errors
+    /// A message naming the flag when the value does not parse.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.value(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{flag} got an unusable value `{raw}`")),
+        }
+    }
+}
+
+impl ArgSpec {
+    /// Parses an argument iterator (binary name already stripped).
+    /// Later occurrences of a value flag override earlier ones.
+    ///
+    /// # Errors
+    /// Unknown flags, positional arguments and value flags missing
+    /// their value.
+    pub fn parse_from<I>(&self, raw: I) -> Result<Args, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
+        let mut args = Args::default();
+        let mut it = raw.into_iter();
+        while let Some(arg) = it.next() {
+            if arg == "--help" || arg == "-h" {
+                args.help = true;
+            } else if self.value_flags.contains(&arg.as_str()) {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                args.values.insert(arg, value);
+            } else if self.bool_flags.contains(&arg.as_str()) {
+                args.bools.insert(arg);
+            } else if arg.starts_with('-') {
+                return Err(format!("unknown flag `{arg}`"));
+            } else {
+                return Err(format!("unexpected argument `{arg}`"));
+            }
+        }
+        Ok(args)
+    }
+
+    /// Parses the process arguments; `--help` prints the usage and
+    /// exits 0, anything unrecognised prints the error plus usage and
+    /// exits 2.
+    pub fn parse_or_exit(&self) -> Args {
+        match self.parse_from(std::env::args().skip(1)) {
+            Ok(args) if args.help => {
+                print!("{}", self.usage);
+                std::process::exit(0);
+            }
+            Ok(args) => args,
+            Err(message) => self.fail(&message),
+        }
+    }
+
+    /// Prints `message` plus the usage text and exits 2 — for flag
+    /// values that parse as strings but fail domain validation.
+    pub fn fail(&self, message: &str) -> ! {
+        eprintln!("{}: {message}\n\n{}", self.bench, self.usage);
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: ArgSpec = ArgSpec {
+        bench: "test-bench",
+        usage: "usage: test-bench [flags]\n",
+        value_flags: &["--metrics", "--max-faults"],
+        bool_flags: &["--json"],
+    };
+
+    fn strings(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_declared_flags() {
+        let args = SPEC
+            .parse_from(strings(&[
+                "--json",
+                "--max-faults",
+                "8",
+                "--metrics",
+                "out.json",
+            ]))
+            .unwrap();
+        assert!(args.flag("--json"));
+        assert_eq!(args.value("--max-faults"), Some("8"));
+        assert_eq!(args.parsed::<usize>("--max-faults").unwrap(), Some(8));
+        assert_eq!(args.value("--metrics"), Some("out.json"));
+        assert!(!args.help);
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_positionals() {
+        // The typo that used to silently run the full campaign.
+        let err = SPEC.parse_from(strings(&["--max-fault", "8"])).unwrap_err();
+        assert!(err.contains("--max-fault"), "{err}");
+        let err = SPEC.parse_from(strings(&["stray"])).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_and_bad_values() {
+        let err = SPEC.parse_from(strings(&["--max-faults"])).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let args = SPEC
+            .parse_from(strings(&["--max-faults", "eight"]))
+            .unwrap();
+        assert!(args.parsed::<usize>("--max-faults").is_err());
+    }
+
+    #[test]
+    fn help_and_overrides() {
+        let args = SPEC.parse_from(strings(&["-h"])).unwrap();
+        assert!(args.help);
+        let args = SPEC
+            .parse_from(strings(&["--max-faults", "8", "--max-faults", "4"]))
+            .unwrap();
+        assert_eq!(args.parsed::<usize>("--max-faults").unwrap(), Some(4));
+    }
+}

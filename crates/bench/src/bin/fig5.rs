@@ -16,58 +16,58 @@
 use anafault::report::{coverage_plot, protocol_table};
 use anafault::{BatchMode, HardFaultModel};
 use bench::{
-    batch_width_of, compare_batch, fig5_campaign_batched, fig5_curve, fig5_solver_comparison,
-    BatchSummary, Metrics,
+    batch_width_of, compare_batch, fig5_campaign_batched, fig5_campaign_spec, fig5_curve,
+    fig5_solver_comparison, ArgSpec, BatchSummary, Metrics,
 };
 
-/// Parses `--max-faults <n>` from the process arguments.
-fn max_faults_arg() -> Option<usize> {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--max-faults" {
-            let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-                eprintln!("--max-faults requires a positive integer");
-                std::process::exit(2);
-            });
-            return Some(n);
-        }
-    }
-    None
-}
+const ARGS: ArgSpec = ArgSpec {
+    bench: "fig5",
+    usage: "\
+usage: fig5 [flags]
 
-/// Parses `--batch <k|auto|off>`; the flag defaults to `auto`.
-fn batch_arg() -> BatchMode {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == "--batch" {
-            return match args.next().as_deref() {
-                Some("off") => BatchMode::Off,
-                Some("auto") => BatchMode::Auto,
-                Some(v) => match v.parse::<usize>() {
-                    Ok(k) if k >= 1 => BatchMode::Width(k),
-                    _ => {
-                        eprintln!("--batch requires a positive lane width, `auto` or `off`");
-                        std::process::exit(2);
-                    }
-                },
-                None => {
-                    eprintln!("--batch requires a positive lane width, `auto` or `off`");
-                    std::process::exit(2);
-                }
-            };
-        }
-    }
-    BatchMode::Auto
-}
+  --json                 print the machine-readable protocol document
+  --emit-spec            print the campaign as an anafault-serve spec and exit
+  --skip-solver-compare  run the campaign once (no dense-vs-sparse pass)
+  --batch K|auto|off     lane width for the batched scheduler (default auto)
+  --max-faults N         trim the fault list to the first N faults
+  --client NAME          client tag stamped into --emit-spec output
+  --metrics FILE         write the bench-report/1 run report to FILE
+  --help                 print this help
+",
+    value_flags: &["--metrics", "--max-faults", "--batch", "--client"],
+    bool_flags: &["--json", "--emit-spec", "--skip-solver-compare"],
+};
 
 fn main() {
-    let mut metrics = Metrics::from_args("fig5");
-    let skip_compare = std::env::args().any(|a| a == "--skip-solver-compare");
-    let max_faults = max_faults_arg();
-    let batch = batch_arg();
+    let args = ARGS.parse_or_exit();
+    let mut metrics = Metrics::with_path("fig5", args.value("--metrics").map(String::from));
+    let skip_compare = args.flag("--skip-solver-compare");
+    let max_faults: Option<usize> = match args.parsed("--max-faults") {
+        Ok(n @ Some(1..)) | Ok(n @ None) => n,
+        _ => ARGS.fail("--max-faults requires a positive integer"),
+    };
+    let batch = match args.value("--batch") {
+        None | Some("auto") => BatchMode::Auto,
+        Some("off") => BatchMode::Off,
+        Some(v) => match v.parse::<usize>() {
+            Ok(k) if k >= 1 => BatchMode::Width(k),
+            _ => ARGS.fail("--batch requires a positive lane width, `auto` or `off`"),
+        },
+    };
+    // `--emit-spec` prints the campaign as a serve-submittable spec
+    // document — the producer side of the anafault-serve smoke flow.
+    if args.flag("--emit-spec") {
+        let spec = fig5_campaign_spec(
+            HardFaultModel::Source,
+            max_faults,
+            args.value("--client").map(String::from),
+        );
+        print!("{}", spec.to_json());
+        return;
+    }
     // `--json` emits the machine-readable protocol document instead of
     // the hand-formatted report (pipe into a file or a service).
-    if std::env::args().any(|a| a == "--json") {
+    if args.flag("--json") {
         metrics.phase("campaign");
         let (result, _) = fig5_campaign_batched(HardFaultModel::Source, batch, max_faults);
         print!("{}", anafault::protocol::to_json(&result));

@@ -6,8 +6,10 @@
 //! measure the performance dimensions (fault-model runtime ratio,
 //! kernel/extraction throughput).
 
+pub mod args;
 pub mod metrics;
 
+pub use args::{ArgSpec, Args};
 pub use metrics::{render_report, BatchSummary, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS};
 
 use anafault::{
@@ -232,6 +234,34 @@ pub fn fig5_campaign_batched(
         .expect("nominal simulation succeeds");
     let curve = fig5_curve(&result);
     (result, curve)
+}
+
+/// The Fig. 5 campaign as a serialisable [`anafault::CampaignSpec`] —
+/// what `fig5 --emit-spec` prints, and what the `anafault-serve` CI
+/// smoke job submits. The spec must round-trip through the netlist
+/// text, so both the daemon and `anafault-cli direct` rebuild exactly
+/// the same circuit (node order included) and verdicts compare
+/// bit-for-bit.
+pub fn fig5_campaign_spec(
+    model: HardFaultModel,
+    max_faults: Option<usize>,
+    client: Option<String>,
+) -> anafault::CampaignSpec {
+    let (sys, tb) = vco_system();
+    let tran = paper_tran();
+    anafault::CampaignSpec {
+        netlist: tb.to_netlist(),
+        tstep: tran.tstep,
+        tstop: tran.tstop,
+        uic: tran.uic,
+        observe: vec![OBSERVED_NODE.to_string()],
+        detection: DetectionSpec::paper_fig5(),
+        model,
+        early_stop: false,
+        max_faults,
+        client,
+        faults: sys.fault_list(),
+    }
 }
 
 /// Dense-vs-sparse comparison on the Fig. 5 campaign: the same fault

@@ -34,6 +34,11 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "spice.batch.compactions",
     "spice.batch.refills",
     "spice.batch.ejections",
+    "anafault.serve.requests",
+    "anafault.serve.campaigns_started",
+    "anafault.serve.campaigns_resumed",
+    "anafault.serve.faults_replayed",
+    "anafault.serve.stream_bytes",
 ];
 
 /// Schema tag stamped into every run report.
@@ -83,6 +88,13 @@ impl Metrics {
                 }
             }
         }
+        Metrics::with_path(bench, path)
+    }
+
+    /// Builds a session from an already-parsed `--metrics` value — the
+    /// entry point for binaries on the shared [`crate::ArgSpec`]
+    /// parser, which owns the argument scan.
+    pub fn with_path(bench: &'static str, path: Option<String>) -> Metrics {
         if path.is_some() {
             cat_telemetry::set_enabled(true);
         }

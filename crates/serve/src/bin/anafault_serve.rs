@@ -1,0 +1,97 @@
+//! `anafault-serve` — the campaign daemon.
+//!
+//! ```text
+//! anafault-serve --addr 127.0.0.1:4817 --state-dir ./state
+//! ```
+//!
+//! Runs until killed. On restart with the same `--state-dir` it resumes
+//! any campaign that was interrupted, replaying checkpointed faults and
+//! simulating only the remainder.
+
+use serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: anafault-serve [flags]
+
+  --addr HOST:PORT      listen address (default 127.0.0.1:4817; port 0 picks one)
+  --state-dir DIR       spec/checkpoint/result directory (default ./anafault-state)
+  --workers N           simulation worker threads (default: one per core)
+  --http-workers N      HTTP handler threads (default 8)
+  --max-campaigns N     concurrent running campaigns before 429 (default 8)
+  --fault-budget N      per-client in-flight fault cap before 429 (default 100000)
+  --help                print this help
+";
+
+fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:4817".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--state-dir" => config.state_dir = PathBuf::from(value("--state-dir")?),
+            "--workers" => {
+                config.sim_workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs an integer".to_string())?;
+            }
+            "--http-workers" => {
+                config.http_workers = value("--http-workers")?
+                    .parse()
+                    .map_err(|_| "--http-workers needs an integer".to_string())?;
+            }
+            "--max-campaigns" => {
+                config.max_campaigns = value("--max-campaigns")?
+                    .parse()
+                    .map_err(|_| "--max-campaigns needs an integer".to_string())?;
+            }
+            "--fault-budget" => {
+                config.client_fault_budget = value("--fault-budget")?
+                    .parse()
+                    .map_err(|_| "--fault-budget needs an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_config(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("anafault-serve: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    cat_telemetry::set_enabled(true);
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("anafault-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "anafault-serve listening on {} (state dir {})",
+        server.addr(),
+        server.state_dir().display()
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,171 @@
+//! NDJSON checkpoint files: one progress line per completed fault,
+//! appended (and flushed) the moment the fault finishes. A daemon that
+//! is SIGKILLed mid-campaign replays the file on restart and only
+//! simulates the faults that are missing.
+//!
+//! The reader is deliberately tolerant of the one corruption a kill can
+//! produce: a torn final line (the process died mid-`write`). Parsing
+//! stops at the first line that does not parse as a progress event, and
+//! the byte length of the valid prefix is reported so the writer can
+//! truncate the tear away before appending again.
+
+use anafault::protocol::{self, StreamEvent};
+use anafault::FaultRecord;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// What a checkpoint file replays to.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// The completed-fault records, in the order they were appended.
+    pub records: Vec<FaultRecord>,
+    /// Byte length of the valid line prefix; anything beyond is torn.
+    pub valid_bytes: u64,
+    /// Whether trailing bytes had to be discarded.
+    pub torn: bool,
+}
+
+/// Reads a checkpoint file. A missing file replays to nothing — a
+/// campaign that never completed a fault has no checkpoint lines yet.
+///
+/// # Errors
+/// Only real I/O failures; torn or foreign trailing data is reported
+/// through [`Replay::torn`], not as an error.
+pub fn load(path: &Path) -> io::Result<Replay> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Replay::default()),
+        Err(e) => return Err(e),
+    }
+    // A tear can cut a multi-byte character; only the valid UTF-8
+    // prefix is even considered.
+    let text = match std::str::from_utf8(&bytes) {
+        Ok(t) => t,
+        Err(e) => std::str::from_utf8(&bytes[..e.valid_up_to()]).expect("prefix is valid"),
+    };
+    let mut replay = Replay {
+        torn: text.len() < bytes.len(),
+        ..Replay::default()
+    };
+    let mut offset = 0usize;
+    for line in text.split_inclusive('\n') {
+        match protocol::event_from_json(line.trim_end()) {
+            Ok(StreamEvent::Progress(progress)) => {
+                replay.records.push(progress.record);
+                offset += line.len();
+                // A final line without its newline parsed completely —
+                // it is durable, but the writer must restore the
+                // terminator before appending more.
+                if !line.ends_with('\n') {
+                    replay.torn = true;
+                }
+            }
+            _ => {
+                replay.torn = true;
+                break;
+            }
+        }
+    }
+    replay.valid_bytes = offset as u64;
+    Ok(replay)
+}
+
+/// Appends one progress line and flushes it to the OS, so the line
+/// survives a SIGKILL of the daemon (though not a power loss — the
+/// trade keeps per-fault overhead at one small write).
+///
+/// # Errors
+/// Propagates the underlying write failures.
+pub fn append_line(file: &mut File, line: &str) -> io::Result<()> {
+    file.write_all(line.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use anafault::campaign::CampaignProgress;
+    use anafault::{Fault, FaultEffect, FaultOutcome, FaultTelemetry};
+
+    fn record(id: usize) -> FaultRecord {
+        FaultRecord {
+            fault: Fault::new(
+                id,
+                format!("BRI {id}"),
+                FaultEffect::Short {
+                    a: "a".into(),
+                    b: "b".into(),
+                },
+            ),
+            outcome: FaultOutcome::NotDetected,
+            sim_seconds: 0.25 * id as f64,
+            newton_iterations: 10 * id as u64,
+            telemetry: FaultTelemetry::default(),
+        }
+    }
+
+    fn line(id: usize) -> String {
+        protocol::progress_to_json(&CampaignProgress {
+            index: id,
+            completed: id + 1,
+            total: 4,
+            record: record(id),
+        })
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("anafault-ckpt-{}-{tag}.ndjson", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_and_tolerates_torn_tail() {
+        let path = temp_path("torn");
+        let mut text = format!("{}\n{}\n", line(0), line(1));
+        let clean_len = text.len() as u64;
+        let torn = line(2);
+        text.push_str(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &text).unwrap();
+
+        let replay = load(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.records[0].fault.id, 0);
+        assert_eq!(replay.records[1].fault.id, 1);
+        assert_eq!(replay.records[1].sim_seconds, 0.25);
+        assert!(replay.torn);
+        assert_eq!(replay.valid_bytes, clean_len);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_file_and_missing_file() {
+        let path = temp_path("clean");
+        std::fs::write(&path, format!("{}\n", line(0))).unwrap();
+        let replay = load(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(!replay.torn);
+        std::fs::remove_file(&path).ok();
+
+        let replay = load(&temp_path("never-written")).unwrap();
+        assert!(replay.records.is_empty());
+        assert!(!replay.torn);
+        assert_eq!(replay.valid_bytes, 0);
+    }
+
+    #[test]
+    fn tear_inside_multibyte_character() {
+        let path = temp_path("utf8");
+        let mut bytes = format!("{}\n", line(0)).into_bytes();
+        // The µ in a torn label, cut after its first UTF-8 byte.
+        bytes.extend_from_slice(b"{\"event\": \"progress\", \"record\": {\"label\": \"\xc2");
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = load(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert!(replay.torn);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! # serve — campaign-as-a-service
+//!
+//! The paper's fault-simulation flow is a batch job; this crate is the
+//! deployment story on top of it: `anafault-serve`, a long-running
+//! daemon that accepts campaign specifications over HTTP, shards the
+//! fault list across a fixed pool of simulation workers, streams one
+//! progress line per completed fault as chunked NDJSON, and checkpoints
+//! every completed fault to disk so a killed daemon resumes in-flight
+//! campaigns on restart — replaying finished faults instead of
+//! re-simulating them.
+//!
+//! Everything is dependency-free, in the repo's style: a blocking
+//! HTTP/1.1 server over [`std::net::TcpListener`] (no tokio), the
+//! hand-rolled `anafault::protocol` JSON, and `cat_telemetry` counters
+//! (`anafault.serve.*`). The `anafault-cli` binary is the matching
+//! client: it submits a spec, tails the event stream and writes the
+//! final result — and doubles as the end-to-end acceptance test in CI.
+//!
+//! See `docs/serving.md` for the wire formats, checkpoint layout and
+//! resume semantics.
+
+pub mod checkpoint;
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use server::{Server, ServerConfig};
+
+use cat_telemetry::StaticCounter;
+
+/// HTTP requests handled (any method, any path).
+pub(crate) static SERVE_REQUESTS: StaticCounter = StaticCounter::new("anafault.serve.requests");
+/// Campaigns admitted through `POST /campaigns`.
+pub(crate) static SERVE_CAMPAIGNS_STARTED: StaticCounter =
+    StaticCounter::new("anafault.serve.campaigns_started");
+/// In-flight campaigns picked back up from the state directory at
+/// daemon startup.
+pub(crate) static SERVE_CAMPAIGNS_RESUMED: StaticCounter =
+    StaticCounter::new("anafault.serve.campaigns_resumed");
+/// Completed faults replayed from checkpoints instead of re-simulated.
+pub(crate) static SERVE_FAULTS_REPLAYED: StaticCounter =
+    StaticCounter::new("anafault.serve.faults_replayed");
+/// Bytes written to `GET /campaigns/<id>/events` streams (chunk framing
+/// included).
+pub(crate) static SERVE_STREAM_BYTES: StaticCounter =
+    StaticCounter::new("anafault.serve.stream_bytes");

@@ -1,0 +1,130 @@
+//! In-memory campaign event logs: the bridge between simulation
+//! workers (producers) and event-stream handlers (consumers). Each
+//! campaign owns one append-only [`EventLog`]; any number of HTTP
+//! handlers can replay it from the start and then block for new lines,
+//! so a client that connects mid-campaign still sees every event.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Where a campaign is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignPhase {
+    /// Faults are queued or simulating.
+    Running,
+    /// Every fault completed; the result document exists.
+    Done,
+}
+
+impl CampaignPhase {
+    /// The wire name used in status documents.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignPhase::Running => "running",
+            CampaignPhase::Done => "done",
+        }
+    }
+}
+
+#[derive(Default)]
+struct LogInner {
+    lines: Vec<Arc<str>>,
+    closed: bool,
+}
+
+/// An append-only, multi-consumer line log with blocking tail reads.
+#[derive(Default)]
+pub struct EventLog {
+    inner: Mutex<LogInner>,
+    grew: Condvar,
+}
+
+impl EventLog {
+    /// An empty, open log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends one line and wakes every waiting tail.
+    pub fn push(&self, line: String) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.lines.push(Arc::from(line));
+        self.grew.notify_all();
+    }
+
+    /// Marks the log complete: tails drain what is left and stop.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        inner.closed = true;
+        self.grew.notify_all();
+    }
+
+    /// Lines appended so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event log poisoned").lines.len()
+    }
+
+    /// Whether the log is still empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocks until there are lines beyond `from` or the log closes,
+    /// then returns the new lines and whether the log is closed with
+    /// nothing further to read.
+    pub fn wait_from(&self, from: usize) -> (Vec<Arc<str>>, bool) {
+        let mut inner = self.inner.lock().expect("event log poisoned");
+        while inner.lines.len() <= from && !inner.closed {
+            inner = self.grew.wait(inner).expect("event log poisoned");
+        }
+        let fresh: Vec<Arc<str>> = inner.lines.get(from..).unwrap_or(&[]).to_vec();
+        let drained = inner.closed && from + fresh.len() == inner.lines.len();
+        (fresh, drained)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tail_blocks_then_drains() {
+        let log = Arc::new(EventLog::new());
+        let tail = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                let mut cursor = 0usize;
+                loop {
+                    let (lines, drained) = log.wait_from(cursor);
+                    cursor += lines.len();
+                    seen.extend(lines.iter().map(|l| l.to_string()));
+                    if drained {
+                        return seen;
+                    }
+                }
+            })
+        };
+        for i in 0..5 {
+            log.push(format!("line {i}"));
+        }
+        log.close();
+        let seen = tail.join().unwrap();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0], "line 0");
+        assert_eq!(seen[4], "line 4");
+    }
+
+    #[test]
+    fn late_tail_replays_from_start() {
+        let log = EventLog::new();
+        log.push("a".into());
+        log.push("b".into());
+        log.close();
+        let (lines, drained) = log.wait_from(0);
+        assert_eq!(lines.len(), 2);
+        assert!(drained);
+        let (lines, drained) = log.wait_from(2);
+        assert!(lines.is_empty());
+        assert!(drained);
+    }
+}

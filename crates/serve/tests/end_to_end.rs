@@ -1,0 +1,236 @@
+//! End-to-end exercise of the campaign daemon over real sockets: submit
+//! a spec, tail the chunked NDJSON stream, and check the final document
+//! against an in-process `CampaignSession` run of the same spec.
+
+use anafault::coverage::DetectionSpec;
+use anafault::inject::HardFaultModel;
+use anafault::protocol::{self, CampaignSpec, StreamEvent};
+use anafault::{Fault, FaultEffect, FaultOutcome};
+use serve::http;
+use serve::{Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+fn ladder_spec() -> CampaignSpec {
+    CampaignSpec {
+        netlist: "rc ladder testbench\n\
+                  V1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n\
+                  R1 in n1 1k\n\
+                  C1 n1 0 1n ic=0\n\
+                  R2 n1 out 2k\n\
+                  C2 out 0 2n ic=0\n\
+                  .end\n"
+            .to_string(),
+        tstep: 0.5e-6,
+        tstop: 50e-6,
+        uic: true,
+        observe: vec!["out".to_string()],
+        detection: DetectionSpec {
+            v_tol: 1.0,
+            t_tol: 1e-6,
+        },
+        model: HardFaultModel::paper_resistor(),
+        early_stop: false,
+        max_faults: None,
+        client: Some("e2e".to_string()),
+        faults: vec![
+            Fault::new(
+                1,
+                "BRI in->n1",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "n1".into(),
+                },
+            ),
+            Fault::new(
+                2,
+                "BRI n1->out",
+                FaultEffect::Short {
+                    a: "n1".into(),
+                    b: "out".into(),
+                },
+            ),
+            Fault::new(
+                3,
+                "BRI out->gnd",
+                FaultEffect::Short {
+                    a: "out".into(),
+                    b: "0".into(),
+                },
+            ),
+            Fault::new(
+                4,
+                "SOFT R1 x10",
+                FaultEffect::ParamDeviation {
+                    element: "R1".into(),
+                    factor: 10.0,
+                },
+            ),
+            Fault::new(
+                5,
+                "SOFT C2 x0.1",
+                FaultEffect::ParamDeviation {
+                    element: "C2".into(),
+                    factor: 0.1,
+                },
+            ),
+            Fault::new(
+                6,
+                "BRI in->out",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "out".into(),
+                },
+            ),
+        ],
+    }
+}
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("anafault-serve-e2e-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn start(tag: &str, max_campaigns: usize, fault_budget: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir: temp_state_dir(tag),
+        sim_workers: 2,
+        http_workers: 4,
+        max_campaigns,
+        client_fault_budget: fault_budget,
+    })
+    .expect("server starts")
+}
+
+fn outcomes(records: &[anafault::FaultRecord]) -> BTreeMap<usize, &FaultOutcome> {
+    records.iter().map(|r| (r.fault.id, &r.outcome)).collect()
+}
+
+#[test]
+fn stream_matches_direct_session_run() {
+    cat_telemetry::set_enabled(true);
+    let server = start("stream", 4, 100_000);
+    let addr = server.addr().to_string();
+    let spec = ladder_spec();
+
+    let reference = spec
+        .build_campaign()
+        .expect("spec builds")
+        .session(&spec.faults)
+        .run()
+        .expect("direct run succeeds");
+
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&spec.to_json())).expect("submit");
+    assert_eq!(status, 201, "submit failed: {body}");
+    assert!(
+        body.contains("\"id\": \"c1\""),
+        "unexpected admission: {body}"
+    );
+
+    // Tail the event stream until the result line closes it.
+    let mut progress = Vec::new();
+    let mut result = None;
+    let status = http::stream_request(&addr, "GET", "/campaigns/c1/events", None, |line| {
+        match protocol::event_from_json(line).expect("stream line parses") {
+            StreamEvent::Progress(p) => progress.push(p),
+            StreamEvent::Result(r) => result = Some(r),
+        }
+        Ok(())
+    })
+    .expect("event stream");
+    assert_eq!(status, 200);
+
+    // One progress line per fault, counting monotonically to the total.
+    assert_eq!(progress.len(), spec.faults.len());
+    for (k, event) in progress.iter().enumerate() {
+        assert_eq!(event.completed, k + 1);
+        assert_eq!(event.total, spec.faults.len());
+    }
+
+    let served = result.expect("stream ended with the result document");
+    assert_eq!(served.observed, reference.observed);
+    assert_eq!(served.nominals, reference.nominals);
+    assert_eq!(outcomes(&served.records), outcomes(&reference.records));
+    assert_eq!(served.final_coverage(), reference.final_coverage());
+    assert_eq!(served.telemetry.replayed_faults, 0);
+
+    // The result endpoint serves the identical verdicts.
+    let (status, text) = http::request(&addr, "GET", "/campaigns/c1/result", None).expect("result");
+    assert_eq!(status, 200);
+    let fetched = protocol::from_json(&text).expect("result document parses");
+    assert_eq!(outcomes(&fetched.records), outcomes(&reference.records));
+
+    // Status and listing agree the campaign is done.
+    let (status, body) = http::request(&addr, "GET", "/campaigns/c1", None).expect("status");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"phase\": \"done\""), "status: {body}");
+    let (status, body) = http::request(&addr, "GET", "/campaigns", None).expect("list");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"id\": \"c1\""), "list: {body}");
+
+    // Serve counters are live on /metrics.
+    let (status, body) = http::request(&addr, "GET", "/metrics", None).expect("metrics");
+    assert_eq!(status, 200);
+    for counter in [
+        "anafault.serve.requests",
+        "anafault.serve.campaigns_started",
+        "anafault.serve.stream_bytes",
+    ] {
+        assert!(body.contains(counter), "missing {counter} in {body}");
+    }
+}
+
+#[test]
+fn admission_enforces_quotas_and_validates_specs() {
+    cat_telemetry::set_enabled(true);
+    let spec = ladder_spec();
+
+    // Campaign quota: zero concurrent campaigns allowed.
+    let server = start("quota-campaigns", 0, 100_000);
+    let addr = server.addr().to_string();
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&spec.to_json())).expect("submit");
+    assert_eq!(status, 429, "expected campaign-quota rejection: {body}");
+    assert!(body.contains("campaign quota"), "reason: {body}");
+
+    // Per-client fault budget smaller than the fault list.
+    let server = start("quota-faults", 4, 2);
+    let addr = server.addr().to_string();
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&spec.to_json())).expect("submit");
+    assert_eq!(status, 429, "expected fault-budget rejection: {body}");
+    assert!(body.contains("fault budget"), "reason: {body}");
+
+    // A rejected admission must not leak quota: a budget-sized spec
+    // still goes through afterwards.
+    let mut small = spec.clone();
+    small.max_faults = Some(2);
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&small.to_json())).expect("submit");
+    assert_eq!(status, 201, "budgeted spec should admit: {body}");
+
+    // Malformed documents and unknown endpoints.
+    let (status, _) =
+        http::request(&addr, "POST", "/campaigns", Some("{\"spec_version\": 1")).expect("submit");
+    assert_eq!(status, 400);
+    let (status, _) = http::request(&addr, "GET", "/campaigns/c999", None).expect("status");
+    assert_eq!(status, 404);
+    let (status, _) = http::request(&addr, "DELETE", "/campaigns/c1", None).expect("delete");
+    assert_eq!(status, 405);
+    let (status, _) = http::request(&addr, "GET", "/nope", None).expect("get");
+    assert_eq!(status, 404);
+    let (status, body) = http::request(&addr, "GET", "/healthz", None).expect("health");
+    assert_eq!(status, 200);
+    assert!(body.contains("true"));
+
+    // A spec that parses but cannot build a campaign is 422.
+    let mut broken = spec.clone();
+    broken.max_faults = Some(2);
+    broken.observe = vec!["no-such-node".to_string()];
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&broken.to_json())).expect("submit");
+    assert_eq!(status, 422, "expected build rejection: {body}");
+}

@@ -1,0 +1,262 @@
+//! Checkpoint/resume property test, in its own process so the global
+//! telemetry registry gives clean `anafault.serve.*` counter deltas.
+//!
+//! For a range of split points `k` the test forges the state directory
+//! a SIGKILLed daemon would leave behind — the spec document plus a
+//! checkpoint holding the first `k` progress lines and a torn tail —
+//! then starts a fresh server over it and demands:
+//!
+//! * the finished `CampaignResult` carries verdicts identical to an
+//!   uninterrupted `CampaignSession` run of the same spec;
+//! * the `k` checkpointed faults were replayed, not re-simulated —
+//!   their records (including the donor's `sim_seconds`) come through
+//!   bitwise, `telemetry.replayed_faults == k`, and the
+//!   `anafault.serve.faults_replayed` counter moves by exactly `k`.
+
+use anafault::campaign::CampaignProgress;
+use anafault::coverage::DetectionSpec;
+use anafault::inject::HardFaultModel;
+use anafault::protocol::{self, CampaignSpec};
+use anafault::{Fault, FaultEffect, FaultRecord};
+use serve::http;
+use serve::{Server, ServerConfig};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn ladder_spec() -> CampaignSpec {
+    CampaignSpec {
+        netlist: "rc ladder testbench\n\
+                  V1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n\
+                  R1 in n1 1k\n\
+                  C1 n1 0 1n ic=0\n\
+                  R2 n1 out 2k\n\
+                  C2 out 0 2n ic=0\n\
+                  .end\n"
+            .to_string(),
+        tstep: 0.5e-6,
+        tstop: 50e-6,
+        uic: true,
+        observe: vec!["out".to_string()],
+        detection: DetectionSpec {
+            v_tol: 1.0,
+            t_tol: 1e-6,
+        },
+        model: HardFaultModel::paper_resistor(),
+        early_stop: false,
+        max_faults: None,
+        client: Some("resume-prop".to_string()),
+        faults: vec![
+            Fault::new(
+                1,
+                "BRI in->n1",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "n1".into(),
+                },
+            ),
+            Fault::new(
+                2,
+                "BRI n1->out",
+                FaultEffect::Short {
+                    a: "n1".into(),
+                    b: "out".into(),
+                },
+            ),
+            Fault::new(
+                3,
+                "BRI out->gnd",
+                FaultEffect::Short {
+                    a: "out".into(),
+                    b: "0".into(),
+                },
+            ),
+            Fault::new(
+                4,
+                "SOFT R1 x10",
+                FaultEffect::ParamDeviation {
+                    element: "R1".into(),
+                    factor: 10.0,
+                },
+            ),
+            Fault::new(
+                5,
+                "SOFT C2 x0.1",
+                FaultEffect::ParamDeviation {
+                    element: "C2".into(),
+                    factor: 0.1,
+                },
+            ),
+            Fault::new(
+                6,
+                "BRI in->out",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "out".into(),
+                },
+            ),
+        ],
+    }
+}
+
+fn state_dir(k: usize) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("anafault-serve-resume-{}-k{k}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("state dir");
+    dir
+}
+
+fn counter(name: &str) -> u64 {
+    cat_telemetry::global()
+        .counter_values()
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+fn progress_line(i: usize, total: usize, record: &FaultRecord) -> String {
+    protocol::progress_to_json(&CampaignProgress {
+        index: i,
+        completed: i + 1,
+        total,
+        record: record.clone(),
+    })
+}
+
+fn wait_for_result(addr: &str, id: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (status, body) = http::request(addr, "GET", &format!("/campaigns/{id}/result"), None)
+            .expect("result request");
+        if status == 200 {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "campaign {id} did not finish (last status {status}: {body})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn resumed_campaigns_replay_checkpoints_bitwise() {
+    cat_telemetry::set_enabled(true);
+    let spec = ladder_spec();
+    let total = spec.faults.len();
+
+    // The uninterrupted reference, and a donor record per fault (what
+    // the dead daemon had checkpointed before the kill).
+    let reference = spec
+        .build_campaign()
+        .expect("spec builds")
+        .session(&spec.faults)
+        .run()
+        .expect("direct run");
+    let donor = spec.build_campaign().unwrap().prepare().expect("prepare");
+    let donor_records: Vec<FaultRecord> = spec
+        .faults
+        .iter()
+        .map(|f| donor.simulate_fault(f))
+        .collect();
+    let reference_outcomes: BTreeMap<usize, _> = reference
+        .records
+        .iter()
+        .map(|r| (r.fault.id, &r.outcome))
+        .collect();
+
+    // Split points: both edges plus a pseudo-random interior sample
+    // (tests must stay deterministic, so a fixed LCG, not a clock seed).
+    let mut splits = vec![0, 1, total - 1, total];
+    let mut x = 0x2545f491u64;
+    x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    splits.push(1 + (x >> 33) as usize % (total - 1));
+    splits.dedup();
+
+    for k in splits {
+        let dir = state_dir(k);
+        std::fs::write(dir.join("c1.spec.json"), spec.to_json()).expect("spec file");
+        let mut checkpoint = String::new();
+        let mut written_lines = Vec::new();
+        for (i, record) in donor_records.iter().take(k).enumerate() {
+            let line = progress_line(i, total, record);
+            checkpoint.push_str(&line);
+            checkpoint.push('\n');
+            written_lines.push(line);
+        }
+        if k < total {
+            // The torn tail a mid-write SIGKILL leaves behind.
+            let torn = progress_line(k, total, &donor_records[k]);
+            checkpoint.push_str(&torn[..torn.len() / 2]);
+        }
+        std::fs::write(dir.join("c1.ndjson"), &checkpoint).expect("checkpoint file");
+
+        let resumed_before = counter("anafault.serve.campaigns_resumed");
+        let replayed_before = counter("anafault.serve.faults_replayed");
+
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: dir.clone(),
+            sim_workers: 2,
+            http_workers: 2,
+            max_campaigns: 4,
+            client_fault_budget: 100_000,
+        })
+        .expect("server resumes");
+        let addr = server.addr().to_string();
+
+        assert_eq!(
+            counter("anafault.serve.campaigns_resumed") - resumed_before,
+            1,
+            "k={k}: exactly one campaign resumed"
+        );
+        assert_eq!(
+            counter("anafault.serve.faults_replayed") - replayed_before,
+            k as u64,
+            "k={k}: replay counter must move by the checkpointed count"
+        );
+
+        let result = protocol::from_json(&wait_for_result(&addr, "c1")).expect("result parses");
+
+        // Verdicts identical to the uninterrupted run.
+        assert_eq!(result.records.len(), total, "k={k}");
+        let served: BTreeMap<usize, _> = result
+            .records
+            .iter()
+            .map(|r| (r.fault.id, &r.outcome))
+            .collect();
+        assert_eq!(served, reference_outcomes, "k={k}: verdicts must match");
+        assert_eq!(result.observed, reference.observed, "k={k}");
+        assert_eq!(result.nominals, reference.nominals, "k={k}");
+        assert_eq!(result.final_coverage(), reference.final_coverage(), "k={k}");
+
+        // The first k records were replayed bitwise — donor timings and
+        // all — not re-simulated.
+        assert_eq!(result.telemetry.replayed_faults, k as u64, "k={k}");
+        for (i, line) in written_lines.iter().enumerate() {
+            assert_eq!(
+                &progress_line(i, total, &result.records[i]),
+                line,
+                "k={k}: record {i} must come back bitwise from the checkpoint"
+            );
+        }
+
+        // The rewritten checkpoint repaired the tear: the replayed
+        // prefix is byte-identical and every fault has its line.
+        let final_checkpoint =
+            std::fs::read_to_string(dir.join("c1.ndjson")).expect("final checkpoint");
+        let lines: Vec<&str> = final_checkpoint.lines().collect();
+        assert_eq!(lines.len(), total, "k={k}: one line per fault");
+        for (i, line) in written_lines.iter().enumerate() {
+            assert_eq!(
+                lines[i], line,
+                "k={k}: replayed line {i} rewritten verbatim"
+            );
+        }
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -121,6 +121,17 @@ fn strip_comment(line: &str) -> &str {
 /// `2meg`, `100e-9`, `10n`.
 pub fn parse_value(tok: &str) -> Result<f64, String> {
     let t = tok.trim().to_ascii_lowercase();
+    // `to_netlist` prints infinite values (e.g. a single pulse's
+    // period) as `inf`; accept them back so netlists round-trip.
+    if let Some(mag) = t.strip_prefix('-').or(Some(&t)) {
+        if mag == "inf" || mag == "infinity" {
+            return Ok(if t.starts_with('-') {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            });
+        }
+    }
     // Split numeric prefix from alphabetic suffix.
     let split = t.find(|c: char| c.is_ascii_alphabetic() && c != 'e').or({
         // handle cases like '1e3k'? take first alpha that isn't part

@@ -55,6 +55,7 @@ use crate::coverage::{coverage_curve, final_coverage, DetectionSpec};
 use crate::fault::Fault;
 use crate::inject::{inject, HardFaultModel};
 use cat_telemetry::{HistogramSnapshot, StaticCounter};
+use diagnose::{FaultSignature, SignatureSpec};
 use spice::batch::{run_group, BatchGroup, LaneJob};
 use spice::devices::UnknownMap;
 use spice::tran::{tran_with_cached, TranSpec, TranStats};
@@ -178,6 +179,10 @@ pub struct FaultRecord {
     pub newton_iterations: u64,
     /// Kernel work counters for this fault's simulation.
     pub telemetry: FaultTelemetry,
+    /// Diagnosis signature of the faulty response, recorded when the
+    /// campaign ran with [`CampaignBuilder::record_signatures`]; `None`
+    /// otherwise (and for failed or signature-less legacy records).
+    pub signature: Option<FaultSignature>,
 }
 
 /// A configuration error from [`CampaignBuilder::build`].
@@ -223,6 +228,7 @@ pub struct CampaignBuilder {
     max_faults: Option<usize>,
     early_stop: bool,
     batch: BatchMode,
+    record_signatures: bool,
 }
 
 impl CampaignBuilder {
@@ -315,6 +321,18 @@ impl CampaignBuilder {
         self
     }
 
+    /// Diagnosis signature recording: when `true`, every successfully
+    /// simulated fault's record carries a [`FaultSignature`] — the
+    /// resampled deviation trajectory per observed node — so the
+    /// campaign result can seed a fault dictionary. Recording needs the
+    /// complete faulty waveform, so it forces full-length scalar
+    /// simulation: fault dropping and batched scheduling are bypassed
+    /// for the session. Default `false`.
+    pub fn record_signatures(mut self, on: bool) -> Self {
+        self.record_signatures = on;
+        self
+    }
+
     /// Validates the configuration into a [`Campaign`].
     ///
     /// # Errors
@@ -336,6 +354,7 @@ impl CampaignBuilder {
             max_faults: self.max_faults,
             early_stop: self.early_stop,
             batch: self.batch,
+            record_signatures: self.record_signatures,
         })
     }
 }
@@ -354,6 +373,7 @@ pub struct Campaign {
     max_faults: Option<usize>,
     early_stop: bool,
     batch: BatchMode,
+    record_signatures: bool,
 }
 
 /// One progress event: a fault finished simulating. Emitted exactly
@@ -407,6 +427,9 @@ pub struct CampaignTelemetry {
     /// Faults whose record was replayed from a checkpoint instead of
     /// being re-simulated ([`CampaignSession::run_resumed`]).
     pub replayed_faults: u64,
+    /// Identical fault entries trimmed from the submitted list before
+    /// sharding (`CampaignSpec::dedup_faults`); 0 for direct sessions.
+    pub deduped_faults: u64,
 }
 
 /// The campaign result: nominal response plus per-fault records.
@@ -468,12 +491,32 @@ impl Campaign {
     }
 
     /// The lane width batched sessions will run at, or `None` when
-    /// batching is off.
+    /// batching is off. Signature recording needs complete per-fault
+    /// waveforms, which the lockstep kernel does not keep, so it
+    /// forces the scalar path regardless of the configured mode.
     pub fn batch_width(&self) -> Option<usize> {
+        if self.record_signatures {
+            return None;
+        }
         match self.batch {
             BatchMode::Off => None,
             BatchMode::Auto => Some(DEFAULT_BATCH_WIDTH),
             BatchMode::Width(k) => Some(k.max(1)),
+        }
+    }
+
+    /// Whether diagnosis signature recording is enabled.
+    pub fn record_signatures_enabled(&self) -> bool {
+        self.record_signatures
+    }
+
+    /// How this campaign extracts signatures: the default trajectory
+    /// length, with the detection band's voltage tolerance as the
+    /// divergence-onset threshold.
+    pub fn signature_spec(&self) -> SignatureSpec {
+        SignatureSpec {
+            points: diagnose::DEFAULT_POINTS,
+            onset_eps: self.detection.v_tol,
         }
     }
 
@@ -550,13 +593,19 @@ impl Campaign {
                         wall,
                         ..FaultTelemetry::default()
                     },
+                    signature: None,
                 };
             }
         };
-        let (outcome, mut telemetry) = if self.early_stop {
-            self.simulate_dropping(&faulty, nominals, cache)
+        // Signature recording needs the complete faulty waveform, so it
+        // overrides fault dropping for the session.
+        let (outcome, mut telemetry, signature) = if self.record_signatures {
+            self.simulate_full(&faulty, nominals, cache, true)
+        } else if self.early_stop {
+            let (outcome, telemetry) = self.simulate_dropping(&faulty, nominals, cache);
+            (outcome, telemetry, None)
         } else {
-            self.simulate_full(&faulty, nominals, cache)
+            self.simulate_full(&faulty, nominals, cache, false)
         };
         telemetry.wall = t0.elapsed();
         let outcome = match outcome {
@@ -569,6 +618,7 @@ impl Campaign {
             sim_seconds: telemetry.wall.as_secs_f64(),
             newton_iterations: telemetry.newton_iterations,
             telemetry,
+            signature,
         }
     }
 
@@ -580,18 +630,27 @@ impl Campaign {
         faulty: &Circuit,
         nominals: &[Wave],
         cache: &PatternCache,
-    ) -> (Result<FaultOutcome, SpiceError>, FaultTelemetry) {
+        want_signature: bool,
+    ) -> (
+        Result<FaultOutcome, SpiceError>,
+        FaultTelemetry,
+        Option<FaultSignature>,
+    ) {
         let res = match tran_with_cached(faulty, &self.tran, Some(cache), |_, _| true) {
             Ok(res) => res,
-            Err(e) => return (Err(e), FaultTelemetry::default()),
+            Err(e) => return (Err(e), FaultTelemetry::default(), None),
         };
         let telemetry = FaultTelemetry::from_tran(&res.stats);
-        let mut first: Option<(f64, usize)> = None;
-        for (k, (name, nominal)) in self.observe.iter().zip(nominals).enumerate() {
+        let mut waves = Vec::with_capacity(self.observe.len());
+        for name in &self.observe {
             let Some(wave) = res.wave(name) else {
-                return (Ok(missing_observed(name)), telemetry);
+                return (Ok(missing_observed(name)), telemetry, None);
             };
-            if let Some(at) = self.detection.first_detection(&wave, nominal) {
+            waves.push(wave);
+        }
+        let mut first: Option<(f64, usize)> = None;
+        for (k, (wave, nominal)) in waves.iter().zip(nominals).enumerate() {
+            if let Some(at) = self.detection.first_detection(wave, nominal) {
                 if first.is_none_or(|(best, _)| at < best) {
                     first = Some((at, k));
                 }
@@ -604,7 +663,26 @@ impl Campaign {
             },
             None => FaultOutcome::NotDetected,
         };
-        (Ok(outcome), telemetry)
+        let signature = want_signature.then(|| self.extract_signature(nominals, &waves));
+        (Ok(outcome), telemetry, signature)
+    }
+
+    /// Extracts one node signature per observed node from the faulty
+    /// waveforms, on the grid spanned by the primary nominal transient.
+    fn extract_signature(&self, nominals: &[Wave], waves: &[Wave]) -> FaultSignature {
+        let spec = self.signature_spec();
+        let t0 = nominals[0].times()[0];
+        let t1 = *nominals[0].times().last().expect("nominal is non-empty");
+        let grid = diagnose::grid(t0, t1, spec.points);
+        FaultSignature {
+            nodes: nominals
+                .iter()
+                .zip(waves)
+                .map(|(nominal, faulty)| {
+                    diagnose::extract_signature(nominal, faulty, &grid, spec.onset_eps)
+                })
+                .collect(),
+        }
     }
 
     /// Streaming simulation with fault dropping: evaluates the same
@@ -682,6 +760,7 @@ impl Campaign {
             sim_seconds: telemetry.wall.as_secs_f64(),
             newton_iterations: telemetry.newton_iterations,
             telemetry,
+            signature: None,
         }
     }
 }
@@ -1059,6 +1138,7 @@ impl CampaignSession<'_> {
                                 wall,
                                 ..FaultTelemetry::default()
                             },
+                            signature: None,
                         },
                     );
                 }
@@ -1112,6 +1192,7 @@ impl CampaignSession<'_> {
                                     sim_seconds: 0.0,
                                     newton_iterations: 0,
                                     telemetry: FaultTelemetry::default(),
+                                    signature: None,
                                 },
                             );
                             continue 'member;
@@ -1196,6 +1277,7 @@ impl CampaignSession<'_> {
                             sim_seconds: share.as_secs_f64(),
                             newton_iterations: report.newton_iterations,
                             telemetry,
+                            signature: None,
                         },
                     );
                 } else {
@@ -1881,6 +1963,44 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(clamped.batch_width(), Some(1));
+    }
+
+    #[test]
+    fn signature_recording_populates_records_and_forces_scalar() {
+        let c = campaign_builder()
+            .record_signatures(true)
+            .batch(BatchMode::Auto)
+            .early_stop(true)
+            .build()
+            .unwrap();
+        assert!(c.record_signatures_enabled());
+        assert_eq!(c.batch_width(), None, "recording forces the scalar path");
+        let points = c.signature_spec().points;
+        let result = c.run(&fault_set()).unwrap();
+        for r in &result.records {
+            match &r.outcome {
+                FaultOutcome::InjectionFailed(_) | FaultOutcome::SimulationFailed(_) => {
+                    assert!(r.signature.is_none(), "failures carry no signature");
+                }
+                _ => {
+                    let sig = r.signature.as_ref().expect("simulated faults record one");
+                    assert_eq!(sig.nodes.len(), 1);
+                    assert_eq!(sig.nodes[0].trajectory.len(), points);
+                }
+            }
+            assert!(!r.telemetry.early_stopped, "recording runs full-length");
+        }
+        // Detected faults deviate visibly; their onset is where the
+        // resampled deviation first crosses the detection tolerance.
+        for r in &result.records {
+            if let (FaultOutcome::Detected { .. }, Some(sig)) = (&r.outcome, &r.signature) {
+                assert!(sig.nodes[0].peak_deviation > 0.0);
+                assert!(sig.nodes[0].onset.is_some());
+            }
+        }
+        // Default sessions never record.
+        let plain = campaign().run(&fault_set()).unwrap();
+        assert!(plain.records.iter().all(|r| r.signature.is_none()));
     }
 
     /// A 12-section RC ladder driven by a pulse: 14 unknowns, enough to

@@ -1,0 +1,171 @@
+//! Campaign results → fault dictionaries.
+//!
+//! The `diagnose` crate owns the signature/dictionary machinery; this
+//! module is the bridge from a finished [`CampaignResult`] (run with
+//! `CampaignBuilder::record_signatures(true)`) to a built
+//! [`FaultDictionary`]. Kept out of `campaign` so the simulation loop
+//! never depends on matching policy.
+
+use crate::campaign::CampaignResult;
+use diagnose::{resample, DictionaryEntry, FaultDictionary};
+
+/// Why a campaign result cannot seed a dictionary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DictionaryError {
+    /// No record carries a signature — the campaign ran without
+    /// `record_signatures(true)`.
+    NoSignatures,
+}
+
+impl core::fmt::Display for DictionaryError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DictionaryError::NoSignatures => {
+                write!(
+                    f,
+                    "campaign result carries no signatures; rerun with record_signatures(true)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DictionaryError {}
+
+/// Builds a fault dictionary from every signature-bearing record of a
+/// campaign result, under the default clustering threshold and
+/// time-shift tolerance ([`diagnose::DEFAULT_THRESHOLD`],
+/// [`diagnose::DEFAULT_SHIFT_STEPS`]).
+///
+/// Faults whose injection or simulation failed carry no signature and
+/// are skipped — a dictionary only answers for faults it could watch
+/// misbehave. The grid is the one the campaign recorded on: the nominal
+/// transient's span at the signature point count.
+///
+/// # Errors
+/// [`DictionaryError::NoSignatures`] when no record has a signature.
+pub fn build_dictionary(result: &CampaignResult) -> Result<FaultDictionary, DictionaryError> {
+    let signed: Vec<_> = result
+        .records
+        .iter()
+        .filter_map(|r| r.signature.as_ref().map(|s| (&r.fault, s)))
+        .collect();
+    let Some((_, first)) = signed.first() else {
+        return Err(DictionaryError::NoSignatures);
+    };
+    let points = first.nodes[0].trajectory.len();
+    let times = result.nominals[0].times();
+    let (t0, t1) = (times[0], *times.last().expect("nominal wave is non-empty"));
+    let grid = diagnose::grid(t0, t1, points);
+    let nominal = result
+        .nominals
+        .iter()
+        .map(|wave| resample(wave, &grid))
+        .collect();
+    Ok(FaultDictionary::build(
+        result.observed.clone(),
+        t0,
+        t1,
+        points,
+        diagnose::DEFAULT_THRESHOLD,
+        diagnose::DEFAULT_SHIFT_STEPS,
+        nominal,
+        signed
+            .into_iter()
+            .map(|(fault, signature)| DictionaryEntry {
+                fault_id: fault.id,
+                label: fault.label.clone(),
+                signature: signature.clone(),
+            })
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{FaultOutcome, FaultRecord, FaultTelemetry};
+    use crate::fault::{Fault, FaultEffect};
+    use diagnose::{Diagnoser, FaultSignature, NodeSignature};
+    use spice::Wave;
+
+    fn record(id: usize, trajectory: Vec<f64>) -> FaultRecord {
+        let peak = trajectory.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        FaultRecord {
+            fault: Fault::new(
+                id,
+                format!("BRI {id}"),
+                FaultEffect::Short {
+                    a: format!("{id}"),
+                    b: "0".into(),
+                },
+            ),
+            outcome: FaultOutcome::Detected {
+                at: 1e-6,
+                node: "out".into(),
+            },
+            sim_seconds: 0.01,
+            newton_iterations: 10,
+            telemetry: FaultTelemetry::default(),
+            signature: Some(FaultSignature {
+                nodes: vec![NodeSignature {
+                    steady_state_offset: *trajectory.last().unwrap(),
+                    onset: Some(0.0),
+                    peak_deviation: peak,
+                    trajectory,
+                }],
+            }),
+        }
+    }
+
+    fn result() -> CampaignResult {
+        let mut failed = record(9, vec![0.0; 4]);
+        failed.outcome = FaultOutcome::InjectionFailed("unknown node".into());
+        failed.signature = None;
+        CampaignResult {
+            observed: vec!["out".to_string()],
+            nominals: vec![Wave::new(
+                vec![0.0, 1e-6, 2e-6, 3e-6],
+                vec![0.0, 1.0, 2.0, 3.0],
+            )],
+            records: vec![
+                record(1, vec![0.0, 1.0, 1.0, 1.0]),
+                record(2, vec![0.0, 1.0, 1.0, 1.0]),
+                record(3, vec![0.0, -2.0, -2.0, -2.0]),
+                failed,
+            ],
+            nominal_seconds: 0.01,
+            total_seconds: 0.05,
+            telemetry: Default::default(),
+        }
+    }
+
+    #[test]
+    fn builds_clusters_and_diagnoses_from_campaign_records() {
+        let dict = build_dictionary(&result()).expect("signatures present");
+        // The failed fault is skipped; the two identical deviations
+        // share an ambiguity class.
+        assert_eq!(dict.entries.len(), 3);
+        assert_eq!(dict.classes, vec![vec![0, 1], vec![2]]);
+        assert_eq!(dict.points, 4);
+        assert_eq!(dict.nominal, vec![vec![0.0, 1.0, 2.0, 3.0]]);
+
+        // A probe synthesized from fault 3's own signature ranks its
+        // class first.
+        let probe = dict.probe_waves(3).expect("fault 3 is in the dictionary");
+        let ranked = Diagnoser::new(&dict).rank(&probe).unwrap();
+        assert_eq!(ranked[0].fault_ids, vec![3]);
+    }
+
+    #[test]
+    fn unsigned_results_are_rejected() {
+        let mut unsigned = result();
+        for r in &mut unsigned.records {
+            r.signature = None;
+        }
+        assert_eq!(
+            build_dictionary(&unsigned),
+            Err(DictionaryError::NoSignatures)
+        );
+    }
+}

@@ -31,12 +31,16 @@
 //! * [`report`] — tabular reports, protocol rows and ASCII coverage
 //!   plots;
 //! * [`protocol`] — the machine-readable JSON protocol file
-//!   ([`CampaignResult`] round-trips losslessly).
+//!   ([`CampaignResult`] round-trips losslessly);
+//! * [`diagnosis`] — bridges a finished campaign (run with
+//!   `record_signatures(true)`) to the `diagnose` crate's fault
+//!   dictionaries and ambiguity classes.
 //!
 //! See the [`campaign`] module for a runnable quickstart.
 
 pub mod campaign;
 pub mod coverage;
+pub mod diagnosis;
 pub mod fault;
 pub mod faultlist;
 pub mod inject;
@@ -50,6 +54,7 @@ pub use campaign::{
     FaultTelemetry, PreparedCampaign, DEFAULT_BATCH_WIDTH,
 };
 pub use coverage::{coverage_curve, DetectionSpec};
+pub use diagnosis::{build_dictionary, DictionaryError};
 pub use fault::{Fault, FaultEffect, MosTerminal};
 pub use inject::{inject, HardFaultModel, InjectError};
 pub use protocol::{CampaignSpec, ProtocolError, StreamEvent};

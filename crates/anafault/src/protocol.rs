@@ -16,8 +16,9 @@ use crate::campaign::{
 use crate::coverage::DetectionSpec;
 use crate::fault::{Fault, FaultEffect};
 use crate::inject::HardFaultModel;
+use diagnose::{Candidate, DictionaryEntry, FaultDictionary, FaultSignature, NodeSignature};
 use spice::{SolverStats, Wave};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -71,7 +72,7 @@ pub fn to_json(result: &CampaignResult) -> String {
         "  \"telemetry\": {{\"pattern_cache_hits\": {}, \"pattern_cache_misses\": {}, \
          \"pattern_cache_entries\": {}, \"early_stops\": {}, \"batches\": {}, \
          \"batched_faults\": {}, \"lane_compactions\": {}, \"lane_refills\": {}, \
-         \"ejections\": {}, \"replayed_faults\": {}}},",
+         \"ejections\": {}, \"replayed_faults\": {}, \"deduped_faults\": {}}},",
         t.pattern_cache_hits,
         t.pattern_cache_misses,
         t.pattern_cache_entries,
@@ -81,7 +82,8 @@ pub fn to_json(result: &CampaignResult) -> String {
         t.lane_compactions,
         t.lane_refills,
         t.ejections,
-        t.replayed_faults
+        t.replayed_faults,
+        t.deduped_faults
     );
     s.push_str("  \"nominals\": [\n");
     for (i, wave) in result.nominals.iter().enumerate() {
@@ -112,15 +114,62 @@ pub fn to_json(result: &CampaignResult) -> String {
 }
 
 fn record_json(record: &FaultRecord) -> String {
+    let signature = match &record.signature {
+        Some(s) => format!(", \"signature\": {}", signature_json(s)),
+        None => String::new(),
+    };
     format!(
         "{{\"fault\": {}, \"outcome\": {}, \"sim_seconds\": {}, \"newton_iterations\": {}, \
-         \"telemetry\": {}}}",
+         \"telemetry\": {}{signature}}}",
         fault_json(&record.fault),
         outcome_json(&record.outcome),
         num(record.sim_seconds),
         record.newton_iterations,
         fault_telemetry_json(&record.telemetry)
     )
+}
+
+fn signature_json(signature: &FaultSignature) -> String {
+    let nodes = signature
+        .nodes
+        .iter()
+        .map(|node| {
+            let onset = match node.onset {
+                Some(t) => num(t),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"trajectory\": {}, \"onset\": {}, \"peak_deviation\": {}, \
+                 \"steady_state_offset\": {}}}",
+                num_array(&node.trajectory),
+                onset,
+                num(node.peak_deviation),
+                num(node.steady_state_offset)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{\"nodes\": [{nodes}]}}")
+}
+
+fn signature_from_json(v: &Json) -> Result<FaultSignature, ProtocolError> {
+    let nodes = v
+        .field("nodes")?
+        .as_array()?
+        .iter()
+        .map(|node| {
+            Ok(NodeSignature {
+                trajectory: node.field("trajectory")?.as_f64_array()?,
+                onset: match node.field("onset")? {
+                    Json::Null => None,
+                    t => Some(t.as_f64()?),
+                },
+                peak_deviation: node.field("peak_deviation")?.as_f64()?,
+                steady_state_offset: node.field("steady_state_offset")?.as_f64()?,
+            })
+        })
+        .collect::<Result<_, ProtocolError>>()?;
+    Ok(FaultSignature { nodes })
 }
 
 fn fault_telemetry_json(t: &FaultTelemetry) -> String {
@@ -686,6 +735,7 @@ fn campaign_telemetry_from_json(v: Option<&Json>) -> Result<CampaignTelemetry, P
         lane_refills: opt_u64(v, "lane_refills")?,
         ejections: opt_u64(v, "ejections")?,
         replayed_faults: opt_u64(v, "replayed_faults")?,
+        deduped_faults: opt_u64(v, "deduped_faults")?,
     })
 }
 
@@ -742,6 +792,12 @@ fn record_from_json(v: &Json) -> Result<FaultRecord, ProtocolError> {
         sim_seconds: v.field("sim_seconds")?.as_f64()?,
         newton_iterations: v.field("newton_iterations")?.as_usize()? as u64,
         telemetry: fault_telemetry_from_json(v.get("telemetry"))?,
+        // Signatures postdate the first record schema: absent (or null)
+        // in signature-less captures, so they parse to `None`.
+        signature: match v.get("signature") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(signature_from_json(s)?),
+        },
     })
 }
 
@@ -849,6 +905,9 @@ pub struct CampaignSpec {
     pub model: HardFaultModel,
     /// Abandon each faulty transient at first detection.
     pub early_stop: bool,
+    /// Record a diagnosis [`FaultSignature`] per simulated fault
+    /// (forces full-length scalar simulation).
+    pub record_signatures: bool,
     /// Fault budget: simulate at most this many faults from the head
     /// of the list.
     pub max_faults: Option<usize>,
@@ -890,6 +949,9 @@ impl CampaignSpec {
         );
         let _ = writeln!(s, "  \"model\": {},", model_json(&self.model));
         let _ = writeln!(s, "  \"early_stop\": {},", self.early_stop);
+        if self.record_signatures {
+            let _ = writeln!(s, "  \"record_signatures\": true,");
+        }
         if let Some(max) = self.max_faults {
             let _ = writeln!(s, "  \"max_faults\": {max},");
         }
@@ -948,6 +1010,7 @@ impl CampaignSpec {
             },
             model: model_from_json(doc.field("model")?)?,
             early_stop: opt_bool(&doc, "early_stop")?,
+            record_signatures: opt_bool(&doc, "record_signatures")?,
             max_faults: match doc.get("max_faults") {
                 None | Some(Json::Null) => None,
                 Some(v) => Some(v.as_usize()?),
@@ -987,13 +1050,27 @@ impl CampaignSpec {
             .observe_nodes(self.observe.iter().cloned())
             .detection(self.detection)
             .model(self.model)
-            .early_stop(self.early_stop);
+            .early_stop(self.early_stop)
+            .record_signatures(self.record_signatures);
         if let Some(max) = self.max_faults {
             builder = builder.max_faults(max);
         }
         builder
             .build()
             .map_err(|e| schema_err(format!("spec does not configure a campaign: {e}")))
+    }
+
+    /// Removes faults whose *effect* duplicates an earlier entry (same
+    /// model kind and the same nodes/terminals — the canonical effect
+    /// serialization is the comparison key). The first occurrence wins,
+    /// keeping the ranked order; labels and ids of later duplicates are
+    /// dropped with them. Returns the number of entries trimmed, which
+    /// the daemon records as `CampaignTelemetry::deduped_faults`.
+    pub fn dedup_faults(&mut self) -> u64 {
+        let before = self.faults.len();
+        let mut seen = BTreeSet::new();
+        self.faults.retain(|f| seen.insert(effect_json(&f.effect)));
+        (before - self.faults.len()) as u64
     }
 }
 
@@ -1079,6 +1156,283 @@ pub fn event_from_json(line: &str) -> Result<StreamEvent, ProtocolError> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Fault-dictionary and diagnosis documents
+// ---------------------------------------------------------------------
+
+/// Schema version stamped into every dictionary document.
+pub const DICT_VERSION: u64 = 1;
+
+/// Serializes a fault dictionary to its JSON document. The writer is
+/// deterministic: serialize → parse → serialize reproduces the bytes,
+/// which the daemon relies on when reloading persisted dictionaries.
+pub fn dictionary_to_json(dict: &FaultDictionary) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"dict_version\": {DICT_VERSION},");
+    let _ = writeln!(
+        s,
+        "  \"observed\": [{}],",
+        dict.observed
+            .iter()
+            .map(|n| quote(n))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(s, "  \"t0\": {},", num(dict.t0));
+    let _ = writeln!(s, "  \"t1\": {},", num(dict.t1));
+    let _ = writeln!(s, "  \"points\": {},", dict.points);
+    let _ = writeln!(s, "  \"threshold\": {},", num(dict.threshold));
+    let _ = writeln!(s, "  \"shift_steps\": {},", dict.shift_steps);
+    s.push_str("  \"nominal\": [\n");
+    for (i, row) in dict.nominal.iter().enumerate() {
+        let comma = if i + 1 < dict.nominal.len() { "," } else { "" };
+        let _ = writeln!(s, "    {}{comma}", num_array(row));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"entries\": [\n");
+    for (i, entry) in dict.entries.iter().enumerate() {
+        let comma = if i + 1 < dict.entries.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "    {{\"fault_id\": {}, \"label\": {}, \"signature\": {}}}{comma}",
+            entry.fault_id,
+            quote(&entry.label),
+            signature_json(&entry.signature)
+        );
+    }
+    s.push_str("  ],\n");
+    let classes = dict
+        .classes
+        .iter()
+        .map(|class| {
+            format!(
+                "[{}]",
+                class
+                    .iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(s, "  \"classes\": [{classes}]");
+    s.push_str("}\n");
+    s
+}
+
+/// Parses a dictionary document back into a [`FaultDictionary`].
+///
+/// Beyond shape, the parser enforces the invariants the matcher leans
+/// on: a shared grid (`points` ≥ 2, `t1` > `t0`), one nominal row and
+/// one signature node per observed name, every trajectory on the grid,
+/// and `classes` forming a partition of the entry indices.
+///
+/// # Errors
+/// [`ProtocolError::Parse`] on malformed JSON, [`ProtocolError::Schema`]
+/// on a schema or invariant violation.
+pub fn dictionary_from_json(text: &str) -> Result<FaultDictionary, ProtocolError> {
+    let doc = parse_json(text)?;
+    let version = doc.field("dict_version")?.as_u64()?;
+    if version != DICT_VERSION {
+        return Err(schema_err(format!(
+            "unsupported dictionary version {version}"
+        )));
+    }
+    let observed: Vec<String> = doc
+        .field("observed")?
+        .as_array()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect::<Result<_, _>>()?;
+    if observed.is_empty() {
+        return Err(schema_err("dictionary observes no nodes"));
+    }
+    let t0 = doc.field("t0")?.as_f64()?;
+    let t1 = doc.field("t1")?.as_f64()?;
+    if !t0.is_finite() || !t1.is_finite() || t1 <= t0 {
+        return Err(schema_err("dictionary grid window must satisfy t0 < t1"));
+    }
+    let points = doc.field("points")?.as_usize()?;
+    if points < 2 {
+        return Err(schema_err("dictionary grid needs at least two points"));
+    }
+    let threshold = doc.field("threshold")?.as_f64()?;
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(schema_err("threshold must be finite and non-negative"));
+    }
+    let shift_steps = doc.field("shift_steps")?.as_usize()?;
+    let nominal: Vec<Vec<f64>> = doc
+        .field("nominal")?
+        .as_array()?
+        .iter()
+        .map(Json::as_f64_array)
+        .collect::<Result<_, _>>()?;
+    if nominal.len() != observed.len() || nominal.iter().any(|row| row.len() != points) {
+        return Err(schema_err("nominal rows must match observed × points"));
+    }
+    let entries: Vec<DictionaryEntry> = doc
+        .field("entries")?
+        .as_array()?
+        .iter()
+        .map(|v| {
+            let signature = signature_from_json(v.field("signature")?)?;
+            if signature.nodes.len() != observed.len()
+                || signature.nodes.iter().any(|n| n.trajectory.len() != points)
+            {
+                return Err(schema_err("entry signature off the dictionary grid"));
+            }
+            Ok(DictionaryEntry {
+                fault_id: v.field("fault_id")?.as_usize()?,
+                label: v.field("label")?.as_str()?.to_string(),
+                signature,
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let classes: Vec<Vec<usize>> = doc
+        .field("classes")?
+        .as_array()?
+        .iter()
+        .map(|class| class.as_array()?.iter().map(Json::as_usize).collect())
+        .collect::<Result<_, _>>()?;
+    let mut seen = vec![false; entries.len()];
+    for &index in classes.iter().flatten() {
+        if index >= entries.len() || seen[index] {
+            return Err(schema_err("classes must partition the entry indices"));
+        }
+        seen[index] = true;
+    }
+    if seen.iter().any(|covered| !covered) {
+        return Err(schema_err("classes must partition the entry indices"));
+    }
+    Ok(FaultDictionary {
+        observed,
+        t0,
+        t1,
+        points,
+        threshold,
+        shift_steps,
+        nominal,
+        entries,
+        classes,
+    })
+}
+
+/// Schema version stamped into every diagnosis request.
+pub const DIAGNOSE_VERSION: u64 = 1;
+
+/// A waveform-to-fault matching request: measured waveforms, tagged
+/// with the campaign whose dictionary should rank them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagnoseRequest {
+    /// Campaign id whose dictionary answers the query.
+    pub campaign: String,
+    /// Measured `(node, waveform)` pairs; node names must be a subset
+    /// of the dictionary's observed nodes.
+    pub waves: Vec<(String, Wave)>,
+}
+
+impl DiagnoseRequest {
+    /// Serializes the request as a single-line JSON document.
+    pub fn to_json(&self) -> String {
+        let waves = self
+            .waves
+            .iter()
+            .map(|(node, wave)| {
+                format!(
+                    "{{\"node\": {}, \"times\": {}, \"values\": {}}}",
+                    quote(node),
+                    num_array(wave.times()),
+                    num_array(wave.values())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"diagnose_version\": {DIAGNOSE_VERSION}, \"campaign\": {}, \"waves\": [{waves}]}}",
+            quote(&self.campaign)
+        )
+    }
+
+    /// Parses a diagnosis request. Waveforms are validated the same way
+    /// as protocol nominals (equal lengths, strictly increasing times)
+    /// *before* any [`Wave`] is constructed — this parser fronts raw
+    /// network input and must reject rather than panic.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Parse`] on malformed JSON, [`ProtocolError::Schema`]
+    /// on a version/shape mismatch or a malformed waveform.
+    pub fn from_json(text: &str) -> Result<Self, ProtocolError> {
+        let doc = parse_json(text)?;
+        let version = doc.field("diagnose_version")?.as_u64()?;
+        if version != DIAGNOSE_VERSION {
+            return Err(schema_err(format!(
+                "unsupported diagnose version {version}"
+            )));
+        }
+        let waves = doc
+            .field("waves")?
+            .as_array()?
+            .iter()
+            .map(|v| {
+                let node = v.field("node")?.as_str()?.to_string();
+                Ok((node, wave_from_json(v)?))
+            })
+            .collect::<Result<Vec<_>, ProtocolError>>()?;
+        if waves.is_empty() {
+            return Err(schema_err("diagnosis needs at least one waveform"));
+        }
+        Ok(DiagnoseRequest {
+            campaign: doc.field("campaign")?.as_str()?.to_string(),
+            waves,
+        })
+    }
+}
+
+/// Serializes one ranked diagnosis candidate as an NDJSON line (no
+/// trailing newline) — the daemon streams one per ambiguity class,
+/// best match first, `rank` starting at 1.
+pub fn candidate_json(rank: usize, candidate: &Candidate) -> String {
+    let faults = candidate
+        .fault_ids
+        .iter()
+        .zip(&candidate.labels)
+        .map(|(id, label)| format!("{{\"id\": {id}, \"label\": {}}}", quote(label)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"rank\": {rank}, \"class\": {}, \"score\": {}, \"faults\": [{faults}]}}",
+        candidate.class,
+        num(candidate.score)
+    )
+}
+
+/// Parses one candidate line back into its rank and [`Candidate`].
+///
+/// # Errors
+/// [`ProtocolError::Parse`] on malformed JSON, [`ProtocolError::Schema`]
+/// on a non-conforming candidate object.
+pub fn candidate_from_json(line: &str) -> Result<(usize, Candidate), ProtocolError> {
+    let doc = parse_json(line)?;
+    let faults = doc.field("faults")?.as_array()?;
+    let mut fault_ids = Vec::with_capacity(faults.len());
+    let mut labels = Vec::with_capacity(faults.len());
+    for fault in faults {
+        fault_ids.push(fault.field("id")?.as_usize()?);
+        labels.push(fault.field("label")?.as_str()?.to_string());
+    }
+    Ok((
+        doc.field("rank")?.as_usize()?,
+        Candidate {
+            class: doc.field("class")?.as_usize()?,
+            score: doc.field("score")?.as_f64()?,
+            fault_ids,
+            labels,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1122,6 +1476,22 @@ mod tests {
                         batch_width: 4,
                         ejected: true,
                     },
+                    signature: Some(FaultSignature {
+                        nodes: vec![
+                            NodeSignature {
+                                trajectory: vec![0.0, 0.5, -0.25],
+                                onset: Some(0.5e-6),
+                                peak_deviation: 0.5,
+                                steady_state_offset: -0.25,
+                            },
+                            NodeSignature {
+                                trajectory: vec![0.0, 0.0, 0.0],
+                                onset: None,
+                                peak_deviation: 0.0,
+                                steady_state_offset: 0.0,
+                            },
+                        ],
+                    }),
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -1136,6 +1506,7 @@ mod tests {
                     sim_seconds: 0.02,
                     newton_iterations: 410,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -1150,6 +1521,7 @@ mod tests {
                     sim_seconds: 0.001,
                     newton_iterations: 0,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -1165,6 +1537,7 @@ mod tests {
                     sim_seconds: 0.5,
                     newton_iterations: 12,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -1179,6 +1552,7 @@ mod tests {
                     sim_seconds: 0.015,
                     newton_iterations: 380,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
             ],
             nominal_seconds: 0.0123,
@@ -1194,6 +1568,7 @@ mod tests {
                 lane_refills: 1,
                 ejections: 1,
                 replayed_faults: 2,
+                deduped_faults: 3,
             },
         }
     }
@@ -1214,6 +1589,7 @@ mod tests {
             assert_eq!(a.sim_seconds, b.sim_seconds);
             assert_eq!(a.newton_iterations, b.newton_iterations);
             assert_eq!(a.telemetry, b.telemetry);
+            assert_eq!(a.signature, b.signature);
         }
         assert_eq!(back.telemetry, original.telemetry);
         // Derived statistics survive too.
@@ -1333,6 +1709,7 @@ mod tests {
             },
             model: HardFaultModel::paper_resistor(),
             early_stop: false,
+            record_signatures: false,
             max_faults: Some(8),
             client: Some("ci".to_string()),
             faults: vec![
@@ -1495,6 +1872,202 @@ mod tests {
         };
         assert_prefixes_fail(&progress_to_json(&progress), event_from_json);
         assert_prefixes_fail(&result_event_json(&result), event_from_json);
+    }
+
+    #[test]
+    fn spec_record_signatures_round_trips_and_reaches_the_campaign() {
+        let mut spec = sample_spec();
+        spec.record_signatures = true;
+        let back = CampaignSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
+        let campaign = back.build_campaign().unwrap();
+        assert!(campaign.record_signatures_enabled());
+        // The flag is omitted (not written as `false`) when off, so
+        // pre-diagnosis specs keep parsing unchanged.
+        spec.record_signatures = false;
+        assert!(!spec.to_json().contains("record_signatures"));
+        assert!(
+            !CampaignSpec::from_json(&spec.to_json())
+                .unwrap()
+                .record_signatures
+        );
+    }
+
+    #[test]
+    fn spec_dedup_trims_repeated_effects_keeping_the_first() {
+        let mut spec = sample_spec();
+        // Same effect as fault 1 under a different id and label, plus a
+        // genuinely new effect — only the repeat goes.
+        spec.faults.push(Fault::new(
+            9,
+            "BRI in->out again",
+            FaultEffect::Short {
+                a: "in".into(),
+                b: "out".into(),
+            },
+        ));
+        spec.faults.push(Fault::new(
+            10,
+            "SOP C1.0",
+            FaultEffect::OpenTerminal {
+                element: "C1".into(),
+                terminal: 0,
+            },
+        ));
+        assert_eq!(spec.dedup_faults(), 1);
+        assert_eq!(
+            spec.faults.iter().map(|f| f.id).collect::<Vec<_>>(),
+            [1, 2, 10]
+        );
+        // Idempotent once clean.
+        assert_eq!(spec.dedup_faults(), 0);
+    }
+
+    fn sample_dictionary() -> FaultDictionary {
+        FaultDictionary {
+            observed: vec!["11".to_string(), "out\"quoted\"".to_string()],
+            t0: 0.0,
+            t1: 2e-6,
+            points: 3,
+            threshold: 0.05,
+            shift_steps: 2,
+            nominal: vec![vec![0.0, 5.0, -0.25], vec![2.2, 2.2, 2.2]],
+            entries: vec![
+                DictionaryEntry {
+                    fault_id: 6,
+                    label: "BRI n_ds_short 5->6".to_string(),
+                    signature: FaultSignature {
+                        nodes: vec![
+                            NodeSignature {
+                                trajectory: vec![0.0, 0.5, -0.25],
+                                onset: Some(0.5e-6),
+                                peak_deviation: 0.5,
+                                steady_state_offset: -0.25,
+                            },
+                            NodeSignature {
+                                trajectory: vec![0.0, 0.0, 0.0],
+                                onset: None,
+                                peak_deviation: 0.0,
+                                steady_state_offset: 0.0,
+                            },
+                        ],
+                    },
+                },
+                DictionaryEntry {
+                    fault_id: 10,
+                    label: "BRI R2".to_string(),
+                    signature: FaultSignature {
+                        nodes: vec![
+                            NodeSignature {
+                                trajectory: vec![0.0, -2.0, -2.0],
+                                onset: Some(1e-6),
+                                peak_deviation: 2.0,
+                                steady_state_offset: -2.0,
+                            },
+                            NodeSignature {
+                                trajectory: vec![0.1, 0.1, 0.1],
+                                onset: Some(0.0),
+                                peak_deviation: 0.1,
+                                steady_state_offset: 0.1,
+                            },
+                        ],
+                    },
+                },
+            ],
+            classes: vec![vec![0], vec![1]],
+        }
+    }
+
+    #[test]
+    fn dictionary_round_trips_bitwise() {
+        let dict = sample_dictionary();
+        let text = dictionary_to_json(&dict);
+        let back = dictionary_from_json(&text).expect("dictionary parses");
+        assert_eq!(back, dict);
+        // Reserialization is byte-identical — the daemon reloads
+        // persisted dictionaries and must not see drift.
+        assert_eq!(dictionary_to_json(&back), text);
+    }
+
+    #[test]
+    fn truncated_dictionary_documents_error_at_every_offset() {
+        assert_prefixes_fail(
+            &dictionary_to_json(&sample_dictionary()),
+            dictionary_from_json,
+        );
+    }
+
+    #[test]
+    fn dictionary_rejects_invariant_violations() {
+        let text = dictionary_to_json(&sample_dictionary());
+        for (from, to) in [
+            // Unsupported version.
+            ("\"dict_version\": 1", "\"dict_version\": 2"),
+            // Trajectories no longer sit on the grid.
+            ("\"points\": 3", "\"points\": 4"),
+            // Degenerate window.
+            ("\"t1\": 2e-6", "\"t1\": 0.0"),
+            // Entry 1 appears twice, entry 0 never.
+            ("\"classes\": [[0], [1]]", "\"classes\": [[1], [1]]"),
+            // Entry index out of range.
+            ("\"classes\": [[0], [1]]", "\"classes\": [[0], [7]]"),
+            // A nominal row off the grid.
+            ("[2.2, 2.2, 2.2]", "[2.2, 2.2]"),
+        ] {
+            let bad = text.replace(from, to);
+            assert_ne!(bad, text, "tamper `{from}` did not apply");
+            assert!(
+                matches!(dictionary_from_json(&bad), Err(ProtocolError::Schema(_))),
+                "tamper `{to}` accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn diagnose_request_round_trips_and_validates_waves() {
+        let request = DiagnoseRequest {
+            campaign: "c12".to_string(),
+            waves: vec![(
+                "out\"quoted\"".to_string(),
+                Wave::new(vec![0.0, 1e-6, 2e-6], vec![0.0, 5.0, -0.25]),
+            )],
+        };
+        let line = request.to_json();
+        assert!(!line.contains('\n'), "requests are NDJSON-safe");
+        assert_eq!(DiagnoseRequest::from_json(&line).unwrap(), request);
+        assert_prefixes_fail(&line, DiagnoseRequest::from_json);
+        // Non-increasing times must be rejected before Wave::new — this
+        // parser fronts raw network input.
+        let bad = line.replace("[0.0, 1e-6, 2e-6]", "[0.0, 2e-6, 1e-6]");
+        assert_ne!(bad, line, "tamper did not apply");
+        assert!(matches!(
+            DiagnoseRequest::from_json(&bad),
+            Err(ProtocolError::Schema(_))
+        ));
+        // An empty wave set can never rank anything.
+        let empty = format!(
+            "{{\"diagnose_version\": {DIAGNOSE_VERSION}, \"campaign\": \"c1\", \"waves\": []}}"
+        );
+        assert!(matches!(
+            DiagnoseRequest::from_json(&empty),
+            Err(ProtocolError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn candidate_lines_round_trip() {
+        let candidate = Candidate {
+            class: 4,
+            score: 0.125,
+            fault_ids: vec![6, 10],
+            labels: vec!["BRI n_ds_short 5->6".to_string(), "BRI R2".to_string()],
+        };
+        let line = candidate_json(1, &candidate);
+        assert!(!line.contains('\n'), "candidates are NDJSON lines");
+        let (rank, back) = candidate_from_json(&line).unwrap();
+        assert_eq!(rank, 1);
+        assert_eq!(back, candidate);
+        assert_prefixes_fail(&line, candidate_from_json);
     }
 
     /// Unbounded nesting must be a parse error, not a stack overflow —

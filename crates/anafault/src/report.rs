@@ -116,6 +116,7 @@ mod tests {
                     sim_seconds: 0.01,
                     newton_iterations: 400,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -130,6 +131,7 @@ mod tests {
                     sim_seconds: 0.02,
                     newton_iterations: 400,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -146,6 +148,7 @@ mod tests {
                     sim_seconds: 0.001,
                     newton_iterations: 0,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
                 FaultRecord {
                     fault: Fault::new(
@@ -160,6 +163,7 @@ mod tests {
                     sim_seconds: 0.5,
                     newton_iterations: 12,
                     telemetry: FaultTelemetry::default(),
+                    signature: None,
                 },
             ],
             nominal_seconds: 0.01,

@@ -14,10 +14,10 @@
 //! `--metrics` report's `batch` entry.
 
 use anafault::report::{coverage_plot, protocol_table};
-use anafault::{BatchMode, HardFaultModel};
+use anafault::{protocol, BatchMode, HardFaultModel};
 use bench::{
-    batch_width_of, compare_batch, fig5_campaign_batched, fig5_campaign_spec, fig5_curve,
-    fig5_solver_comparison, ArgSpec, BatchSummary, Metrics,
+    batch_width_of, compare_batch, fig5_campaign_batched, fig5_campaign_signed, fig5_campaign_spec,
+    fig5_curve, fig5_solver_comparison, self_diagnose, ArgSpec, BatchSummary, Metrics,
 };
 
 const ARGS: ArgSpec = ArgSpec {
@@ -27,6 +27,9 @@ usage: fig5 [flags]
 
   --json                 print the machine-readable protocol document
   --emit-spec            print the campaign as an anafault-serve spec and exit
+  --signatures           record diagnosis signatures in --emit-spec output
+  --diagnose             run with signatures, build the fault dictionary and
+                         self-diagnose every detected fault
   --skip-solver-compare  run the campaign once (no dense-vs-sparse pass)
   --batch K|auto|off     lane width for the batched scheduler (default auto)
   --max-faults N         trim the fault list to the first N faults
@@ -35,7 +38,13 @@ usage: fig5 [flags]
   --help                 print this help
 ",
     value_flags: &["--metrics", "--max-faults", "--batch", "--client"],
-    bool_flags: &["--json", "--emit-spec", "--skip-solver-compare"],
+    bool_flags: &[
+        "--json",
+        "--emit-spec",
+        "--signatures",
+        "--diagnose",
+        "--skip-solver-compare",
+    ],
 };
 
 fn main() {
@@ -61,8 +70,57 @@ fn main() {
             HardFaultModel::Source,
             max_faults,
             args.value("--client").map(String::from),
+            args.flag("--signatures"),
         );
         print!("{}", spec.to_json());
+        return;
+    }
+    // `--diagnose` runs the signature-recording campaign, builds the
+    // fault dictionary, checks it round-trips bitwise through the
+    // protocol, then feeds every detected fault's own synthesized probe
+    // back through the diagnoser. A probe reconstructs its stored
+    // trajectory to round-off, so the true ambiguity class must rank
+    // first for every query — anything less is a failure (exit 1).
+    if args.flag("--diagnose") {
+        metrics.phase("campaign");
+        let (result, _) = fig5_campaign_signed(HardFaultModel::Source, max_faults);
+        metrics.phase("dictionary");
+        let dict = anafault::build_dictionary(&result)
+            .expect("signature-recording campaign seeds a dictionary");
+        let text = protocol::dictionary_to_json(&dict);
+        let reloaded = protocol::dictionary_from_json(&text).expect("dictionary document parses");
+        assert_eq!(
+            protocol::dictionary_to_json(&reloaded),
+            text,
+            "dictionary must survive serialize/reload bitwise"
+        );
+        metrics.phase("diagnose");
+        let summary = self_diagnose(&dict, &result);
+        println!("Fig. 5 campaign — fault-dictionary self-diagnosis (source model)\n");
+        println!("  faults simulated      {:>6}", result.records.len());
+        println!("  dictionary entries    {:>6}", summary.entries);
+        println!("  ambiguity classes     {:>6}", summary.classes);
+        println!("  detected faults probed{:>6}", summary.queries);
+        println!(
+            "  top-1 accuracy        {:>6} / {} ({:.1}%)",
+            summary.top1,
+            summary.queries,
+            100.0 * summary.top1 as f64 / summary.queries.max(1) as f64
+        );
+        println!(
+            "  top-3 accuracy        {:>6} / {} ({:.1}%)",
+            summary.top3,
+            summary.queries,
+            100.0 * summary.top3 as f64 / summary.queries.max(1) as f64
+        );
+        let ok = summary.top1 == summary.queries && summary.queries > 0;
+        metrics.attach_campaign(result.report());
+        metrics.attach_diagnosis(summary);
+        metrics.finish();
+        if !ok {
+            eprintln!("self-diagnosis missed: every detected fault must rank top-1");
+            std::process::exit(1);
+        }
         return;
     }
     // `--json` emits the machine-readable protocol document instead of

@@ -10,14 +10,17 @@ pub mod args;
 pub mod metrics;
 
 pub use args::{ArgSpec, Args};
-pub use metrics::{render_report, BatchSummary, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS};
+pub use metrics::{
+    render_report, BatchSummary, DiagnosisSummary, Metrics, REPORT_SCHEMA, REQUIRED_COUNTERS,
+};
 
 use anafault::{
-    BatchMode, Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, HardFaultModel,
-    DEFAULT_BATCH_WIDTH,
+    BatchMode, Campaign, CampaignResult, DetectionSpec, Fault, FaultEffect, FaultOutcome,
+    HardFaultModel, DEFAULT_BATCH_WIDTH,
 };
 use cat_core::{CatSystem, FaultFunnel};
 use defect::SizeDistribution;
+use diagnose::{Diagnoser, FaultDictionary};
 use extract::ExtractOptions;
 use lift::schematic::schematic_faults;
 use lift::{LiftOptions, LiftResult};
@@ -236,6 +239,74 @@ pub fn fig5_campaign_batched(
     (result, curve)
 }
 
+/// [`fig5_campaign_limited`] with diagnosis signature recording on:
+/// every successfully simulated fault's record carries its deviation
+/// trajectory, so the result can seed a fault dictionary. Signature
+/// recording needs the complete faulty waveform, so the campaign runs
+/// scalar and full-length (batching and fault dropping are bypassed by
+/// the builder).
+pub fn fig5_campaign_signed(
+    model: HardFaultModel,
+    max_faults: Option<usize>,
+) -> (CampaignResult, Vec<(f64, f64)>) {
+    let (sys, tb) = vco_system();
+    let mut builder = Campaign::builder()
+        .testbench(tb)
+        .tran(paper_tran())
+        .observe(OBSERVED_NODE)
+        .detection(DetectionSpec::paper_fig5())
+        .model(model)
+        .record_signatures(true);
+    if let Some(n) = max_faults {
+        builder = builder.max_faults(n);
+    }
+    let result = builder
+        .build()
+        .expect("paper campaign settings are complete")
+        .run(&sys.fault_list())
+        .expect("nominal simulation succeeds");
+    let curve = fig5_curve(&result);
+    (result, curve)
+}
+
+/// Probes every detected fault's own synthesized waveform back through
+/// the dictionary and counts how often its true ambiguity class lands
+/// at rank 1 (and within the first 3). On a self-consistent dictionary
+/// the probe reconstructs the stored trajectory to round-off, so `top1`
+/// must equal `queries` — the fig5 `--diagnose` acceptance check.
+pub fn self_diagnose(dict: &FaultDictionary, result: &CampaignResult) -> DiagnosisSummary {
+    let diagnoser = Diagnoser::new(dict);
+    let mut queries = 0;
+    let mut top1 = 0;
+    let mut top3 = 0;
+    for record in &result.records {
+        if !matches!(record.outcome, FaultOutcome::Detected { .. }) {
+            continue;
+        }
+        let Some(probe) = dict.probe_waves(record.fault.id) else {
+            continue;
+        };
+        let candidates = diagnoser
+            .rank(&probe)
+            .expect("probe waves name observed nodes");
+        queries += 1;
+        let hit = |c: &diagnose::Candidate| c.fault_ids.contains(&record.fault.id);
+        if candidates.first().is_some_and(hit) {
+            top1 += 1;
+        }
+        if candidates.iter().take(3).any(hit) {
+            top3 += 1;
+        }
+    }
+    DiagnosisSummary {
+        entries: dict.entries.len(),
+        classes: dict.classes.len(),
+        queries,
+        top1,
+        top3,
+    }
+}
+
 /// The Fig. 5 campaign as a serialisable [`anafault::CampaignSpec`] —
 /// what `fig5 --emit-spec` prints, and what the `anafault-serve` CI
 /// smoke job submits. The spec must round-trip through the netlist
@@ -246,6 +317,7 @@ pub fn fig5_campaign_spec(
     model: HardFaultModel,
     max_faults: Option<usize>,
     client: Option<String>,
+    signatures: bool,
 ) -> anafault::CampaignSpec {
     let (sys, tb) = vco_system();
     let tran = paper_tran();
@@ -258,6 +330,7 @@ pub fn fig5_campaign_spec(
         detection: DetectionSpec::paper_fig5(),
         model,
         early_stop: false,
+        record_signatures: signatures,
         max_faults,
         client,
         faults: sys.fault_list(),

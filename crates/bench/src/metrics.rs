@@ -39,6 +39,10 @@ pub const REQUIRED_COUNTERS: &[&str] = &[
     "anafault.serve.campaigns_resumed",
     "anafault.serve.faults_replayed",
     "anafault.serve.stream_bytes",
+    "anafault.diagnose.dictionaries_built",
+    "anafault.diagnose.entries",
+    "anafault.diagnose.classes",
+    "anafault.diagnose.rankings",
 ];
 
 /// Schema tag stamped into every run report.
@@ -56,6 +60,7 @@ pub struct Metrics {
     current: Option<(String, Instant)>,
     campaign: Option<CampaignReport>,
     batch: Option<BatchSummary>,
+    diagnosis: Option<DiagnosisSummary>,
 }
 
 /// The batching trajectory entry written into the run report: which
@@ -70,6 +75,23 @@ pub struct BatchSummary {
     /// Whether scalar and batched verdicts agreed on every fault
     /// (`None` without a baseline).
     pub verdicts_agree: Option<bool>,
+}
+
+/// The diagnosis entry written into the run report: dictionary size,
+/// ambiguity structure, and self-diagnosis accuracy. Produced by
+/// [`crate::self_diagnose`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiagnosisSummary {
+    /// Faults with recorded signatures (dictionary entries).
+    pub entries: usize,
+    /// Ambiguity classes after clustering indistinguishable faults.
+    pub classes: usize,
+    /// Detected faults probed back through the dictionary.
+    pub queries: usize,
+    /// Probes whose true ambiguity class ranked first.
+    pub top1: usize,
+    /// Probes whose true ambiguity class ranked in the first three.
+    pub top3: usize,
 }
 
 impl Metrics {
@@ -106,6 +128,7 @@ impl Metrics {
             current: None,
             campaign: None,
             batch: None,
+            diagnosis: None,
         }
     }
 
@@ -131,6 +154,11 @@ impl Metrics {
         self.batch = Some(batch);
     }
 
+    /// Attaches the fault-dictionary self-diagnosis summary.
+    pub fn attach_diagnosis(&mut self, diagnosis: DiagnosisSummary) {
+        self.diagnosis = Some(diagnosis);
+    }
+
     /// Closes the session: when `--metrics` was given, renders the run
     /// report and writes it to the requested path.
     pub fn finish(mut self) {
@@ -144,6 +172,7 @@ impl Metrics {
             &self.phases,
             self.campaign.as_ref(),
             self.batch,
+            self.diagnosis,
         );
         match std::fs::write(&path, report) {
             Ok(()) => eprintln!("metrics report written to {path}"),
@@ -172,6 +201,7 @@ pub fn render_report(
     phases: &[(String, f64)],
     campaign: Option<&CampaignReport>,
     batch: Option<BatchSummary>,
+    diagnosis: Option<DiagnosisSummary>,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -231,6 +261,15 @@ pub fn render_report(
             ));
         }
         None => s.push_str("  \"batch\": null,\n"),
+    }
+
+    match diagnosis {
+        Some(d) => s.push_str(&format!(
+            "  \"diagnosis\": {{\"entries\": {}, \"classes\": {}, \"queries\": {}, \
+             \"top1\": {}, \"top3\": {}}},\n",
+            d.entries, d.classes, d.queries, d.top1, d.top3
+        )),
+        None => s.push_str("  \"diagnosis\": null,\n"),
     }
 
     match campaign {

@@ -3,7 +3,7 @@
 
 use anafault::protocol::parse_json;
 use anafault::{Campaign, DetectionSpec, HardFaultModel};
-use bench::{render_report, BatchSummary, REPORT_SCHEMA, REQUIRED_COUNTERS};
+use bench::{render_report, BatchSummary, DiagnosisSummary, REPORT_SCHEMA, REQUIRED_COUNTERS};
 use spice::tran::TranSpec;
 use vco::OBSERVED_NODE;
 
@@ -30,7 +30,21 @@ fn report_contains_required_keys() {
         speedup: Some(2.5),
         verdicts_agree: Some(true),
     };
-    let text = render_report("smoke", 1.0, &phases, Some(&result.report()), Some(batch));
+    let diagnosis = DiagnosisSummary {
+        entries: 4,
+        classes: 3,
+        queries: 4,
+        top1: 4,
+        top3: 4,
+    };
+    let text = render_report(
+        "smoke",
+        1.0,
+        &phases,
+        Some(&result.report()),
+        Some(batch),
+        Some(diagnosis),
+    );
     let doc = parse_json(&text).expect("report is valid JSON");
 
     assert_eq!(
@@ -83,6 +97,22 @@ fn report_contains_required_keys() {
         .as_bool()
         .unwrap());
 
+    // The diagnosis entry round-trips through the report.
+    let diag_json = doc.field("diagnosis").expect("diagnosis object");
+    for (key, want) in [
+        ("entries", 4u64),
+        ("classes", 3),
+        ("queries", 4),
+        ("top1", 4),
+        ("top3", 4),
+    ] {
+        assert_eq!(
+            diag_json.field(key).unwrap().as_u64().unwrap(),
+            want,
+            "diagnosis key `{key}`"
+        );
+    }
+
     let campaign_json = doc.field("campaign").expect("campaign object");
     assert_eq!(
         campaign_json.field("faults").unwrap().as_u64().unwrap(),
@@ -109,15 +139,16 @@ fn report_contains_required_keys() {
 
 #[test]
 fn report_without_campaign_has_null_campaign() {
-    let text = render_report("empty", 0.0, &[], None, None);
+    let text = render_report("empty", 0.0, &[], None, None, None);
     let doc = parse_json(&text).expect("report is valid JSON");
     assert_eq!(
         doc.field("schema").unwrap().as_str().unwrap(),
         REPORT_SCHEMA
     );
-    // `campaign` and `batch` are present-but-null so consumers can
-    // distinguish "didn't run" from a truncated document.
+    // `campaign`, `batch` and `diagnosis` are present-but-null so
+    // consumers can distinguish "didn't run" from a truncated document.
     assert!(doc.get("campaign").is_some());
     assert!(doc.get("campaign").unwrap().as_f64().is_err());
     assert!(doc.get("batch").is_some());
+    assert!(doc.get("diagnosis").is_some());
 }

@@ -1,0 +1,641 @@
+//! Fault-dictionary diagnosis on top of the campaign engine.
+//!
+//! The source paper stops at fault *detection*: a fault is covered once
+//! its waveform leaves the tolerance band. But the campaign already
+//! computed every faulty waveform, so the same run can power *diagnosis*
+//! — mapping an observed waveform back to the faults that produce it,
+//! per the fault-trajectory matching idea of Savioli et al.
+//!
+//! The pipeline has three stages, mirroring the classic dictionary
+//! method from digital test adapted to analogue trajectories:
+//!
+//! 1. **Signature extraction** ([`extract_signature`]): the deviation
+//!    `faulty − nominal` on each observed node is resampled onto a
+//!    fixed-length uniform grid, and summarised by its divergence-onset
+//!    time, peak deviation and steady-state offset. The resampled
+//!    trajectory is the matching payload; the scalar features exist for
+//!    reporting and quick triage.
+//! 2. **Dictionary build** ([`FaultDictionary::build`]): signatures
+//!    whose pairwise trajectory distance stays below a threshold on
+//!    every observed node are *indistinguishable at the test's
+//!    resolution* — the analogue of fault collapsing. They are grouped
+//!    into ambiguity classes (connected components of the
+//!    below-threshold relation), so any entry in a different class is
+//!    strictly more than `threshold` away.
+//! 3. **Matching** ([`Diagnoser::rank`]): a measured waveform is
+//!    resampled onto the dictionary grid, its deviation from the stored
+//!    nominal computed, and every entry scored by a time-shift-tolerant
+//!    RMS distance. Classes are ranked by their best member's score.
+//!
+//! The crate is deliberately independent of `anafault`: it needs only
+//! [`spice::Wave`] and the telemetry registry, so the campaign crate
+//! can depend on it without a cycle.
+
+use spice::Wave;
+
+/// Default clustering/matching threshold: RMS volts of trajectory
+/// distance below which two faults are considered indistinguishable.
+pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+/// Default time-shift tolerance for matching, in grid steps each way.
+pub const DEFAULT_SHIFT_STEPS: usize = 2;
+
+/// Default resampled trajectory length.
+pub const DEFAULT_POINTS: usize = 64;
+
+/// How signatures are extracted: grid resolution and the deviation
+/// magnitude that counts as "diverged" for the onset feature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignatureSpec {
+    /// Samples in the fixed-length resampled trajectory.
+    pub points: usize,
+    /// |deviation| above this marks the divergence onset.
+    pub onset_eps: f64,
+}
+
+impl Default for SignatureSpec {
+    fn default() -> Self {
+        SignatureSpec {
+            points: DEFAULT_POINTS,
+            onset_eps: DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// The uniform resampling grid `[t0, t1]` with `points` samples.
+pub fn grid(t0: f64, t1: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a trajectory needs at least two samples");
+    (0..points)
+        .map(|i| t0 + (t1 - t0) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Samples a wave at each grid time via linear interpolation (clamped
+/// at the ends). At a time that is exactly one of the wave's own sample
+/// times the wave's stored value comes back bitwise — the property the
+/// probe-synthesis round trip relies on.
+pub fn resample(wave: &Wave, grid: &[f64]) -> Vec<f64> {
+    grid.iter().map(|&t| wave.value_at(t)).collect()
+}
+
+/// Per-node signature: the resampled deviation trajectory plus scalar
+/// features derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSignature {
+    /// `faulty − nominal`, resampled onto the dictionary grid.
+    pub trajectory: Vec<f64>,
+    /// Grid time of the first sample with |deviation| > onset_eps.
+    pub onset: Option<f64>,
+    /// max |deviation| over the trajectory.
+    pub peak_deviation: f64,
+    /// Mean deviation over the trailing eighth of the trajectory.
+    pub steady_state_offset: f64,
+}
+
+impl NodeSignature {
+    /// Builds a signature from an already-resampled deviation
+    /// trajectory; all scalar features derive purely from it.
+    pub fn from_trajectory(trajectory: Vec<f64>, grid: &[f64], onset_eps: f64) -> NodeSignature {
+        assert_eq!(trajectory.len(), grid.len());
+        let onset = trajectory
+            .iter()
+            .position(|d| d.abs() > onset_eps)
+            .map(|i| grid[i]);
+        let peak_deviation = trajectory.iter().fold(0.0f64, |m, d| m.max(d.abs()));
+        let tail = trajectory.len().div_ceil(8);
+        let steady_state_offset =
+            trajectory[trajectory.len() - tail..].iter().sum::<f64>() / tail as f64;
+        NodeSignature {
+            trajectory,
+            onset,
+            peak_deviation,
+            steady_state_offset,
+        }
+    }
+}
+
+/// One fault's signature: a [`NodeSignature`] per observed node, in the
+/// campaign's observed-node order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSignature {
+    pub nodes: Vec<NodeSignature>,
+}
+
+/// Extracts the signature of one fault on one node.
+pub fn extract_signature(
+    nominal: &Wave,
+    faulty: &Wave,
+    grid: &[f64],
+    onset_eps: f64,
+) -> NodeSignature {
+    let nom = resample(nominal, grid);
+    let fau = resample(faulty, grid);
+    let trajectory: Vec<f64> = fau.iter().zip(&nom).map(|(f, n)| f - n).collect();
+    NodeSignature::from_trajectory(trajectory, grid, onset_eps)
+}
+
+/// One dictionary row: a fault and its recorded signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryEntry {
+    /// The fault's campaign id.
+    pub fault_id: usize,
+    /// Human-readable fault label (e.g. `"BRI M1.D->M1.S"`).
+    pub label: String,
+    pub signature: FaultSignature,
+}
+
+/// A campaign's fault dictionary: the resampling grid, per-node nominal
+/// trajectories, every recorded signature and the ambiguity classes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDictionary {
+    /// Observed node names, defining the per-signature node order.
+    pub observed: Vec<String>,
+    /// Grid start time (the nominal transient's first sample).
+    pub t0: f64,
+    /// Grid end time (the nominal transient's last sample).
+    pub t1: f64,
+    /// Samples per trajectory.
+    pub points: usize,
+    /// Clustering/matching threshold (RMS volts).
+    pub threshold: f64,
+    /// Time-shift tolerance for matching, in grid steps each way.
+    pub shift_steps: usize,
+    /// Nominal waveform resampled onto the grid, one row per node.
+    pub nominal: Vec<Vec<f64>>,
+    pub entries: Vec<DictionaryEntry>,
+    /// Ambiguity classes: each is a sorted list of entry indices whose
+    /// members are pairwise connected by below-threshold distance.
+    pub classes: Vec<Vec<usize>>,
+}
+
+/// Dictionaries built (`FaultDictionary::build` calls).
+static DIAGNOSE_DICTIONARIES: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("anafault.diagnose.dictionaries_built");
+/// Signature entries aggregated into dictionaries.
+static DIAGNOSE_ENTRIES: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("anafault.diagnose.entries");
+/// Ambiguity classes produced by dictionary builds.
+static DIAGNOSE_CLASSES: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("anafault.diagnose.classes");
+/// Waveform rankings served (`Diagnoser::rank` calls).
+static DIAGNOSE_RANKINGS: cat_telemetry::StaticCounter =
+    cat_telemetry::StaticCounter::new("anafault.diagnose.rankings");
+
+impl FaultDictionary {
+    /// Assembles a dictionary from recorded signatures and clusters the
+    /// indistinguishable entries into ambiguity classes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build(
+        observed: Vec<String>,
+        t0: f64,
+        t1: f64,
+        points: usize,
+        threshold: f64,
+        shift_steps: usize,
+        nominal: Vec<Vec<f64>>,
+        entries: Vec<DictionaryEntry>,
+    ) -> FaultDictionary {
+        let mut dict = FaultDictionary {
+            observed,
+            t0,
+            t1,
+            points,
+            threshold,
+            shift_steps,
+            nominal,
+            entries,
+            classes: Vec::new(),
+        };
+        dict.classes = dict.cluster();
+        DIAGNOSE_DICTIONARIES.inc();
+        DIAGNOSE_ENTRIES.add(dict.entries.len() as u64);
+        DIAGNOSE_CLASSES.add(dict.classes.len() as u64);
+        dict
+    }
+
+    /// Connected components of the "distance ≤ threshold" relation.
+    /// Components are discovered in entry order and their members
+    /// sorted ascending, so the clustering is deterministic.
+    fn cluster(&self) -> Vec<Vec<usize>> {
+        let n = self.entries.len();
+        let mut assigned = vec![false; n];
+        let mut classes = Vec::new();
+        for seed in 0..n {
+            if assigned[seed] {
+                continue;
+            }
+            let mut members = vec![seed];
+            assigned[seed] = true;
+            let mut cursor = 0;
+            while cursor < members.len() {
+                let a = members[cursor];
+                cursor += 1;
+                for (b, taken) in assigned.iter_mut().enumerate() {
+                    if !*taken && self.entry_distance(a, b) <= self.threshold {
+                        *taken = true;
+                        members.push(b);
+                    }
+                }
+            }
+            members.sort_unstable();
+            classes.push(members);
+        }
+        classes
+    }
+
+    /// Max-over-nodes shift-tolerant distance between two entries.
+    fn entry_distance(&self, a: usize, b: usize) -> f64 {
+        let sa = &self.entries[a].signature;
+        let sb = &self.entries[b].signature;
+        sa.nodes
+            .iter()
+            .zip(&sb.nodes)
+            .map(|(na, nb)| shifted_distance(&na.trajectory, &nb.trajectory, self.shift_steps))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// The ambiguity class containing `entry_index`.
+    pub fn class_of(&self, entry_index: usize) -> Option<usize> {
+        self.classes
+            .iter()
+            .position(|class| class.contains(&entry_index))
+    }
+
+    /// The dictionary's resampling grid.
+    pub fn grid(&self) -> Vec<f64> {
+        grid(self.t0, self.t1, self.points)
+    }
+
+    /// Synthesises per-node probe waves that reproduce `fault_id`'s
+    /// recorded response: sample times exactly on the grid, values
+    /// `nominal + trajectory`. [`Wave::value_at`] is exact at sample
+    /// times, so ranking such a probe reconstructs the stored
+    /// trajectory up to one rounding step of `(n + d) − n` — a score
+    /// around 1e-16, many orders below any realistic threshold, which
+    /// pins the probe's own ambiguity class at rank 1. The
+    /// self-diagnosis acceptance check uses this.
+    pub fn probe_waves(&self, fault_id: usize) -> Option<Vec<(String, Wave)>> {
+        let entry = self.entries.iter().find(|e| e.fault_id == fault_id)?;
+        let grid = self.grid();
+        Some(
+            self.observed
+                .iter()
+                .zip(&self.nominal)
+                .zip(&entry.signature.nodes)
+                .map(|((name, nominal), node)| {
+                    let values: Vec<f64> = nominal
+                        .iter()
+                        .zip(&node.trajectory)
+                        .map(|(n, d)| n + d)
+                        .collect();
+                    (name.clone(), Wave::new(grid.clone(), values))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// RMS distance between two equal-length trajectories, minimised over
+/// integer grid shifts `s ∈ [−shift_steps, +shift_steps]` and computed
+/// over the overlapping window. Shift 0 over identical trajectories is
+/// exactly 0.
+pub fn shifted_distance(x: &[f64], y: &[f64], shift_steps: usize) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let n = x.len() as isize;
+    let s_max = (shift_steps as isize).min(n - 1);
+    let mut best = f64::INFINITY;
+    for s in -s_max..=s_max {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..n {
+            let j = i - s;
+            if j < 0 || j >= n {
+                continue;
+            }
+            let d = x[i as usize] - y[j as usize];
+            sum += d * d;
+            count += 1;
+        }
+        if count > 0 {
+            best = best.min((sum / count as f64).sqrt());
+        }
+    }
+    best
+}
+
+/// A ranked diagnosis candidate: one ambiguity class and its score
+/// (lower is better; 0 is an exact trajectory match).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Index into [`FaultDictionary::classes`].
+    pub class: usize,
+    /// Best member distance (RMS volts, shift-tolerant).
+    pub score: f64,
+    /// Fault ids of the class members.
+    pub fault_ids: Vec<usize>,
+    /// Labels of the class members, parallel to `fault_ids`.
+    pub labels: Vec<String>,
+}
+
+/// Errors from [`Diagnoser::rank`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagnoseError {
+    /// A provided wave names a node the dictionary never observed.
+    UnknownNode(String),
+    /// No provided wave matched any observed node.
+    NoObservedWaves,
+}
+
+impl std::fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagnoseError::UnknownNode(name) => {
+                write!(f, "wave names unobserved node `{name}`")
+            }
+            DiagnoseError::NoObservedWaves => write!(f, "no waves for any observed node"),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {}
+
+/// Matches measured waveforms against a [`FaultDictionary`].
+pub struct Diagnoser<'a> {
+    dict: &'a FaultDictionary,
+}
+
+impl<'a> Diagnoser<'a> {
+    pub fn new(dict: &'a FaultDictionary) -> Diagnoser<'a> {
+        Diagnoser { dict }
+    }
+
+    /// Ranks the dictionary's ambiguity classes against the provided
+    /// `(node, wave)` measurements. Waves for a subset of the observed
+    /// nodes are accepted (matching restricts itself to those nodes);
+    /// a wave naming an unobserved node is an error.
+    pub fn rank(&self, waves: &[(String, Wave)]) -> Result<Vec<Candidate>, DiagnoseError> {
+        let dict = self.dict;
+        let grid = dict.grid();
+        // Deviation trajectory per provided node, tagged with the
+        // observed-node index it belongs to.
+        let mut deviations: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (name, wave) in waves {
+            let k = dict
+                .observed
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| DiagnoseError::UnknownNode(name.clone()))?;
+            let resampled = resample(wave, &grid);
+            let deviation: Vec<f64> = resampled
+                .iter()
+                .zip(&dict.nominal[k])
+                .map(|(v, n)| v - n)
+                .collect();
+            deviations.push((k, deviation));
+        }
+        if deviations.is_empty() {
+            return Err(DiagnoseError::NoObservedWaves);
+        }
+
+        // Per-entry distance: max over the provided nodes.
+        let entry_score = |entry: &DictionaryEntry| -> f64 {
+            deviations
+                .iter()
+                .map(|(k, deviation)| {
+                    shifted_distance(
+                        deviation,
+                        &entry.signature.nodes[*k].trajectory,
+                        dict.shift_steps,
+                    )
+                })
+                .fold(0.0f64, f64::max)
+        };
+        let scores: Vec<f64> = dict.entries.iter().map(entry_score).collect();
+
+        let mut candidates: Vec<Candidate> = dict
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(class, members)| Candidate {
+                class,
+                score: members
+                    .iter()
+                    .map(|&i| scores[i])
+                    .fold(f64::INFINITY, f64::min),
+                fault_ids: members.iter().map(|&i| dict.entries[i].fault_id).collect(),
+                labels: members
+                    .iter()
+                    .map(|&i| dict.entries[i].label.clone())
+                    .collect(),
+            })
+            .collect();
+        candidates.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.class.cmp(&b.class))
+        });
+        DIAGNOSE_RANKINGS.inc();
+        Ok(candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(times: Vec<f64>, values: Vec<f64>) -> Wave {
+        Wave::new(times, values)
+    }
+
+    /// A nominal ramp and faulty variants with controlled deviations.
+    fn fixture() -> (Wave, Vec<(usize, &'static str, Wave)>) {
+        let times: Vec<f64> = (0..11).map(|i| i as f64).collect();
+        let nominal = wave(times.clone(), times.iter().map(|t| t * 0.1).collect());
+        let faults = vec![
+            // Fault 1: +1 V offset from t = 5 on.
+            (
+                1,
+                "late-offset-a",
+                wave(
+                    times.clone(),
+                    times
+                        .iter()
+                        .map(|&t| t * 0.1 + if t >= 5.0 { 1.0 } else { 0.0 })
+                        .collect(),
+                ),
+            ),
+            // Fault 2: nearly identical to fault 1 (indistinguishable).
+            (
+                2,
+                "late-offset-b",
+                wave(
+                    times.clone(),
+                    times
+                        .iter()
+                        .map(|&t| t * 0.1 + if t >= 5.0 { 1.01 } else { 0.0 })
+                        .collect(),
+                ),
+            ),
+            // Fault 3: −2 V offset everywhere — clearly distinct.
+            (
+                3,
+                "big-negative",
+                wave(times.clone(), times.iter().map(|t| t * 0.1 - 2.0).collect()),
+            ),
+            // Fault 4: no deviation at all (undetected fault).
+            (
+                4,
+                "invisible",
+                wave(times.clone(), times.iter().map(|t| t * 0.1).collect()),
+            ),
+        ];
+        (nominal, faults)
+    }
+
+    fn build_fixture_dict() -> FaultDictionary {
+        let (nominal, faults) = fixture();
+        let spec = SignatureSpec {
+            points: 16,
+            onset_eps: 0.5,
+        };
+        let grid = grid(0.0, 10.0, spec.points);
+        let entries: Vec<DictionaryEntry> = faults
+            .iter()
+            .map(|(id, label, faulty)| DictionaryEntry {
+                fault_id: *id,
+                label: label.to_string(),
+                signature: FaultSignature {
+                    nodes: vec![extract_signature(&nominal, faulty, &grid, spec.onset_eps)],
+                },
+            })
+            .collect();
+        FaultDictionary::build(
+            vec!["out".to_string()],
+            0.0,
+            10.0,
+            spec.points,
+            DEFAULT_THRESHOLD,
+            DEFAULT_SHIFT_STEPS,
+            vec![resample(&nominal, &grid)],
+            entries,
+        )
+    }
+
+    #[test]
+    fn signature_features_derive_from_trajectory() {
+        let (nominal, faults) = fixture();
+        let g = grid(0.0, 10.0, 11);
+        let sig = extract_signature(&nominal, &faults[0].2, &g, 0.5);
+        assert_eq!(sig.trajectory.len(), 11);
+        // Deviation is 0 before t = 5 and 1 after.
+        assert_eq!(sig.onset, Some(5.0));
+        assert!((sig.peak_deviation - 1.0).abs() < 1e-12);
+        // Trailing 2 samples (ceil(11/8)) are both 1.0.
+        assert!((sig.steady_state_offset - 1.0).abs() < 1e-12);
+        // The invisible fault has no onset and zero features.
+        let flat = extract_signature(&nominal, &faults[3].2, &g, 0.5);
+        assert_eq!(flat.onset, None);
+        assert_eq!(flat.peak_deviation, 0.0);
+        assert_eq!(flat.steady_state_offset, 0.0);
+    }
+
+    #[test]
+    fn grid_hits_both_endpoints() {
+        let g = grid(1.0, 3.0, 5);
+        assert_eq!(g.first(), Some(&1.0));
+        assert_eq!(g.last(), Some(&3.0));
+        assert_eq!(g.len(), 5);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn shifted_distance_is_zero_on_self_and_tolerates_shifts() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert_eq!(shifted_distance(&x, &x, 2), 0.0);
+        // A copy delayed by one grid step matches within the tolerance
+        // much better than with no shifts allowed.
+        let mut shifted = vec![x[0]];
+        shifted.extend_from_slice(&x[..31]);
+        let with = shifted_distance(&x, &shifted, 2);
+        let without = shifted_distance(&x, &shifted, 0);
+        assert!(with < without);
+        assert!(with < 1e-9, "one-step shift should align exactly: {with}");
+    }
+
+    #[test]
+    fn clustering_groups_indistinguishable_faults() {
+        let dict = build_fixture_dict();
+        assert_eq!(dict.entries.len(), 4);
+        // Faults 1 and 2 collapse; 3 and 4 stand alone.
+        assert_eq!(dict.classes.len(), 3);
+        assert_eq!(dict.classes[0], vec![0, 1]);
+        assert_eq!(dict.classes[1], vec![2]);
+        assert_eq!(dict.classes[2], vec![3]);
+        assert_eq!(dict.class_of(1), Some(0));
+        assert_eq!(dict.class_of(2), Some(1));
+    }
+
+    #[test]
+    fn probe_waves_rank_their_own_class_first_with_zero_score() {
+        let dict = build_fixture_dict();
+        let diagnoser = Diagnoser::new(&dict);
+        for entry in &dict.entries {
+            let probes = dict.probe_waves(entry.fault_id).expect("probe");
+            let ranked = diagnoser.rank(&probes).expect("rank");
+            assert_eq!(ranked.len(), dict.classes.len());
+            assert!(
+                ranked[0].fault_ids.contains(&entry.fault_id),
+                "fault {} not top-1: {:?}",
+                entry.fault_id,
+                ranked[0]
+            );
+            // The probe reconstructs the stored trajectory up to one
+            // rounding step of (n + d) − n per sample.
+            assert!(
+                ranked[0].score < 1e-12,
+                "probe should match almost exactly: {}",
+                ranked[0].score
+            );
+            // The runner-up is strictly worse than the threshold —
+            // cross-class entries are never within it.
+            assert!(ranked[1].score > dict.threshold);
+        }
+    }
+
+    #[test]
+    fn rank_rejects_unknown_and_empty_wave_sets() {
+        let dict = build_fixture_dict();
+        let diagnoser = Diagnoser::new(&dict);
+        let g = dict.grid();
+        let bogus = vec![(
+            "ghost".to_string(),
+            Wave::new(g.clone(), vec![0.0; g.len()]),
+        )];
+        assert_eq!(
+            diagnoser.rank(&bogus),
+            Err(DiagnoseError::UnknownNode("ghost".to_string()))
+        );
+        assert_eq!(diagnoser.rank(&[]), Err(DiagnoseError::NoObservedWaves));
+    }
+
+    #[test]
+    fn counters_register_dictionary_and_ranking_activity() {
+        cat_telemetry::set_enabled(true);
+        let before = cat_telemetry::global().counter_values();
+        let dict = build_fixture_dict();
+        let _ = Diagnoser::new(&dict).rank(&dict.probe_waves(1).unwrap());
+        let after = cat_telemetry::global().counter_values();
+        let delta = |name: &str| {
+            after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+        };
+        // Other tests in this binary share the global registry, so the
+        // deltas are lower bounds, not exact counts.
+        assert!(delta("anafault.diagnose.dictionaries_built") >= 1);
+        assert!(delta("anafault.diagnose.entries") >= 4);
+        assert!(delta("anafault.diagnose.classes") >= 3);
+        assert!(delta("anafault.diagnose.rankings") >= 1);
+    }
+}

@@ -7,6 +7,9 @@
 //! anafault-cli result  --addr HOST:PORT --id c1 [--wait SECS] [--out result.json]
 //! anafault-cli direct  --spec spec.json [--out result.json]
 //! anafault-cli diff    a.json b.json
+//! anafault-cli dict    --addr HOST:PORT --id c1 [--out dict.json]
+//! anafault-cli probe   dict.json <fault-id|first> --out probe.json
+//! anafault-cli diagnose --addr HOST:PORT --id c1 --wave probe.json [--expect N]
 //! anafault-cli metrics --addr HOST:PORT
 //! anafault-cli health  --addr HOST:PORT
 //! ```
@@ -15,9 +18,13 @@
 //! reference a served result must match bit-for-bit on verdicts; `diff`
 //! performs that comparison (ignoring wall-clock fields) and exits 1 on
 //! any mismatch. Together they are the acceptance check CI uses for the
-//! kill-and-resume flow.
+//! kill-and-resume flow. `dict`/`probe`/`diagnose` drive the fault
+//! dictionary: build it from a finished campaign, synthesize a probe
+//! waveform from a recorded signature, and rank it — `--expect` turns
+//! the last step into a self-diagnosis acceptance check (exit 1 when
+//! the expected fault is not in the top-ranked ambiguity class).
 
-use anafault::protocol::{self, CampaignSpec, StreamEvent};
+use anafault::protocol::{self, CampaignSpec, DiagnoseRequest, StreamEvent};
 use anafault::CampaignResult;
 use serve::http;
 use std::process::ExitCode;
@@ -32,15 +39,22 @@ commands:
   result   fetch a finished campaign's result (--wait SECS polls)
   direct   run the spec in-process (no daemon); the reference result
   diff     compare two result documents, ignoring timings; exit 1 on mismatch
+  dict     build + persist a finished campaign's fault dictionary
+  probe    synthesize a probe waveform file from a dictionary entry;
+           prints the fault id (use `first` to pick the first entry)
+  diagnose rank a waveform file against a campaign's dictionary;
+           --expect N exits 1 unless fault N tops the ranking
   metrics  print the daemon's counter snapshot
   health   check the daemon is up
 
 flags:
-  --addr HOST:PORT   daemon address (submit/tail/run/result/metrics/health)
+  --addr HOST:PORT   daemon address (submit/tail/run/result/dict/diagnose/metrics/health)
   --spec FILE        campaign spec document (submit/run/direct)
-  --id ID            campaign id (tail/result)
-  --out FILE         write the result document here (run/result/direct)
+  --id ID            campaign id (tail/result/dict/diagnose)
+  --out FILE         write the output document here (run/result/direct/dict/probe)
   --wait SECS        poll for up to SECS until the result is ready (result)
+  --wave FILE        waveform document to diagnose (diagnose)
+  --expect N         fault id that must top the ranking (diagnose)
 ";
 
 struct Args {
@@ -49,6 +63,8 @@ struct Args {
     id: Option<String>,
     out: Option<String>,
     wait: Option<u64>,
+    wave: Option<String>,
+    expect: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -59,6 +75,8 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
         id: None,
         out: None,
         wait: None,
+        wave: None,
+        expect: None,
         positional: Vec::new(),
     };
     let mut it = raw.iter();
@@ -78,6 +96,14 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
                     value("--wait")?
                         .parse()
                         .map_err(|_| "--wait needs an integer".to_string())?,
+                );
+            }
+            "--wave" => args.wave = Some(value("--wave")?),
+            "--expect" => {
+                args.expect = Some(
+                    value("--expect")?
+                        .parse()
+                        .map_err(|_| "--expect needs a fault id".to_string())?,
                 );
             }
             "--help" | "-h" => {
@@ -248,14 +274,21 @@ fn run_command(command: &str, args: &Args) -> Result<ExitCode, String> {
             Ok(ExitCode::SUCCESS)
         }
         "direct" => {
-            let spec = load_spec(need(&args.spec, "--spec")?)?;
+            let mut spec = load_spec(need(&args.spec, "--spec")?)?;
+            // Same admission-time dedup the daemon applies, so direct
+            // and served runs of one spec stay verdict-comparable.
+            let deduped = spec.dedup_faults();
+            if deduped > 0 {
+                eprintln!("dropped {deduped} duplicate fault(s)");
+            }
             let campaign = spec
                 .build_campaign()
                 .map_err(|e| format!("bad campaign: {e}"))?;
-            let result = campaign
+            let mut result = campaign
                 .session(&spec.faults)
                 .run()
                 .map_err(|e| format!("campaign failed: {e}"))?;
+            result.telemetry.deduped_faults = deduped;
             write_out(&args.out, &protocol::to_json(&result))?;
             Ok(ExitCode::SUCCESS)
         }
@@ -278,6 +311,95 @@ fn run_command(command: &str, args: &Args) -> Result<ExitCode, String> {
                 }
                 Ok(ExitCode::FAILURE)
             }
+        }
+        "dict" => {
+            let addr = need(&args.addr, "--addr")?;
+            let id = need(&args.id, "--id")?;
+            let (status, body) =
+                http::request(addr, "POST", &format!("/campaigns/{id}/dictionary"), None)
+                    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+            if status != 201 {
+                return Err(format!(
+                    "dictionary build rejected ({status}): {}",
+                    body.trim()
+                ));
+            }
+            write_out(&args.out, &body)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "probe" => {
+            let [dict_path, which] = args.positional.as_slice() else {
+                return Err("probe needs a dictionary file and a fault id (or `first`)".to_string());
+            };
+            let text = std::fs::read_to_string(dict_path)
+                .map_err(|e| format!("cannot read dictionary {dict_path}: {e}"))?;
+            let dict = protocol::dictionary_from_json(&text)
+                .map_err(|e| format!("bad dictionary {dict_path}: {e}"))?;
+            let fault_id = if which == "first" {
+                dict.entries
+                    .first()
+                    .ok_or_else(|| "dictionary has no entries".to_string())?
+                    .fault_id
+            } else {
+                which
+                    .parse()
+                    .map_err(|_| format!("`{which}` is not a fault id (or `first`)"))?
+            };
+            let waves = dict
+                .probe_waves(fault_id)
+                .ok_or_else(|| format!("fault {fault_id} is not in the dictionary"))?;
+            // The campaign tag is filled in by `diagnose --id`.
+            let request = DiagnoseRequest {
+                campaign: String::new(),
+                waves,
+            };
+            let out = need(&args.out, "--out")?;
+            std::fs::write(out, request.to_json())
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("{fault_id}");
+            Ok(ExitCode::SUCCESS)
+        }
+        "diagnose" => {
+            let addr = need(&args.addr, "--addr")?;
+            let id = need(&args.id, "--id")?;
+            let wave_path = need(&args.wave, "--wave")?;
+            let text = std::fs::read_to_string(wave_path)
+                .map_err(|e| format!("cannot read waves {wave_path}: {e}"))?;
+            let mut request = DiagnoseRequest::from_json(&text)
+                .map_err(|e| format!("bad wave document {wave_path}: {e}"))?;
+            request.campaign = id.to_string();
+            let mut first = None;
+            let status = http::stream_request(
+                addr,
+                "POST",
+                "/diagnose",
+                Some(&request.to_json()),
+                |line| {
+                    println!("{line}");
+                    if first.is_none() {
+                        first = Some(line.to_string());
+                    }
+                    Ok(())
+                },
+            )
+            .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+            if status != 200 {
+                return Err(format!("diagnosis rejected ({status})"));
+            }
+            let first = first.ok_or_else(|| "daemon returned no candidates".to_string())?;
+            let (_, top) = protocol::candidate_from_json(&first)
+                .map_err(|e| format!("bad candidate line: {e}"))?;
+            if let Some(expected) = args.expect {
+                if !top.fault_ids.contains(&expected) {
+                    eprintln!(
+                        "fault {expected} is not in the top-ranked ambiguity class {:?}",
+                        top.fault_ids
+                    );
+                    return Ok(ExitCode::FAILURE);
+                }
+                eprintln!("top-1 ambiguity class contains fault {expected}");
+            }
+            Ok(ExitCode::SUCCESS)
         }
         "metrics" => {
             let (status, body) =

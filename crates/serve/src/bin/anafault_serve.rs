@@ -21,6 +21,8 @@ usage: anafault-serve [flags]
   --http-workers N      HTTP handler threads (default 8)
   --max-campaigns N     concurrent running campaigns before 429 (default 8)
   --fault-budget N      per-client in-flight fault cap before 429 (default 100000)
+  --retain N            keep only the N most recent completed campaigns'
+                        state files (default: keep everything)
   --help                print this help
 ";
 
@@ -58,6 +60,13 @@ fn parse_config(args: &[String]) -> Result<ServerConfig, String> {
                 config.client_fault_budget = value("--fault-budget")?
                     .parse()
                     .map_err(|_| "--fault-budget needs an integer".to_string())?;
+            }
+            "--retain" => {
+                config.retain = Some(
+                    value("--retain")?
+                        .parse()
+                        .map_err(|_| "--retain needs an integer".to_string())?,
+                );
             }
             "--help" | "-h" => {
                 print!("{USAGE}");

@@ -106,6 +106,7 @@ mod tests {
             sim_seconds: 0.25 * id as f64,
             newton_iterations: 10 * id as u64,
             telemetry: FaultTelemetry::default(),
+            signature: None,
         }
     }
 

@@ -28,6 +28,7 @@ use anafault::campaign::CampaignProgress;
 use anafault::protocol::{self, CampaignSpec};
 use anafault::{Fault, FaultRecord, PreparedCampaign};
 use cat_telemetry::json::quote;
+use diagnose::Diagnoser;
 use std::collections::{BTreeMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, BufReader};
@@ -56,6 +57,11 @@ pub struct ServerConfig {
     /// admission above this answers 429. Campaigns without a `client`
     /// share the anonymous bucket.
     pub client_fault_budget: usize,
+    /// State-dir retention: keep the checkpoints, results and
+    /// dictionaries of the `n` most recent *completed* campaigns and
+    /// delete the rest — applied at startup and whenever a campaign
+    /// completes. `None` keeps everything.
+    pub retain: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +73,7 @@ impl Default for ServerConfig {
             http_workers: 8,
             max_campaigns: 8,
             client_fault_budget: 100_000,
+            retain: None,
         }
     }
 }
@@ -88,6 +95,9 @@ struct CampaignRun {
     progress: Mutex<RunProgress>,
     /// Records replayed from the checkpoint at admission.
     replayed: u64,
+    /// Duplicate fault entries trimmed from the spec at admission,
+    /// patched into the final result's telemetry.
+    deduped: u64,
     resumed: bool,
     started: Instant,
     log: EventLog,
@@ -174,6 +184,7 @@ impl Server {
             next_id: AtomicUsize::new(1),
         });
         inner.resume_state_dir()?;
+        inner.gc_state_dir();
         for _ in 0..sim_workers {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || inner.sim_worker_loop());
@@ -217,6 +228,10 @@ impl Inner {
 
     fn result_path(&self, id: &str) -> PathBuf {
         self.config.state_dir.join(format!("{id}.result.json"))
+    }
+
+    fn dict_path(&self, id: &str) -> PathBuf {
+        self.config.state_dir.join(format!("{id}.dict.json"))
     }
 
     // -----------------------------------------------------------------
@@ -275,9 +290,10 @@ impl Inner {
         };
         // Wall-clock here spans this process's share of the campaign
         // only; a resumed campaign's pre-kill time is not recoverable.
-        let result =
+        let mut result =
             run.prepared
                 .finish(records, run.replayed, run.started.elapsed().as_secs_f64());
+        result.telemetry.deduped_faults = run.deduped;
         let text = protocol::to_json(&result);
         let path = self.result_path(&run.id);
         let tmp = self.config.state_dir.join(format!("{}.result.tmp", run.id));
@@ -285,15 +301,64 @@ impl Inner {
         if let Err(e) = written {
             eprintln!("anafault-serve: result write failed for {}: {e}", run.id);
         }
+        // Flip the phase before closing the stream: a client that sees
+        // the stream end must never read "still running" (409) from the
+        // result endpoint afterwards.
+        *run.phase.lock().expect("phase poisoned") = CampaignPhase::Done;
         run.log.push(protocol::result_event_json(&result));
         run.log.close();
-        *run.phase.lock().expect("phase poisoned") = CampaignPhase::Done;
-        let mut quota = self.quota.lock().expect("quota poisoned");
-        quota.running_campaigns = quota.running_campaigns.saturating_sub(1);
-        if let Some(n) = quota.client_faults.get_mut(&run.client) {
-            *n = n.saturating_sub(run.faults.len());
-            if *n == 0 {
-                quota.client_faults.remove(&run.client);
+        {
+            let mut quota = self.quota.lock().expect("quota poisoned");
+            quota.running_campaigns = quota.running_campaigns.saturating_sub(1);
+            if let Some(n) = quota.client_faults.get_mut(&run.client) {
+                *n = n.saturating_sub(run.faults.len());
+                if *n == 0 {
+                    quota.client_faults.remove(&run.client);
+                }
+            }
+        }
+        self.gc_state_dir();
+    }
+
+    /// Applies the retention policy: the `retain` most recent completed
+    /// campaigns (by numeric id) keep their state files; older completed
+    /// ones lose spec, checkpoint, result and dictionary, and leave the
+    /// in-memory table. Running campaigns and ids outside the daemon's
+    /// `cN` scheme are never touched.
+    fn gc_state_dir(&self) {
+        let Some(retain) = self.config.retain else {
+            return;
+        };
+        let Ok(dir) = fs::read_dir(&self.config.state_dir) else {
+            return;
+        };
+        let mut done: Vec<(usize, String)> = Vec::new();
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = name.strip_suffix(".result.json") else {
+                continue;
+            };
+            if let Some(n) = id.strip_prefix('c').and_then(|n| n.parse::<usize>().ok()) {
+                done.push((n, id.to_string()));
+            }
+        }
+        done.sort_unstable_by_key(|d| std::cmp::Reverse(d.0));
+        let mut campaigns = self.campaigns.lock().expect("campaigns poisoned");
+        for (_, id) in done.into_iter().skip(retain) {
+            for path in [
+                self.spec_path(&id),
+                self.checkpoint_path(&id),
+                self.result_path(&id),
+                self.dict_path(&id),
+            ] {
+                fs::remove_file(path).ok();
+            }
+            if campaigns
+                .get(&id)
+                .is_some_and(|run| run.phase() == CampaignPhase::Done)
+            {
+                campaigns.remove(&id);
             }
         }
     }
@@ -301,6 +366,7 @@ impl Inner {
     /// Registers a prepared campaign, replays checkpointed records,
     /// rewrites the checkpoint to a clean prefix and queues the
     /// remaining faults. Quota must already be reserved.
+    #[allow(clippy::too_many_arguments)]
     fn launch(
         self: &Arc<Self>,
         id: String,
@@ -308,6 +374,7 @@ impl Inner {
         faults: Vec<Fault>,
         prepared: PreparedCampaign,
         replayed_records: &[FaultRecord],
+        deduped: u64,
         resumed: bool,
     ) -> io::Result<Arc<CampaignRun>> {
         let total = faults.len();
@@ -358,6 +425,7 @@ impl Inner {
                 checkpoint: checkpoint_file,
             }),
             replayed,
+            deduped,
             resumed,
             started: Instant::now(),
             log,
@@ -411,8 +479,11 @@ impl Inner {
 
     fn resume_one(self: &Arc<Self>, id: &str) -> io::Result<()> {
         let text = fs::read_to_string(self.spec_path(id))?;
-        let spec = CampaignSpec::from_json(&text)
+        let mut spec = CampaignSpec::from_json(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Specs are persisted post-dedup, so this is a no-op for the
+        // daemon's own files — it matters only for hand-placed specs.
+        let deduped = spec.dedup_faults();
         let campaign = spec
             .build_campaign()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -435,6 +506,7 @@ impl Inner {
             faults,
             prepared,
             &replay.records,
+            deduped,
             true,
         )?;
         Ok(())
@@ -532,7 +604,9 @@ impl Inner {
             ("GET", ["campaigns", id]) => self.status(id, out),
             ("GET", ["campaigns", id, "events"]) => self.events(id, out),
             ("GET", ["campaigns", id, "result"]) => self.result(id, out),
-            (_, ["healthz" | "metrics" | "campaigns", ..]) => {
+            ("POST", ["campaigns", id, "dictionary"]) => self.build_dict(id, out),
+            ("POST", ["diagnose"]) => self.diagnose(&request.body, out),
+            (_, ["healthz" | "metrics" | "campaigns" | "diagnose", ..]) => {
                 http::respond_json(out, 405, "{\"error\": \"method not allowed\"}\n")
             }
             _ => http::respond_json(out, 404, "{\"error\": \"no such endpoint\"}\n"),
@@ -552,13 +626,25 @@ impl Inner {
     }
 
     fn submit(self: &Arc<Self>, body: &str, out: &mut TcpStream) -> io::Result<()> {
-        let spec = match CampaignSpec::from_json(body) {
+        let mut spec = match CampaignSpec::from_json(body) {
             Ok(spec) => spec,
             Err(e) => {
                 let body = format!("{{\"error\": {}}}\n", quote(&e.to_string()));
                 return http::respond_json(out, 400, &body);
             }
         };
+        if let Some(tag) = &spec.client {
+            if !valid_client_tag(tag) {
+                return http::respond_json(
+                    out,
+                    422,
+                    "{\"error\": \"client tag must be 1-64 printable ASCII bytes\"}\n",
+                );
+            }
+        }
+        // Dedup before the spec is persisted, so a resume of this
+        // campaign replays exactly the admitted fault list.
+        let deduped = spec.dedup_faults();
         let client = spec.client.clone().unwrap_or_default();
         let budgeted = spec
             .max_faults
@@ -576,8 +662,16 @@ impl Inner {
                 .prepare()
                 .map_err(|e| format!("nominal simulation failed: {e}"))?;
             let faults = prepared.budgeted(&spec.faults).to_vec();
-            self.launch(id.clone(), client.clone(), faults, prepared, &[], false)
-                .map_err(|e| e.to_string())
+            self.launch(
+                id.clone(),
+                client.clone(),
+                faults,
+                prepared,
+                &[],
+                deduped,
+                false,
+            )
+            .map_err(|e| e.to_string())
         })();
         match admitted {
             Ok(run) => {
@@ -699,4 +793,89 @@ impl Inner {
             Err(_) => http::respond_json(out, 404, "{\"error\": \"no such campaign\"}\n"),
         }
     }
+
+    /// `POST /campaigns/<id>/dictionary`: builds the fault dictionary
+    /// from the campaign's result document, persists it next to the
+    /// result (tmp + rename, like the result itself) and returns it.
+    fn build_dict(&self, id: &str, out: &mut TcpStream) -> io::Result<()> {
+        if let Some(run) = self.find(id) {
+            if run.phase() != CampaignPhase::Done {
+                let body = format!(
+                    "{{\"error\": \"campaign still running\", \"completed\": {}, \"total\": {}}}\n",
+                    run.completed(),
+                    run.faults.len()
+                );
+                return http::respond_json(out, 409, &body);
+            }
+        }
+        let text = match fs::read_to_string(self.result_path(id)) {
+            Ok(text) => text,
+            Err(_) => {
+                return http::respond_json(out, 404, "{\"error\": \"no such campaign\"}\n");
+            }
+        };
+        let result = protocol::from_json(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let dict = match anafault::build_dictionary(&result) {
+            Ok(dict) => dict,
+            Err(e) => {
+                let body = format!("{{\"error\": {}}}\n", quote(&e.to_string()));
+                return http::respond_json(out, 422, &body);
+            }
+        };
+        let doc = protocol::dictionary_to_json(&dict);
+        let tmp = self.config.state_dir.join(format!("{id}.dict.tmp"));
+        let written = fs::write(&tmp, &doc).and_then(|()| fs::rename(&tmp, self.dict_path(id)));
+        if let Err(e) = written {
+            eprintln!("anafault-serve: dictionary write failed for {id}: {e}");
+            let body = format!("{{\"error\": {}}}\n", quote(&e.to_string()));
+            return http::respond_json(out, 500, &body);
+        }
+        http::respond_json(out, 201, &doc)
+    }
+
+    /// `POST /diagnose`: ranks the request's waveforms against a
+    /// previously built (and persisted) dictionary, streaming one
+    /// NDJSON candidate line per ambiguity class, best match first.
+    fn diagnose(&self, body: &str, out: &mut TcpStream) -> io::Result<()> {
+        let request = match protocol::DiagnoseRequest::from_json(body) {
+            Ok(request) => request,
+            Err(e) => {
+                let body = format!("{{\"error\": {}}}\n", quote(&e.to_string()));
+                return http::respond_json(out, 400, &body);
+            }
+        };
+        let text = match fs::read_to_string(self.dict_path(&request.campaign)) {
+            Ok(text) => text,
+            Err(_) => {
+                return http::respond_json(
+                    out,
+                    404,
+                    "{\"error\": \"no dictionary for campaign; POST /campaigns/<id>/dictionary first\"}\n",
+                );
+            }
+        };
+        let dict = protocol::dictionary_from_json(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let ranked = match Diagnoser::new(&dict).rank(&request.waves) {
+            Ok(ranked) => ranked,
+            Err(e) => {
+                let body = format!("{{\"error\": {}}}\n", quote(&e.to_string()));
+                return http::respond_json(out, 422, &body);
+            }
+        };
+        let mut stream = ChunkedStream::start(out)?;
+        for (k, candidate) in ranked.iter().enumerate() {
+            let line = protocol::candidate_json(k + 1, candidate);
+            crate::SERVE_STREAM_BYTES.add(stream.send_line(&line)?);
+        }
+        crate::SERVE_STREAM_BYTES.add(stream.finish()?);
+        Ok(())
+    }
+}
+
+/// Client tags land in quota tables, log lines and state-dir metadata;
+/// keep them short and plainly printable.
+fn valid_client_tag(tag: &str) -> bool {
+    !tag.is_empty() && tag.len() <= 64 && tag.bytes().all(|b| (0x20..=0x7e).contains(&b))
 }

@@ -1,0 +1,268 @@
+//! Dictionary build, diagnosis round-trip and state-dir retention over
+//! real sockets: run a signature-recording campaign, build its fault
+//! dictionary through `POST /campaigns/<id>/dictionary`, feed each
+//! detected fault's own synthesized probe back through `POST /diagnose`
+//! and demand rank 1, then restart the daemon with `--retain`-style
+//! config and check the GC sweep.
+
+use anafault::coverage::DetectionSpec;
+use anafault::inject::HardFaultModel;
+use anafault::protocol::{self, CampaignSpec, DiagnoseRequest};
+use anafault::{Fault, FaultEffect, FaultOutcome};
+use serve::http;
+use serve::{Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn ladder_spec() -> CampaignSpec {
+    CampaignSpec {
+        netlist: "rc ladder testbench\n\
+                  V1 in 0 pulse(0 5 0 1u 1u 40u 100u)\n\
+                  R1 in n1 1k\n\
+                  C1 n1 0 1n ic=0\n\
+                  R2 n1 out 2k\n\
+                  C2 out 0 2n ic=0\n\
+                  .end\n"
+            .to_string(),
+        tstep: 0.5e-6,
+        tstop: 50e-6,
+        uic: true,
+        observe: vec!["out".to_string()],
+        detection: DetectionSpec {
+            v_tol: 1.0,
+            t_tol: 1e-6,
+        },
+        model: HardFaultModel::paper_resistor(),
+        early_stop: false,
+        record_signatures: true,
+        max_faults: None,
+        client: Some("diagnosis".to_string()),
+        faults: vec![
+            Fault::new(
+                1,
+                "BRI in->out",
+                FaultEffect::Short {
+                    a: "in".into(),
+                    b: "out".into(),
+                },
+            ),
+            Fault::new(
+                2,
+                "BRI out->gnd",
+                FaultEffect::Short {
+                    a: "out".into(),
+                    b: "0".into(),
+                },
+            ),
+            Fault::new(
+                3,
+                "SOFT R1 x10",
+                FaultEffect::ParamDeviation {
+                    element: "R1".into(),
+                    factor: 10.0,
+                },
+            ),
+        ],
+    }
+}
+
+fn temp_state_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("anafault-serve-diag-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn config(dir: &Path, retain: Option<usize>) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        state_dir: dir.to_path_buf(),
+        sim_workers: 2,
+        http_workers: 4,
+        max_campaigns: 8,
+        client_fault_budget: 100_000,
+        retain,
+    }
+}
+
+/// Submits `spec` and blocks until its result document is served.
+fn run_campaign(addr: &str, spec: &CampaignSpec) -> (String, String) {
+    let (status, body) =
+        http::request(addr, "POST", "/campaigns", Some(&spec.to_json())).expect("submit");
+    assert_eq!(status, 201, "submit failed: {body}");
+    let id = body
+        .split('"')
+        .nth(3)
+        .expect("admission body names the id")
+        .to_string();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let text = loop {
+        let (status, text) =
+            http::request(addr, "GET", &format!("/campaigns/{id}/result"), None).expect("result");
+        if status == 200 {
+            break text;
+        }
+        assert!(Instant::now() < deadline, "campaign {id} did not finish");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    (id, text)
+}
+
+#[test]
+fn dictionary_build_and_self_diagnosis_round_trip() {
+    cat_telemetry::set_enabled(true);
+    let dir = temp_state_dir("roundtrip");
+    let server = Server::start(config(&dir, None)).expect("server starts");
+    let addr = server.addr().to_string();
+    let spec = ladder_spec();
+
+    // Building a dictionary for an unknown campaign is 404; a malformed
+    // diagnosis request is 400; diagnosing without a dictionary is 404.
+    let (status, _) =
+        http::request(&addr, "POST", "/campaigns/c99/dictionary", None).expect("dict");
+    assert_eq!(status, 404);
+    let (status, _) = http::request(&addr, "POST", "/diagnose", Some("{")).expect("diagnose");
+    assert_eq!(status, 400);
+    let probe_less = DiagnoseRequest {
+        campaign: "c99".to_string(),
+        waves: vec![(
+            "out".to_string(),
+            spice::Wave::new(vec![0.0, 1e-6], vec![0.0, 0.0]),
+        )],
+    };
+    let (status, body) =
+        http::request(&addr, "POST", "/diagnose", Some(&probe_less.to_json())).expect("diagnose");
+    assert_eq!(status, 404, "no dictionary yet: {body}");
+
+    let (id, result_text) = run_campaign(&addr, &spec);
+    let result = protocol::from_json(&result_text).expect("result parses");
+
+    // Build and persist the dictionary.
+    let (status, dict_text) =
+        http::request(&addr, "POST", &format!("/campaigns/{id}/dictionary"), None)
+            .expect("dictionary");
+    assert_eq!(status, 201, "dictionary build failed: {dict_text}");
+    let dict = protocol::dictionary_from_json(&dict_text).expect("dictionary parses");
+    let on_disk =
+        std::fs::read_to_string(dir.join(format!("{id}.dict.json"))).expect("dict persisted");
+    assert_eq!(protocol::dictionary_from_json(&on_disk).unwrap(), dict);
+
+    // Every detected fault's own probe must come back rank 1.
+    let detected: Vec<usize> = result
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, FaultOutcome::Detected { .. }))
+        .map(|r| r.fault.id)
+        .collect();
+    assert!(!detected.is_empty(), "ladder campaign detects faults");
+    for fault_id in detected {
+        let probe = dict
+            .probe_waves(fault_id)
+            .expect("detected faults are in the dictionary");
+        let request = DiagnoseRequest {
+            campaign: id.clone(),
+            waves: probe,
+        };
+        let mut lines = Vec::new();
+        let status = http::stream_request(
+            &addr,
+            "POST",
+            "/diagnose",
+            Some(&request.to_json()),
+            |line| {
+                lines.push(line.to_string());
+                Ok(())
+            },
+        )
+        .expect("diagnose stream");
+        assert_eq!(status, 200);
+        assert_eq!(lines.len(), dict.classes.len(), "one line per class");
+        let (rank, top) = protocol::candidate_from_json(&lines[0]).expect("candidate parses");
+        assert_eq!(rank, 1);
+        assert!(
+            top.fault_ids.contains(&fault_id),
+            "fault {fault_id} not top-1: {:?}",
+            top
+        );
+    }
+
+    // A wave naming an unobserved node is 422.
+    let bad = DiagnoseRequest {
+        campaign: id.clone(),
+        waves: vec![(
+            "n1".to_string(),
+            spice::Wave::new(vec![0.0, 1e-6], vec![0.0, 0.0]),
+        )],
+    };
+    let (status, body) =
+        http::request(&addr, "POST", "/diagnose", Some(&bad.to_json())).expect("diagnose");
+    assert_eq!(status, 422, "unknown node should be rejected: {body}");
+
+    // A campaign without signatures cannot seed a dictionary: 422.
+    let mut unsigned = spec.clone();
+    unsigned.record_signatures = false;
+    let (plain_id, _) = run_campaign(&addr, &unsigned);
+    let (status, body) = http::request(
+        &addr,
+        "POST",
+        &format!("/campaigns/{plain_id}/dictionary"),
+        None,
+    )
+    .expect("dictionary");
+    assert_eq!(status, 422, "unsigned campaign: {body}");
+    assert!(body.contains("record_signatures"), "reason: {body}");
+}
+
+#[test]
+fn retention_keeps_only_the_most_recent_completed_campaigns() {
+    cat_telemetry::set_enabled(true);
+    let dir = temp_state_dir("retain");
+    let mut spec = ladder_spec();
+    spec.max_faults = Some(1);
+
+    // Three completed campaigns under retain=2: the GC that runs on
+    // each completion deletes the oldest one's files.
+    let server = Server::start(config(&dir, Some(2))).expect("server starts");
+    let addr = server.addr().to_string();
+    let (id1, _) = run_campaign(&addr, &spec);
+    let (_, dict1) = http::request(&addr, "POST", &format!("/campaigns/{id1}/dictionary"), None)
+        .expect("dictionary");
+    assert!(dict1.contains("dict_version"));
+    let (id2, _) = run_campaign(&addr, &spec);
+    let (id3, _) = run_campaign(&addr, &spec);
+    assert_eq!(
+        (id1.as_str(), id2.as_str(), id3.as_str()),
+        ("c1", "c2", "c3")
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while dir.join("c1.result.json").exists() && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    for suffix in ["spec.json", "ndjson", "result.json", "dict.json"] {
+        assert!(
+            !dir.join(format!("c1.{suffix}")).exists(),
+            "c1.{suffix} should be collected"
+        );
+    }
+    for id in ["c2", "c3"] {
+        assert!(
+            dir.join(format!("{id}.result.json")).exists(),
+            "{id} should survive"
+        );
+    }
+    // The collected campaign is gone from the API too.
+    let (status, _) = http::request(&addr, "GET", "/campaigns/c1/result", None).expect("result");
+    assert_eq!(status, 404);
+
+    // A fresh daemon over the same directory applies the policy at
+    // startup: with retain=1 only the newest campaign survives.
+    drop(server);
+    let server = Server::start(config(&dir, Some(1))).expect("server restarts");
+    let _ = server;
+    assert!(
+        !dir.join("c2.result.json").exists(),
+        "c2 collected at startup"
+    );
+    assert!(dir.join("c3.result.json").exists(), "c3 survives");
+}

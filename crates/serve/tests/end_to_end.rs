@@ -31,6 +31,7 @@ fn ladder_spec() -> CampaignSpec {
         },
         model: HardFaultModel::paper_resistor(),
         early_stop: false,
+        record_signatures: false,
         max_faults: None,
         client: Some("e2e".to_string()),
         faults: vec![
@@ -100,12 +101,27 @@ fn start(tag: &str, max_campaigns: usize, fault_budget: usize) -> Server {
         http_workers: 4,
         max_campaigns,
         client_fault_budget: fault_budget,
+        retain: None,
     })
     .expect("server starts")
 }
 
 fn outcomes(records: &[anafault::FaultRecord]) -> BTreeMap<usize, &FaultOutcome> {
     records.iter().map(|r| (r.fault.id, &r.outcome)).collect()
+}
+
+/// Submits a spec, retrying while an earlier campaign of the same
+/// client still holds the fault budget (released at finalization, which
+/// races with the next request).
+fn submit_when_budget_frees(addr: &str, body: &str) -> (u16, String) {
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let (status, text) = http::request(addr, "POST", "/campaigns", Some(body)).expect("submit");
+        if status != 429 || std::time::Instant::now() >= deadline {
+            return (status, text);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
 }
 
 #[test]
@@ -226,11 +242,83 @@ fn admission_enforces_quotas_and_validates_specs() {
     assert_eq!(status, 200);
     assert!(body.contains("true"));
 
-    // A spec that parses but cannot build a campaign is 422.
+    // A spec that parses but cannot build a campaign is 422. The
+    // admitted budget-sized campaign above may still hold the client's
+    // fault budget for a moment, so wait out transient 429s.
     let mut broken = spec.clone();
     broken.max_faults = Some(2);
     broken.observe = vec!["no-such-node".to_string()];
-    let (status, body) =
-        http::request(&addr, "POST", "/campaigns", Some(&broken.to_json())).expect("submit");
+    let (status, body) = submit_when_budget_frees(&addr, &broken.to_json());
     assert_eq!(status, 422, "expected build rejection: {body}");
+
+    // Client tags must be short printable ASCII; a missing tag is fine.
+    for bad_tag in ["", "säge", "tab\there", &"x".repeat(65)] {
+        let mut tagged = spec.clone();
+        tagged.max_faults = Some(2);
+        tagged.client = Some(bad_tag.to_string());
+        let (status, body) =
+            http::request(&addr, "POST", "/campaigns", Some(&tagged.to_json())).expect("submit");
+        assert_eq!(status, 422, "tag {bad_tag:?} should be rejected: {body}");
+        assert!(body.contains("client tag"), "reason: {body}");
+    }
+    let mut untagged = spec.clone();
+    untagged.max_faults = Some(2);
+    untagged.client = None;
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&untagged.to_json())).expect("submit");
+    assert_eq!(status, 201, "untagged spec should admit: {body}");
+}
+
+#[test]
+fn duplicate_fault_effects_are_deduplicated_at_admission() {
+    cat_telemetry::set_enabled(true);
+    let server = start("dedupe", 4, 100_000);
+    let addr = server.addr().to_string();
+    let mut spec = ladder_spec();
+    // Two repeats of fault 1's effect under fresh ids and labels.
+    for id in [7, 8] {
+        spec.faults.push(Fault::new(
+            id,
+            format!("BRI in->n1 repeat {id}"),
+            FaultEffect::Short {
+                a: "in".into(),
+                b: "n1".into(),
+            },
+        ));
+    }
+
+    let (status, body) =
+        http::request(&addr, "POST", "/campaigns", Some(&spec.to_json())).expect("submit");
+    assert_eq!(status, 201, "submit failed: {body}");
+    assert!(
+        body.contains("\"total\": 6"),
+        "duplicates should not be simulated: {body}"
+    );
+
+    // The persisted spec is the deduplicated one, so a resume replays
+    // exactly the admitted fault list.
+    let stored = std::fs::read_to_string(server.state_dir().join("c1.spec.json")).expect("spec");
+    let stored = CampaignSpec::from_json(&stored).expect("stored spec parses");
+    assert_eq!(
+        stored.faults.iter().map(|f| f.id).collect::<Vec<_>>(),
+        [1, 2, 3, 4, 5, 6]
+    );
+
+    // The trimmed count lands in the result's telemetry.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    let text = loop {
+        let (status, text) =
+            http::request(&addr, "GET", "/campaigns/c1/result", None).expect("result");
+        if status == 200 {
+            break text;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "campaign did not finish"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let result = protocol::from_json(&text).expect("result parses");
+    assert_eq!(result.telemetry.deduped_faults, 2);
+    assert_eq!(result.records.len(), 6);
 }

@@ -44,6 +44,7 @@ fn ladder_spec() -> CampaignSpec {
         },
         model: HardFaultModel::paper_resistor(),
         early_stop: false,
+        record_signatures: false,
         max_faults: None,
         client: Some("resume-prop".to_string()),
         faults: vec![
@@ -204,6 +205,7 @@ fn resumed_campaigns_replay_checkpoints_bitwise() {
             http_workers: 2,
             max_campaigns: 4,
             client_fault_budget: 100_000,
+            retain: None,
         })
         .expect("server resumes");
         let addr = server.addr().to_string();

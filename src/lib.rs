@@ -14,6 +14,7 @@
 //! | [`spice`] | MNA kernel simulator (DC, transient, MOS level-1) |
 //! | [`lift`] | realistic fault extraction (GLRFM) |
 //! | [`anafault`] | fault models, injection, campaigns, coverage |
+//! | [`diagnose`] | fault dictionaries, ambiguity classes, waveform matching |
 //! | [`cat_core`] | the linked flow, Fig. 1 funnel, L²RFM |
 //! | [`vco`] | the paper's 26-transistor evaluation circuit |
 //!
@@ -56,6 +57,7 @@ pub use anafault;
 pub use cat_core;
 pub use cat_telemetry;
 pub use defect;
+pub use diagnose;
 pub use extract;
 pub use geom;
 pub use layout;
